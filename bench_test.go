@@ -1,0 +1,155 @@
+package tempriv
+
+// One benchmark per evaluation artifact: the paper's Figures 2(a), 2(b) and
+// 3, the §3/§4 analytic validations, and the DESIGN.md ablations. Each
+// bench regenerates its table end-to-end (simulate → attack → score →
+// render), so
+//
+//	go test -bench . -benchmem
+//
+// re-derives the entire evaluation. Benchmarks run with reduced packet
+// counts and sweep points so a full pass stays in seconds; `go run
+// ./cmd/sweep -exp all` regenerates the full-size artifacts recorded in
+// EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+)
+
+// benchParams returns the reduced-size parameters shared by the experiment
+// benchmarks.
+func benchParams() Params {
+	p := DefaultParams()
+	p.Packets = 300
+	p.Interarrivals = []float64{2, 6, 12, 20}
+	return p
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2a regenerates Figure 2(a): adversary MSE vs 1/λ for the
+// three buffering cases.
+func BenchmarkFig2a(b *testing.B) { benchmarkExperiment(b, "fig2a") }
+
+// BenchmarkFig2b regenerates Figure 2(b): delivery latency vs 1/λ for the
+// three buffering cases.
+func BenchmarkFig2b(b *testing.B) { benchmarkExperiment(b, "fig2b") }
+
+// BenchmarkFig3 regenerates Figure 3: baseline vs adaptive (vs path-aware)
+// adversary MSE under RCAD.
+func BenchmarkFig3(b *testing.B) { benchmarkExperiment(b, "fig3") }
+
+// BenchmarkEq2EPI regenerates the §3.1 entropy-power-inequality validation.
+func BenchmarkEq2EPI(b *testing.B) { benchmarkExperiment(b, "eq2-epi") }
+
+// BenchmarkEq4Bound regenerates the §3.2 Anantharam–Verdú bound validation.
+func BenchmarkEq4Bound(b *testing.B) { benchmarkExperiment(b, "eq4-bound") }
+
+// BenchmarkMMInf regenerates the §4 M/M/∞ / M/M/k/k occupancy validation.
+func BenchmarkMMInf(b *testing.B) { benchmarkExperiment(b, "mm-inf") }
+
+// BenchmarkErlang regenerates the §4 Erlang-loss validation.
+func BenchmarkErlang(b *testing.B) { benchmarkExperiment(b, "erlang") }
+
+// BenchmarkAblVictim regenerates the victim-selection ablation.
+func BenchmarkAblVictim(b *testing.B) { benchmarkExperiment(b, "abl-victim") }
+
+// BenchmarkAblDist regenerates the delay-distribution ablation.
+func BenchmarkAblDist(b *testing.B) { benchmarkExperiment(b, "abl-dist") }
+
+// BenchmarkAblBuffer regenerates the buffer-size ablation.
+func BenchmarkAblBuffer(b *testing.B) { benchmarkExperiment(b, "abl-buffer") }
+
+// BenchmarkAblMu regenerates the 1/µ privacy-vs-occupancy ablation.
+func BenchmarkAblMu(b *testing.B) { benchmarkExperiment(b, "abl-mu") }
+
+// BenchmarkAblDecomp regenerates the §3.3 delay-decomposition study.
+func BenchmarkAblDecomp(b *testing.B) { benchmarkExperiment(b, "abl-decomp") }
+
+// BenchmarkSimulationThroughput measures raw simulator speed on the paper's
+// evaluation workload: the Figure-1 topology under RCAD at peak load,
+// reported per simulated packet delivery.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	topo, sources, err := Figure1Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := PeriodicTraffic(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := ExponentialDelay(30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Topology: topo,
+		Policy:   PolicyRCAD,
+		Delay:    dist,
+		Seed:     1,
+	}
+	for _, s := range sources {
+		cfg.Sources = append(cfg.Sources, Source{Node: s, Process: proc, Count: 250})
+	}
+	b.ResetTimer()
+	deliveries := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deliveries += len(res.Deliveries)
+	}
+	b.ReportMetric(float64(deliveries)/float64(b.N), "deliveries/op")
+}
+
+// BenchmarkAdversaryEstimate measures the cost of one adaptive-adversary
+// estimate (the most stateful estimator).
+func BenchmarkAdversaryEstimate(b *testing.B) {
+	adv, err := NewAdaptiveAdversary(1, 30, 10, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := Observation{ArrivalTime: 100, Header: Header{Origin: 5, HopCount: 15}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.ArrivalTime += 2
+		_ = adv.Estimate(obs)
+	}
+}
+
+// BenchmarkErlangLoss measures the analytic Erlang-loss recurrence.
+func BenchmarkErlangLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ErlangLoss(15, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblMix regenerates the §6 mix-mechanism comparison.
+func BenchmarkAblMix(b *testing.B) { benchmarkExperiment(b, "abl-mix") }
+
+// BenchmarkAblLattice regenerates the lattice-adversary extension study.
+func BenchmarkAblLattice(b *testing.B) { benchmarkExperiment(b, "abl-lattice") }
+
+// BenchmarkSortReorder regenerates the §3.2 reordering study.
+func BenchmarkSortReorder(b *testing.B) { benchmarkExperiment(b, "sort-reorder") }

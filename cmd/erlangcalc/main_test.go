@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestLossMode(t *testing.T) {
+	if err := run([]string{"-mode", "loss", "-rho", "15", "-k", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanMode(t *testing.T) {
+	if err := run([]string{"-mode", "plan", "-lambda", "0.5", "-k", "10", "-alpha", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyMode(t *testing.T) {
+	if err := run([]string{"-mode", "occupancy", "-lambda", "0.5", "-mean-delay", "30", "-k", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "divination"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestInvalidParameters(t *testing.T) {
+	if err := run([]string{"-mode", "loss", "-rho", "-1"}); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if err := run([]string{"-mode", "plan", "-alpha", "2"}); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Command rcadsim runs one temporal-privacy simulation and reports the
+// privacy (adversary MSE), performance (latency) and buffer metrics the
+// paper evaluates.
+//
+// Examples:
+//
+//	rcadsim                                     # Figure-1 topology, RCAD, 1/λ=2
+//	rcadsim -policy delay-unlimited -interarrival 10
+//	rcadsim -topo line -hops 15 -adversary adaptive
+//	rcadsim -rate-control -target-loss 0.1      # §4 per-node µ planning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcadsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rcadsim", flag.ContinueOnError)
+	var (
+		topoKind     = fs.String("topo", "figure1", "topology: figure1 | line | grid | random")
+		hops         = fs.Int("hops", 15, "line topology: hops from source to sink")
+		gridW        = fs.Int("grid-w", 10, "grid topology: width")
+		gridH        = fs.Int("grid-h", 10, "grid topology: height")
+		fieldNodes   = fs.Int("field-nodes", 150, "random topology: node count")
+		fieldSide    = fs.Float64("field-side", 10, "random topology: field side length")
+		fieldRadius  = fs.Float64("field-radius", 1.6, "random topology: radio radius")
+		policyName   = fs.String("policy", "rcad", "buffering: no-delay | delay-unlimited | delay-droptail | rcad")
+		interarrival = fs.Float64("interarrival", 2, "packet interarrival time 1/λ per source")
+		packets      = fs.Int("packets", 1000, "packets per source")
+		meanDelay    = fs.Float64("mean-delay", 30, "mean per-hop buffering delay 1/µ")
+		capacity     = fs.Int("capacity", 10, "buffer slots k")
+		victimName   = fs.String("victim", "shortest-remaining", "RCAD victim rule: shortest-remaining | longest-remaining | oldest | random")
+		distName     = fs.String("delay-dist", "exponential", "delay distribution: exponential | uniform | constant | pareto")
+		advName      = fs.String("adversary", "baseline", "adversary: baseline | adaptive | path-aware")
+		threshold    = fs.Float64("threshold", 0.1, "adaptive adversary Erlang-loss threshold")
+		tau          = fs.Float64("tau", 1, "per-hop transmission delay τ")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		sealed       = fs.Bool("seal", false, "encrypt payloads end-to-end (AES-CTR+HMAC)")
+		rateControl  = fs.Bool("rate-control", false, "enable the §4 per-node delay planner")
+		targetLoss   = fs.Float64("target-loss", 0.1, "rate controller's Erlang-loss target α")
+		traceFile    = fs.String("trace", "", "write per-packet lifecycle events as JSON Lines to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, sources, err := buildTopology(*topoKind, *hops, *gridW, *gridH, *fieldNodes, *fieldSide, *fieldRadius, *seed)
+	if err != nil {
+		return err
+	}
+
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	victim, err := tempriv.VictimByName(*victimName)
+	if err != nil {
+		return err
+	}
+	var dist tempriv.DelayDistribution
+	if policy != tempriv.PolicyForward {
+		dist, err = tempriv.DelayByName(*distName, *meanDelay)
+		if err != nil {
+			return err
+		}
+	}
+	proc, err := tempriv.PeriodicTraffic(*interarrival)
+	if err != nil {
+		return err
+	}
+
+	cfg := tempriv.Config{
+		Topology:          topo,
+		Policy:            policy,
+		Delay:             dist,
+		Capacity:          *capacity,
+		Victim:            victim,
+		TransmissionDelay: *tau,
+		Seed:              *seed,
+		Seal:              *sealed,
+	}
+	for _, s := range sources {
+		cfg.Sources = append(cfg.Sources, tempriv.Source{Node: s, Process: proc, Count: *packets})
+	}
+	if *rateControl {
+		cfg.RateControl = &tempriv.RateControl{TargetLoss: *targetLoss, Smoothing: 0.3}
+	}
+	var tracer *tempriv.JSONLTracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		tracer, err = tempriv.NewJSONLTracer(f)
+		if err != nil {
+			return err
+		}
+		cfg.Tracer = tracer
+	}
+
+	res, err := tempriv.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	est, err := buildAdversary(*advName, topo, *tau, *meanDelay, *capacity, *threshold, policy)
+	if err != nil {
+		return err
+	}
+	perFlow, err := tempriv.ScoreAdversaryPerFlow(est, res)
+	if err != nil {
+		return err
+	}
+
+	printReport(res, sources, perFlow, est.Name())
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("\nlifecycle trace written to %s\n", *traceFile)
+	}
+	return nil
+}
+
+func buildTopology(kind string, hops, w, h, fieldNodes int, fieldSide, fieldRadius float64, seed uint64) (*tempriv.Topology, []tempriv.NodeID, error) {
+	switch kind {
+	case "figure1":
+		return tempriv.Figure1Topology()
+	case "line":
+		topo, err := tempriv.NewLineTopology(hops)
+		if err != nil {
+			return nil, nil, err
+		}
+		return topo, topo.Sources(), nil
+	case "grid":
+		topo, err := tempriv.NewGridTopology(w, h)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Use the far corner as the single source.
+		far := tempriv.GridNodeID(w, w-1, h-1)
+		if err := topo.MarkSource(far); err != nil {
+			return nil, nil, err
+		}
+		return topo, topo.Sources(), nil
+	case "random":
+		// Retry a few placements: sparse samples can be disconnected.
+		var topo *tempriv.Topology
+		var err error
+		for attempt := 0; attempt < 10; attempt++ {
+			topo, err = tempriv.NewRandomGeometricTopology(fieldNodes, fieldSide, fieldRadius, seed+uint64(attempt))
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("random field stayed disconnected after 10 placements: %w", err)
+		}
+		// The node farthest from the sink becomes the source.
+		far := tempriv.NodeID(0)
+		best := -1.0
+		for _, id := range topo.Nodes() {
+			p, err := topo.PositionOf(id)
+			if err != nil {
+				return nil, nil, err
+			}
+			if d := p.Distance(tempriv.Position{}); d > best {
+				best, far = d, id
+			}
+		}
+		if err := topo.MarkSource(far); err != nil {
+			return nil, nil, err
+		}
+		return topo, topo.Sources(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func parsePolicy(name string) (tempriv.PolicyKind, error) {
+	switch name {
+	case "no-delay":
+		return tempriv.PolicyForward, nil
+	case "delay-unlimited":
+		return tempriv.PolicyUnlimited, nil
+	case "delay-droptail":
+		return tempriv.PolicyDropTail, nil
+	case "rcad":
+		return tempriv.PolicyRCAD, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func buildAdversary(name string, topo *tempriv.Topology, tau, meanDelay float64, capacity int, threshold float64, policy tempriv.PolicyKind) (tempriv.Estimator, error) {
+	known := meanDelay
+	if policy == tempriv.PolicyForward {
+		known = 0 // the adversary knows there is no buffering delay
+	}
+	switch name {
+	case "baseline":
+		return tempriv.NewBaselineAdversary(tau, known)
+	case "adaptive":
+		if known == 0 {
+			return tempriv.NewBaselineAdversary(tau, 0)
+		}
+		return tempriv.NewAdaptiveAdversary(tau, known, capacity, threshold)
+	case "path-aware":
+		if known == 0 {
+			return tempriv.NewBaselineAdversary(tau, 0)
+		}
+		paths, err := tempriv.FlowPaths(topo)
+		if err != nil {
+			return nil, err
+		}
+		return tempriv.NewPathAwareAdversary(tau, known, capacity, threshold, paths)
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}
+
+func printReport(res *tempriv.Result, sources []tempriv.NodeID, perFlow map[tempriv.NodeID]*tempriv.MSE, advName string) {
+	fmt.Printf("simulated %.1f time units, %d events, %d deliveries\n\n",
+		res.Duration, res.Events, len(res.Deliveries))
+
+	fmt.Printf("%-8s %-5s %-8s %-9s %-8s %-10s %-10s %-12s\n",
+		"flow", "hops", "created", "delivered", "dropped", "lat-mean", "lat-p95", advName+"-MSE")
+	for i, s := range sources {
+		f := res.Flows[s]
+		mse := 0.0
+		if m, ok := perFlow[s]; ok {
+			mse = m.Value()
+		}
+		fmt.Printf("S%-7d %-5d %-8d %-9d %-8d %-10.1f %-10.1f %-12.4g\n",
+			i+1, f.HopCount, f.Created, f.Delivered, f.Dropped(),
+			f.Latency.Mean, f.Latency.P95, mse)
+	}
+
+	ids := make([]tempriv.NodeID, 0, len(res.Nodes))
+	for id := range res.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var busiest *tempriv.NodeStats
+	var drops, preempts uint64
+	for _, id := range ids {
+		ns := res.Nodes[id]
+		drops += ns.Drops
+		preempts += ns.Preemptions
+		if busiest == nil || ns.AvgOccupancy > busiest.AvgOccupancy {
+			busiest = ns
+		}
+	}
+	fmt.Printf("\nnetwork: %d buffering nodes, %d drops, %d preemptions\n", len(ids), drops, preempts)
+	if busiest != nil {
+		fmt.Printf("busiest node: %v (%d hops from sink) avg occupancy %.2f, peak %.0f, mean hold %.1f\n",
+			busiest.ID, busiest.HopsToSink, busiest.AvgOccupancy, busiest.MaxOccupancy, busiest.MeanHeldDelay)
+	}
+	if res.SealFailures > 0 {
+		fmt.Printf("WARNING: %d payload authentication failures\n", res.SealFailures)
+	}
+}

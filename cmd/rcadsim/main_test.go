@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestDefaultRun(t *testing.T) {
+	if err := run([]string{"-packets", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	for _, policy := range []string{"no-delay", "delay-unlimited", "delay-droptail", "rcad"} {
+		if err := run([]string{"-policy", policy, "-packets", "50", "-topo", "line", "-hops", "5"}); err != nil {
+			t.Fatalf("policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestAllAdversariesRun(t *testing.T) {
+	for _, adv := range []string{"baseline", "adaptive", "path-aware"} {
+		if err := run([]string{"-adversary", adv, "-packets", "50", "-topo", "line", "-hops", "4"}); err != nil {
+			t.Fatalf("adversary %s: %v", adv, err)
+		}
+	}
+}
+
+func TestAdversaryAgainstNoDelayFallsBack(t *testing.T) {
+	// adaptive/path-aware degrade to baseline when there is no buffering
+	// delay to model.
+	for _, adv := range []string{"adaptive", "path-aware"} {
+		if err := run([]string{"-policy", "no-delay", "-adversary", adv, "-packets", "30", "-topo", "line", "-hops", "3"}); err != nil {
+			t.Fatalf("adversary %s vs no-delay: %v", adv, err)
+		}
+	}
+}
+
+func TestGridTopologyRun(t *testing.T) {
+	if err := run([]string{"-topo", "grid", "-grid-w", "5", "-grid-h", "5", "-packets", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateControlRun(t *testing.T) {
+	if err := run([]string{"-rate-control", "-packets", "100", "-topo", "line", "-hops", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealedRun(t *testing.T) {
+	if err := run([]string{"-seal", "-packets", "40", "-topo", "line", "-hops", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimAndDistFlags(t *testing.T) {
+	if err := run([]string{"-victim", "oldest", "-delay-dist", "uniform", "-packets", "50", "-topo", "line", "-hops", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidFlags(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "torus"},
+		{"-policy", "teleport"},
+		{"-adversary", "psychic"},
+		{"-victim", "newest"},
+		{"-delay-dist", "levy"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestTraceFlagWritesJSONL(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	if err := run([]string{"-packets", "30", "-topo", "line", "-hops", "3", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// 30 packets × (1 created + 3 admitted + 3 released/preempted + 1 delivered).
+	if len(lines) != 30*8 {
+		t.Fatalf("trace has %d lines, want 240", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev["kind"] != "created" {
+		t.Fatalf("first event = %v, want created", ev)
+	}
+}
+
+func TestRandomTopologyRun(t *testing.T) {
+	if err := run([]string{"-topo", "random", "-field-nodes", "80", "-field-radius", "2.2", "-packets", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}

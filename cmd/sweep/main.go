@@ -1,0 +1,159 @@
+// Command sweep regenerates the paper's evaluation artifacts: every figure
+// (2a, 2b, 3), the analytic validations, and the ablations indexed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	sweep -exp fig2a                 # one experiment to stdout
+//	sweep -exp all -out results/     # everything, plus CSV files
+//	sweep -list                      # show the registry
+//
+// Reduced-size runs for quick iteration:
+//
+//	sweep -exp fig3 -packets 200 -interarrivals 2,10,20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		exp           = fs.String("exp", "all", "experiment id to run, or \"all\"")
+		list          = fs.Bool("list", false, "list registered experiments and exit")
+		out           = fs.String("out", "", "directory to write <id>.txt and <id>.csv into (optional)")
+		seed          = fs.Uint64("seed", 0, "random seed (0 = paper default)")
+		packets       = fs.Int("packets", 0, "packets per source (0 = paper default 1000)")
+		interarrivals = fs.String("interarrivals", "", "comma-separated 1/λ sweep (default 2..20)")
+		meanDelay     = fs.Float64("mean-delay", 0, "mean per-hop buffering delay 1/µ (0 = paper default 30)")
+		capacity      = fs.Int("capacity", 0, "buffer slots k (0 = paper default 10)")
+		workers       = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		replicate     = fs.Int("replicate", 1, "run each experiment under N consecutive seeds and report mean ± 95% CI")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range tempriv.Experiments() {
+			fmt.Printf("%-11s %-22s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	}
+
+	p := tempriv.DefaultParams()
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *packets != 0 {
+		p.Packets = *packets
+	}
+	if *meanDelay != 0 {
+		p.MeanDelay = *meanDelay
+	}
+	if *capacity != 0 {
+		p.Capacity = *capacity
+	}
+	if *workers != 0 {
+		p.Workers = *workers
+	}
+	if *interarrivals != "" {
+		values, err := parseFloats(*interarrivals)
+		if err != nil {
+			return fmt.Errorf("parsing -interarrivals: %w", err)
+		}
+		p.Interarrivals = values
+	}
+
+	var selected []tempriv.Experiment
+	if *exp == "all" {
+		selected = tempriv.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := tempriv.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("creating output directory: %w", err)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("== %s (%s) ==\n", e.ID, e.Paper)
+		var tab *tempriv.Table
+		var err error
+		if *replicate > 1 {
+			tab, err = tempriv.ReplicateExperiment(e, p, *replicate)
+		} else {
+			tab, err = e.Run(p)
+		}
+		if err != nil {
+			return fmt.Errorf("running %s: %w", e.ID, err)
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return fmt.Errorf("rendering %s: %w", e.ID, err)
+		}
+		fmt.Println()
+		if *out != "" {
+			if err := writeArtifacts(*out, e.ID, tab); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeArtifacts(dir, id string, tab *tempriv.Table) error {
+	txt, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return fmt.Errorf("creating %s.txt: %w", id, err)
+	}
+	defer func() { _ = txt.Close() }()
+	if err := tab.Render(txt); err != nil {
+		return fmt.Errorf("writing %s.txt: %w", id, err)
+	}
+
+	csv, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return fmt.Errorf("creating %s.csv: %w", id, err)
+	}
+	defer func() { _ = csv.Close() }()
+	if err := tab.RenderCSV(csv); err != nil {
+		return fmt.Errorf("writing %s.csv: %w", id, err)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

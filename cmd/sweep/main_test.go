@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListMode(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExperimentReducedSize(t *testing.T) {
+	err := run([]string{"-exp", "erlang", "-packets", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-exp", "fig2b",
+		"-packets", "100",
+		"-interarrivals", "2,20",
+		"-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2b.txt", "fig2b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "NoDelay") {
+			t.Fatalf("artifact %s missing expected column:\n%s", name, data)
+		}
+	}
+}
+
+func TestCommaSeparatedExperiments(t *testing.T) {
+	err := run([]string{"-exp", "eq2-epi,eq4-bound"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateFlag(t *testing.T) {
+	err := run([]string{
+		"-exp", "fig2b",
+		"-packets", "60",
+		"-interarrivals", "5",
+		"-replicate", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadInterarrivals(t *testing.T) {
+	if err := run([]string{"-exp", "fig2a", "-interarrivals", "2,banana"}); err == nil {
+		t.Fatal("unparseable interarrivals accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats(" 2, 4.5 ,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4.5, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command topogen builds and inspects the deployments the simulator runs
+// on: the paper's Figure-1 evaluation network, lines, grids, and custom
+// merge trees. It prints the routing tree, per-flow paths, and — given a
+// per-source packet rate — the aggregate load and planned mean delay at
+// every node (§4).
+//
+// Examples:
+//
+//	topogen -topo figure1
+//	topogen -topo merge -hops 15,22,9,11 -trunk 8
+//	topogen -topo figure1 -rate 0.5 -k 10 -alpha 0.1   # load + delay plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		kind  = fs.String("topo", "figure1", "figure1 | line | grid | merge")
+		hops  = fs.String("hops", "15,22,9,11", "line: single hop count; merge: comma-separated hop counts")
+		trunk = fs.Int("trunk", 8, "merge: shared hops before the sink")
+		gridW = fs.Int("grid-w", 10, "grid width")
+		gridH = fs.Int("grid-h", 10, "grid height")
+		rate  = fs.Float64("rate", 0, "per-source packet rate λ; > 0 prints load + delay plan")
+		k     = fs.Int("k", 10, "buffer slots for the delay plan")
+		alpha = fs.Float64("alpha", 0.1, "target loss for the delay plan")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, sources, err := build(*kind, *hops, *trunk, *gridW, *gridH)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("topology: %s — %d nodes, %d links, %d sources, connected=%v\n",
+		*kind, topo.NodeCount(), topo.LinkCount(), len(sources), topo.Connected())
+
+	hopsBySource, err := tempriv.HopCounts(topo)
+	if err != nil {
+		return err
+	}
+	paths, err := tempriv.FlowPaths(topo)
+	if err != nil {
+		return err
+	}
+	for i, s := range sources {
+		fmt.Printf("flow %d: source %v, %d hops, path %v → sink\n", i+1, s, hopsBySource[s], paths[s])
+	}
+
+	if *rate > 0 {
+		rates := make(map[tempriv.NodeID]float64, len(sources))
+		for _, s := range sources {
+			rates[s] = *rate
+		}
+		plan, err := tempriv.PlanDelays(topo, rates, *k, *alpha, 1e9)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndelay plan (λ=%g per source, k=%d, α=%g):\n", *rate, *k, *alpha)
+		fmt.Printf("%-8s %-14s\n", "node", "mean delay 1/µ")
+		for _, s := range sources {
+			for _, n := range paths[s] {
+				if mean, ok := plan[n]; ok {
+					fmt.Printf("%-8v %-14.4g\n", n, mean)
+					delete(plan, n) // print each node once
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func build(kind, hopsSpec string, trunk, w, h int) (*tempriv.Topology, []tempriv.NodeID, error) {
+	switch kind {
+	case "figure1":
+		return tempriv.Figure1Topology()
+	case "line":
+		n, err := strconv.Atoi(strings.Split(hopsSpec, ",")[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing -hops: %w", err)
+		}
+		topo, err := tempriv.NewLineTopology(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return topo, topo.Sources(), nil
+	case "grid":
+		topo, err := tempriv.NewGridTopology(w, h)
+		if err != nil {
+			return nil, nil, err
+		}
+		far := tempriv.GridNodeID(w, w-1, h-1)
+		if err := topo.MarkSource(far); err != nil {
+			return nil, nil, err
+		}
+		return topo, topo.Sources(), nil
+	case "merge":
+		var counts []int
+		for _, part := range strings.Split(hopsSpec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, nil, fmt.Errorf("parsing -hops: %w", err)
+			}
+			counts = append(counts, n)
+		}
+		return tempriv.NewMergeTreeTopology(counts, trunk)
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestFigure1(t *testing.T) {
+	if err := run([]string{"-topo", "figure1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1WithPlan(t *testing.T) {
+	if err := run([]string{"-topo", "figure1", "-rate", "0.5", "-k", "10", "-alpha", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLine(t *testing.T) {
+	if err := run([]string{"-topo", "line", "-hops", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	if err := run([]string{"-topo", "grid", "-grid-w", "4", "-grid-h", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	if err := run([]string{"-topo", "merge", "-hops", "6,8,10", "-trunk", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "moebius"},
+		{"-topo", "line", "-hops", "zero"},
+		{"-topo", "merge", "-hops", "3", "-trunk", "5"},
+		{"-topo", "merge", "-hops", "3,x"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

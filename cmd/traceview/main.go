@@ -1,0 +1,186 @@
+// Command traceview analyses a packet-lifecycle trace written by
+// `rcadsim -trace` (JSON Lines, see package trace): per-node buffering
+// summaries, preemption hot-spots, and — with -flow/-seq — a single
+// packet's full journey.
+//
+// Examples:
+//
+//	rcadsim -packets 200 -trace run.jsonl
+//	traceview -in run.jsonl                  # per-node summary
+//	traceview -in run.jsonl -flow 15 -seq 3  # one packet's journey
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// event mirrors trace.Event's wire format.
+type event struct {
+	At   float64 `json:"at"`
+	Kind string  `json:"kind"`
+	Node uint16  `json:"node"`
+	Flow uint16  `json:"flow"`
+	Seq  uint32  `json:"seq"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "trace file (JSON Lines) written by rcadsim -trace")
+		flow = fs.Int("flow", -1, "show one packet: its flow (origin node) id")
+		seq  = fs.Int("seq", -1, "show one packet: its per-flow sequence number")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in trace file")
+	}
+
+	events, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace %s contains no events", *in)
+	}
+
+	if *flow >= 0 && *seq >= 0 {
+		return showJourney(events, uint16(*flow), uint32(*seq))
+	}
+	return showSummary(events)
+}
+
+func load(path string) ([]event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening trace: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	var events []event
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		var e event
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// nodeAgg accumulates per-node buffering behaviour.
+type nodeAgg struct {
+	admitted   int
+	released   int
+	preempted  int
+	lost       int
+	admitTimes map[uint64]float64 // (flow,seq) → admit time
+	holdSum    float64
+	holdCount  int
+}
+
+func key(flow uint16, seq uint32) uint64 { return uint64(flow)<<32 | uint64(seq) }
+
+func showSummary(events []event) error {
+	nodes := make(map[uint16]*nodeAgg)
+	get := func(id uint16) *nodeAgg {
+		a, ok := nodes[id]
+		if !ok {
+			a = &nodeAgg{admitTimes: make(map[uint64]float64)}
+			nodes[id] = a
+		}
+		return a
+	}
+	created, delivered, lost := 0, 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case "created":
+			created++
+		case "delivered":
+			delivered++
+		case "lost":
+			lost++
+			get(e.Node).lost++
+		case "admitted":
+			a := get(e.Node)
+			a.admitted++
+			a.admitTimes[key(e.Flow, e.Seq)] = e.At
+		case "released", "preempted":
+			a := get(e.Node)
+			if e.Kind == "released" {
+				a.released++
+			} else {
+				a.preempted++
+			}
+			if at, ok := a.admitTimes[key(e.Flow, e.Seq)]; ok {
+				a.holdSum += e.At - at
+				a.holdCount++
+				delete(a.admitTimes, key(e.Flow, e.Seq))
+			}
+		}
+	}
+
+	fmt.Printf("%d events: %d created, %d delivered, %d lost\n\n", len(events), created, delivered, lost)
+	ids := make([]uint16, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Printf("%-6s %-9s %-9s %-10s %-13s %-10s\n",
+		"node", "admitted", "released", "preempted", "preempt-rate", "mean-hold")
+	for _, id := range ids {
+		a := nodes[id]
+		rate := 0.0
+		if a.admitted > 0 {
+			rate = float64(a.preempted) / float64(a.admitted)
+		}
+		hold := 0.0
+		if a.holdCount > 0 {
+			hold = a.holdSum / float64(a.holdCount)
+		}
+		fmt.Printf("n%-5d %-9d %-9d %-10d %-13.3f %-10.1f\n",
+			id, a.admitted, a.released, a.preempted, rate, hold)
+	}
+	return nil
+}
+
+func showJourney(events []event, flow uint16, seq uint32) error {
+	var journey []event
+	for _, e := range events {
+		if e.Flow == flow && e.Seq == seq {
+			journey = append(journey, e)
+		}
+	}
+	if len(journey) == 0 {
+		return fmt.Errorf("no events for flow %d seq %d", flow, seq)
+	}
+	sort.SliceStable(journey, func(i, j int) bool { return journey[i].At < journey[j].At })
+	fmt.Printf("packet flow=%d seq=%d — %d events\n", flow, seq, len(journey))
+	prev := journey[0].At
+	for _, e := range journey {
+		fmt.Printf("  t=%-10.2f +%-8.2f %-10s at n%d\n", e.At, e.At-prev, e.Kind, e.Node)
+		prev = e.At
+	}
+	fmt.Printf("total: %.2f time units from creation to final event\n", prev-journey[0].At)
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	lines := `{"at":0,"kind":"created","node":3,"flow":3,"seq":0}
+{"at":0,"kind":"admitted","node":3,"flow":3,"seq":0}
+{"at":12,"kind":"released","node":3,"flow":3,"seq":0}
+{"at":13,"kind":"admitted","node":2,"flow":3,"seq":0}
+{"at":15,"kind":"preempted","node":2,"flow":3,"seq":0}
+{"at":16,"kind":"admitted","node":1,"flow":3,"seq":0}
+{"at":30,"kind":"released","node":1,"flow":3,"seq":0}
+{"at":31,"kind":"delivered","node":0,"flow":3,"seq":0}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummary(t *testing.T) {
+	if err := run([]string{"-in", writeTrace(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJourney(t *testing.T) {
+	if err := run([]string{"-in", writeTrace(t), "-flow", "3", "-seq", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJourneyUnknownPacket(t *testing.T) {
+	if err := run([]string{"-in", writeTrace(t), "-flow", "9", "-seq", "4"}); err == nil {
+		t.Fatal("unknown packet accepted")
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/trace.jsonl"}); err == nil {
+		t.Fatal("unreadable file accepted")
+	}
+}
+
+func TestRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Habitat monitoring: the paper's motivating scenario (§2). An endangered
+// animal crosses a grid-deployed sensor field; each sensor it passes
+// reports the sighting to the sink. A hunter eavesdropping at the sink
+// knows every sensor's position (deployment-aware) and tries to reconstruct
+// the animal's trajectory — *where* it was *when* — from packet arrival
+// times alone.
+//
+// The pipeline is the full spatio-temporal argument of §1: the hunter's
+// temporal estimation error (package adversary) is converted into spatial
+// tracking error (package tracking). With no buffering the hunter
+// reconstructs the trail almost exactly; under RCAD the reconstruction is
+// off by several grid cells on average.
+//
+//	go run ./examples/habitat
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tempriv"
+)
+
+const (
+	gridW, gridH   = 12, 12
+	detectionRange = 1.1 // each sensor hears ~1 cell around it
+	crossingTime   = 400.0
+	sampleEvery    = 8.0 // sensors sample for the asset every 8 time units
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "habitat:", err)
+		os.Exit(1)
+	}
+}
+
+// animalPath returns the animal's trajectory: a diagonal crossing from the
+// far corner toward the sink's corner, then along the bottom edge.
+func animalPath() (*tempriv.Trajectory, error) {
+	return tempriv.NewTrajectory([]tempriv.Waypoint{
+		{At: 0, Pos: tempriv.Position{X: 11, Y: 11}},
+		{At: crossingTime * 0.6, Pos: tempriv.Position{X: 3, Y: 3}},
+		{At: crossingTime, Pos: tempriv.Position{X: 1, Y: 1}},
+	})
+}
+
+// buildConfig turns the animal's sightings into per-sensor traffic: each
+// sensor emits one packet per detection, at the detection times.
+func buildConfig(topo *tempriv.Topology, sightings []tempriv.Sighting, policy tempriv.PolicyKind, dist tempriv.DelayDistribution) (tempriv.Config, error) {
+	perSensor := make(map[tempriv.NodeID][]float64)
+	for _, s := range sightings {
+		perSensor[s.Sensor] = append(perSensor[s.Sensor], s.At)
+	}
+	var sources []tempriv.Source
+	for sensor, times := range perSensor {
+		if err := topo.MarkSource(sensor); err != nil {
+			return tempriv.Config{}, err
+		}
+		// Convert absolute detection times to interarrival intervals.
+		intervals := make([]float64, 0, len(times))
+		prev := 0.0
+		for _, at := range times {
+			gap := at - prev
+			if gap <= 0 {
+				gap = 1e-3 // same-sample detections: emit back to back
+			}
+			intervals = append(intervals, gap)
+			prev = at
+		}
+		proc, err := tempriv.TraceTraffic(intervals)
+		if err != nil {
+			return tempriv.Config{}, err
+		}
+		sources = append(sources, tempriv.Source{Node: sensor, Process: proc, Count: len(intervals)})
+	}
+	return tempriv.Config{
+		Topology: topo,
+		Sources:  sources,
+		Policy:   policy,
+		Delay:    dist,
+		Seed:     7,
+	}, nil
+}
+
+func run() error {
+	traj, err := animalPath()
+	if err != nil {
+		return err
+	}
+
+	dist, err := tempriv.ExponentialDelay(30)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("habitat monitor: %dx%d grid, animal crossing for %.0f time units\n\n", gridW, gridH, crossingTime)
+	fmt.Printf("%-14s %-10s %-16s %-16s %-12s\n",
+		"buffering", "sightings", "mean-track-err", "max-track-err", "mean-latency")
+
+	for _, c := range []struct {
+		name      string
+		policy    tempriv.PolicyKind
+		dist      tempriv.DelayDistribution
+		knownMean float64
+	}{
+		{"none", tempriv.PolicyForward, nil, 0},
+		{"RCAD (k=10)", tempriv.PolicyRCAD, dist, 30},
+	} {
+		// Each case rebuilds the topology: MarkSource mutates it.
+		topo, err := tempriv.NewGridTopology(gridW, gridH)
+		if err != nil {
+			return err
+		}
+		sightings, err := tempriv.AssetSightings(topo, traj, detectionRange, sampleEvery)
+		if err != nil {
+			return err
+		}
+		cfg, err := buildConfig(topo, sightings, c.policy, c.dist)
+		if err != nil {
+			return err
+		}
+		res, err := tempriv.Run(cfg)
+		if err != nil {
+			return err
+		}
+
+		// The hunter: estimate each packet's creation time, attach the
+		// origin sensor's (known) position, reconstruct the trail.
+		hunter, err := tempriv.NewBaselineAdversary(1, c.knownMean)
+		if err != nil {
+			return err
+		}
+		var reports []tempriv.TrackReport
+		latSum := 0.0
+		for i, obs := range res.Observations() {
+			pos, err := topo.PositionOf(obs.Header.Origin)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, tempriv.TrackReport{
+				Pos:         pos,
+				EstimatedAt: hunter.Estimate(obs),
+			})
+			latSum += obs.ArrivalTime - res.Truths()[i]
+		}
+		rec, err := tempriv.ReconstructTrack(reports)
+		if err != nil {
+			return err
+		}
+		trackErr, err := tempriv.EvaluateTracking(traj, rec, 2)
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("%-14s %-10d %-16s %-16s %-12.1f\n",
+			c.name, len(sightings),
+			fmt.Sprintf("%.2f cells", trackErr.Mean),
+			fmt.Sprintf("%.2f cells", trackErr.Max),
+			latSum/float64(len(reports)))
+	}
+
+	fmt.Println()
+	fmt.Println("Temporal privacy IS spatial privacy for a moving asset (§1): without")
+	fmt.Println("buffering the hunter pins the animal to within a cell of its true trail;")
+	fmt.Println("RCAD's preemption-hardened delays push the reconstruction several cells")
+	fmt.Println("off course — at every moment the hunter aims where the animal was long ago.")
+	return nil
+}

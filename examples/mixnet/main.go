@@ -1,0 +1,106 @@
+// Mix-network comparison (§6 related work): runs the same sensor field
+// under RCAD, an SG-mix (per-message exponential delay, which Danezis
+// proved optimal for a given mean at a single node), and Chaum-style batch
+// mixes installed through the public CustomPolicy extension point.
+//
+// Privacy is scored with the genie constant-offset bound — the MSE of an
+// adversary who knows each flow's exact mean delay — which is well defined
+// for every scheme. The output quantifies the paper's §6 remark that mix
+// techniques "do not extend to networks of queues": on a multi-hop path,
+// batching either collapses temporal privacy or strands messages, while
+// per-packet random delays buy variance at every hop from a 10-slot buffer.
+//
+//	go run ./examples/mixnet
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mixnet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		interarrival = 5.0
+		meanDelay    = 30.0
+		packets      = 800
+	)
+
+	dist, err := tempriv.ExponentialDelay(meanDelay)
+	if err != nil {
+		return err
+	}
+
+	schemes := []struct {
+		name   string
+		policy tempriv.PolicyKind
+		delay  tempriv.DelayDistribution
+		custom func(*tempriv.Scheduler, tempriv.Forward, *tempriv.RandomSource) (tempriv.BufferPolicy, error)
+	}{
+		{name: "rcad (k=10)", policy: tempriv.PolicyRCAD, delay: dist},
+		{name: "sg-mix", policy: tempriv.PolicyUnlimited, delay: dist},
+		{name: "threshold-mix(10)", policy: tempriv.PolicyCustom, custom: tempriv.ThresholdMixPolicy(10, 0)},
+		{name: "pool-mix(8+2)", policy: tempriv.PolicyCustom, custom: tempriv.ThresholdMixPolicy(8, 2)},
+		{name: "timed-mix(30)", policy: tempriv.PolicyCustom, custom: tempriv.TimedMixPolicy(meanDelay)},
+	}
+
+	fmt.Printf("mix mechanisms vs RCAD on the Figure-1 field (1/λ=%g, delay budget %g)\n\n", interarrival, meanDelay)
+	fmt.Printf("%-19s %-16s %-14s %-16s %-10s\n",
+		"scheme", "genie-MSE", "mean-latency", "peak-occupancy", "delivered")
+
+	for _, sc := range schemes {
+		topo, sources, err := tempriv.Figure1Topology()
+		if err != nil {
+			return err
+		}
+		proc, err := tempriv.PeriodicTraffic(interarrival)
+		if err != nil {
+			return err
+		}
+		cfg := tempriv.Config{
+			Topology:     topo,
+			Policy:       sc.policy,
+			Delay:        sc.delay,
+			CustomPolicy: sc.custom,
+			Seed:         9,
+		}
+		for _, s := range sources {
+			cfg.Sources = append(cfg.Sources, tempriv.Source{Node: s, Process: proc, Count: packets})
+		}
+		res, err := tempriv.Run(cfg)
+		if err != nil {
+			return err
+		}
+
+		genie, err := tempriv.BestConstantOffsetMSE(res)
+		if err != nil {
+			return err
+		}
+		s1 := sources[0]
+		peak := 0.0
+		for _, ns := range res.Nodes {
+			if ns.MaxOccupancy > peak {
+				peak = ns.MaxOccupancy
+			}
+		}
+		fmt.Printf("%-19s %-16.4g %-14.1f %-16.0f %d/%d\n",
+			sc.name, genie[s1], res.Flows[s1].Latency.Mean, peak,
+			res.Flows[s1].Delivered, packets)
+	}
+
+	fmt.Println()
+	fmt.Println("Batching mixes release whole cohorts at once: every message in a batch")
+	fmt.Println("shares one arrival time, so its *timing* carries almost no uncertainty —")
+	fmt.Println("the genie adversary pins creation times to within a batch-fill interval.")
+	fmt.Println("Per-packet random delays (sg-mix, RCAD) make each arrival individually")
+	fmt.Println("noisy; RCAD keeps most of that privacy on a 10-slot Mica-2 buffer.")
+	return nil
+}

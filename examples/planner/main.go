@@ -1,0 +1,136 @@
+// Delay provisioning with the Erlang-loss planner (§4). Traffic aggregates
+// as flows merge toward the sink, so a uniform mean delay overloads
+// near-sink buffers while leaf buffers idle. The paper's "powerful
+// observation" is that the Erlang loss formula lets every node pick its own
+// µ for a common target overflow probability α.
+//
+// This example provisions a merge-tree network both ways — uniform 1/µ = 30
+// everywhere vs PlanDelays — and compares preemption rates, near-sink
+// buffer pressure, delivery latency and the privacy each scheme buys.
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "planner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Six flows of assorted depths merging on a 4-hop trunk.
+	hopCounts := []int{8, 10, 12, 14, 16, 18}
+	topo, sources, err := tempriv.NewMergeTreeTopology(hopCounts, 4)
+	if err != nil {
+		return err
+	}
+
+	const (
+		interarrival = 5.0 // per-source 1/λ
+		k            = 10
+		alpha        = 0.1
+		uniformMean  = 30.0
+	)
+
+	// §4 planning: aggregate each node's load down the routing tree, then
+	// solve E(λ_node/µ, k) = α per node. maxMean caps leaf delays at the
+	// uniform budget so the comparison is delay-for-delay fair.
+	rates := make(map[tempriv.NodeID]float64, len(sources))
+	for _, s := range sources {
+		rates[s] = 1 / interarrival
+	}
+	plan, err := tempriv.PlanDelays(topo, rates, k, alpha, uniformMean)
+	if err != nil {
+		return err
+	}
+	planned, err := tempriv.DelaysFromPlan(plan)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Erlang-loss delay provisioning (§4) on a 6-flow merge tree, 1/λ=5, k=10, α=0.1")
+	fmt.Println()
+	fmt.Println("planned mean delays (trunk nodes carry all six flows):")
+	ids := make([]tempriv.NodeID, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids[:6] {
+		fmt.Printf("  node %-4v 1/µ = %.3g\n", id, plan[id])
+	}
+	fmt.Println("  ... (leaves stay at the 30-unit cap)")
+	fmt.Println()
+
+	fmt.Printf("%-10s %-14s %-16s %-14s %-14s\n",
+		"scheme", "preempt-rate", "trunk-occupancy", "mean-latency", "adversary-MSE")
+	for _, c := range []struct {
+		name    string
+		perNode map[tempriv.NodeID]tempriv.DelayDistribution
+	}{
+		{"uniform", nil},
+		{"planned", planned},
+	} {
+		proc, err := tempriv.PeriodicTraffic(interarrival)
+		if err != nil {
+			return err
+		}
+		base, err := tempriv.ExponentialDelay(uniformMean)
+		if err != nil {
+			return err
+		}
+		cfg := tempriv.Config{
+			Topology:     topo,
+			Policy:       tempriv.PolicyRCAD,
+			Delay:        base,
+			PerNodeDelay: c.perNode,
+			Capacity:     k,
+			Seed:         3,
+		}
+		for _, s := range sources {
+			cfg.Sources = append(cfg.Sources, tempriv.Source{Node: s, Process: proc, Count: 800})
+		}
+		res, err := tempriv.Run(cfg)
+		if err != nil {
+			return err
+		}
+
+		var preempts, arrivals uint64
+		for _, ns := range res.Nodes {
+			preempts += ns.Preemptions
+			arrivals += ns.Arrivals
+		}
+		trunk := res.Nodes[tempriv.NodeID(1)] // adjacent to the sink
+		adv, err := tempriv.NewBaselineAdversary(1, uniformMean)
+		if err != nil {
+			return err
+		}
+		mse, err := tempriv.ScoreAdversary(adv, res)
+		if err != nil {
+			return err
+		}
+		deepest := res.Flows[sources[len(sources)-1]]
+		fmt.Printf("%-10s %-14.3f %-16.2f %-14.1f %-14.4g\n",
+			c.name,
+			float64(preempts)/float64(arrivals),
+			trunk.AvgOccupancy,
+			deepest.Latency.Mean,
+			mse.Value())
+	}
+
+	fmt.Println()
+	fmt.Println("Planning shifts delay budget away from saturated trunk buffers — whose")
+	fmt.Println("sampled delays were being preempted away regardless — cutting the")
+	fmt.Println("preemption rate several-fold and relieving near-sink buffer pressure,")
+	fmt.Println("at no loss of privacy (the MSE column holds) or latency.")
+	return nil
+}

@@ -1,0 +1,96 @@
+// Quickstart: build a 15-hop sensor line, stream packets to the sink, and
+// see how much temporal privacy RCAD buys against a deployment-aware
+// adversary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A line network: source node 15 is fifteen hops from the sink,
+	// matching the paper's flow S1.
+	topo, err := tempriv.NewLineTopology(15)
+	if err != nil {
+		return err
+	}
+
+	// The paper's evaluation traffic: one packet every 2 time units —
+	// the highest load it studies.
+	traffic, err := tempriv.PeriodicTraffic(2)
+	if err != nil {
+		return err
+	}
+
+	// The paper's delay distribution: exponential with mean 1/µ = 30,
+	// the maximum-entropy choice at fixed mean (§3.2).
+	dist, err := tempriv.ExponentialDelay(30)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("temporal privacy on a 15-hop line, 1/λ=2, 1/µ=30, k=10")
+	fmt.Println()
+	fmt.Printf("%-18s %-14s %-14s %-10s\n", "buffering", "adversary-MSE", "mean-latency", "dropped")
+
+	for _, c := range []struct {
+		name   string
+		policy tempriv.PolicyKind
+	}{
+		{"none (baseline)", tempriv.PolicyForward},
+		{"unlimited", tempriv.PolicyUnlimited},
+		{"RCAD (k=10)", tempriv.PolicyRCAD},
+	} {
+		cfg := tempriv.Config{
+			Topology: topo,
+			Sources:  []tempriv.Source{{Node: 15, Process: traffic, Count: 1000}},
+			Policy:   c.policy,
+			Seed:     1,
+		}
+		if c.policy != tempriv.PolicyForward {
+			cfg.Delay = dist
+		}
+		res, err := tempriv.Run(cfg)
+		if err != nil {
+			return err
+		}
+
+		// The adversary knows the protocol (Kerckhoff): per-hop
+		// transmission delay τ=1 plus — when delaying is on — the mean
+		// buffering delay 30.
+		known := 30.0
+		if c.policy == tempriv.PolicyForward {
+			known = 0
+		}
+		adv, err := tempriv.NewBaselineAdversary(1, known)
+		if err != nil {
+			return err
+		}
+		mse, err := tempriv.ScoreAdversary(adv, res)
+		if err != nil {
+			return err
+		}
+
+		flow := res.Flows[tempriv.NodeID(15)]
+		fmt.Printf("%-18s %-14.4g %-14.1f %-10d\n",
+			c.name, mse.Value(), flow.Latency.Mean, flow.Dropped())
+	}
+
+	fmt.Println()
+	fmt.Println("RCAD's preemptions break the adversary's delay model: its estimation")
+	fmt.Println("error (MSE) more than doubles over unlimited buffering, while latency")
+	fmt.Println("stays well below the unlimited case and nothing is ever dropped.")
+	return nil
+}

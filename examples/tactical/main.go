@@ -1,0 +1,107 @@
+// Tactical asset tracking: the paper's second motivating scenario (§2) and
+// its strongest threat model (§5.4). A sensor field reports asset movements
+// over the Figure-1 topology while an adversary at the sink escalates
+// through three strategies:
+//
+//	baseline    x̂ = z − h(τ + 1/µ)           (§2.1, knows the protocol)
+//	adaptive    per-hop min(1/µ, k/λ_flow)    (§5.4, measures traffic rates)
+//	path-aware  per-node min(1/µ, k/λ_node)   (extension: full routing
+//	                                           knowledge, §4 superposition)
+//
+// The example shows that RCAD retains useful temporal privacy even against
+// the strongest estimator the threat model admits.
+//
+//	go run ./examples/tactical
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tempriv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tactical:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	topo, sources, err := tempriv.Figure1Topology()
+	if err != nil {
+		return err
+	}
+	dist, err := tempriv.ExponentialDelay(30)
+	if err != nil {
+		return err
+	}
+
+	const tau, meanDelay, k, threshold = 1.0, 30.0, 10, 0.1
+
+	fmt.Println("tactical sensing: Figure-1 field, RCAD buffering, escalating adversaries")
+	fmt.Println()
+	fmt.Printf("%-6s | %-36s\n", "", "adversary MSE for flow S1 (15 hops)")
+	fmt.Printf("%-6s | %-12s %-12s %-12s\n", "1/λ", "baseline", "adaptive", "path-aware")
+	fmt.Println("-------+--------------------------------------")
+
+	for _, interarrival := range []float64{2, 4, 8, 16} {
+		proc, err := tempriv.PeriodicTraffic(interarrival)
+		if err != nil {
+			return err
+		}
+		cfg := tempriv.Config{
+			Topology: topo,
+			Policy:   tempriv.PolicyRCAD,
+			Delay:    dist,
+			Capacity: k,
+			Seed:     11,
+		}
+		for _, s := range sources {
+			cfg.Sources = append(cfg.Sources, tempriv.Source{Node: s, Process: proc, Count: 800})
+		}
+		res, err := tempriv.Run(cfg)
+		if err != nil {
+			return err
+		}
+
+		paths, err := tempriv.FlowPaths(topo)
+		if err != nil {
+			return err
+		}
+		baseline, err := tempriv.NewBaselineAdversary(tau, meanDelay)
+		if err != nil {
+			return err
+		}
+		adaptive, err := tempriv.NewAdaptiveAdversary(tau, meanDelay, k, threshold)
+		if err != nil {
+			return err
+		}
+		pathAware, err := tempriv.NewPathAwareAdversary(tau, meanDelay, k, threshold, paths)
+		if err != nil {
+			return err
+		}
+
+		row := []float64{}
+		for _, adv := range []tempriv.Estimator{baseline, adaptive, pathAware} {
+			perFlow, err := tempriv.ScoreAdversaryPerFlow(adv, res)
+			if err != nil {
+				return err
+			}
+			m, ok := perFlow[sources[0]]
+			if !ok {
+				return fmt.Errorf("no deliveries for S1")
+			}
+			row = append(row, m.Value())
+		}
+		fmt.Printf("%-6g | %-12.4g %-12.4g %-12.4g\n", interarrival, row[0], row[1], row[2])
+	}
+
+	fmt.Println()
+	fmt.Println("Stronger adversaries recover part of the error RCAD's preemptions create —")
+	fmt.Println("exactly the paper's Figure 3 — but even full routing knowledge cannot undo")
+	fmt.Println("the per-packet randomness: the residual MSE stays at the unlimited-buffer")
+	fmt.Println("level (≈ h/µ² ≈ 1.35e4), which only a longer mean delay can raise.")
+	return nil
+}

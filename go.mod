@@ -1,0 +1,3 @@
+module tempriv
+
+go 1.22

@@ -1,0 +1,254 @@
+// Package core implements the paper's contribution: RCAD, Rate-Controlled
+// Adaptive Delaying (§5), together with the §4 rate controller that plans
+// per-node delay parameters from the Erlang loss formula.
+//
+// An RCAD node buffers each arriving packet for a random delay drawn from a
+// configurable distribution (exponential with mean 1/µ by default, per
+// §3.2's max-entropy argument). The buffer holds at most k packets; when a
+// new packet arrives at a full buffer, the victim packet — by default the
+// one with the shortest remaining delay — is transmitted immediately rather
+// than dropping anything. Preemption thereby "automatically adjusts the
+// effective µ based on buffer state" (§5).
+//
+// The optional RateController adds the explicit µ-planning of §4: it tracks
+// the node's incoming packet rate with an exponentially weighted moving
+// average and, via the Erlang loss formula, re-plans the mean delay so the
+// expected preemption rate stays at a target α. This realises the paper's
+// observation that nodes near the sink (higher λ) must use shorter delays
+// to maintain a fixed buffer-overflow probability.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tempriv/internal/buffer"
+	"tempriv/internal/delay"
+	"tempriv/internal/packet"
+	"tempriv/internal/queueing"
+	"tempriv/internal/rng"
+	"tempriv/internal/sim"
+)
+
+// DefaultCapacity is the paper's buffer size: 10 packets, approximating the
+// buffers available on Mica-2 motes (§5.3).
+const DefaultCapacity = 10
+
+// Config configures one RCAD node instance.
+type Config struct {
+	// Scheduler is the simulation kernel the node runs on. Required.
+	Scheduler *sim.Scheduler
+	// Forward receives packets when they leave the buffer. Required.
+	Forward buffer.Forward
+	// Capacity is the buffer size k. Defaults to DefaultCapacity when 0.
+	Capacity int
+	// Delay is the buffering-delay distribution. Required; use
+	// delay.NewExponential(30) for the paper's evaluation setting.
+	Delay delay.Distribution
+	// Victim selects the packet to preempt when the buffer is full.
+	// Defaults to buffer.ShortestRemaining, the paper's rule.
+	Victim buffer.VictimSelector
+	// Source supplies the node's randomness. Required.
+	Source *rng.Source
+	// Controller optionally re-plans the mean delay from the observed
+	// arrival rate (§4). When nil the delay distribution is fixed.
+	Controller *RateController
+}
+
+// RCAD is one node's rate-controlled adaptive delaying engine.
+type RCAD struct {
+	buf  *buffer.Preemptive
+	dist delay.Distribution
+	src  *rng.Source
+	ctrl *RateController
+}
+
+// New validates cfg and returns an RCAD engine.
+func New(cfg Config) (*RCAD, error) {
+	if cfg.Scheduler == nil {
+		return nil, errors.New("core: nil scheduler")
+	}
+	if cfg.Forward == nil {
+		return nil, errors.New("core: nil forward function")
+	}
+	if cfg.Delay == nil {
+		return nil, errors.New("core: nil delay distribution")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	capacity := cfg.Capacity
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	victim := cfg.Victim
+	if victim == nil {
+		victim = buffer.ShortestRemaining{}
+	}
+	buf, err := buffer.NewPreemptive(cfg.Scheduler, cfg.Forward, capacity, victim, cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating buffer: %w", err)
+	}
+	return &RCAD{buf: buf, dist: cfg.Delay, src: cfg.Source, ctrl: cfg.Controller}, nil
+}
+
+// OnPacket handles a packet arriving at the node at simulated time now. It
+// samples a buffering delay — re-planned from the observed arrival rate when
+// a controller is configured — and admits the packet, preempting a victim if
+// the buffer is full.
+func (r *RCAD) OnPacket(now float64, p *packet.Packet) {
+	d := 0.0
+	if r.ctrl != nil {
+		r.ctrl.Observe(now)
+		d = r.src.Exponential(r.ctrl.MeanDelay())
+	} else {
+		d = r.dist.Sample(r.src)
+	}
+	r.buf.Admit(p, d)
+}
+
+// Stats returns the node's buffer counters (occupancy, preemptions, realised
+// delays).
+func (r *RCAD) Stats() *buffer.Stats { return r.buf.Stats() }
+
+// Evacuate cancels all pending releases and returns the buffered packets —
+// the node-failure path (see buffer.Evacuate).
+func (r *RCAD) Evacuate() []*packet.Packet { return r.buf.Evacuate() }
+
+// Len returns the number of packets currently buffered.
+func (r *RCAD) Len() int { return r.buf.Len() }
+
+// Capacity returns the buffer size k.
+func (r *RCAD) Capacity() int { return r.buf.Capacity() }
+
+// MeanDelay returns the mean buffering delay currently in force: the
+// controller's planned value when rate control is enabled, otherwise the
+// configured distribution's mean.
+func (r *RCAD) MeanDelay() float64 {
+	if r.ctrl != nil {
+		return r.ctrl.MeanDelay()
+	}
+	return r.dist.Mean()
+}
+
+// RateController plans a node's mean buffering delay from its observed
+// arrival rate so that the expected buffer-overflow (preemption) probability
+// stays at a target α (§4):
+//
+//	µ = λ̂ / ρ*   where   E(ρ*, k) = α.
+//
+// Because ρ* is fixed by (k, α), the planned mean delay 1/µ shrinks linearly
+// as the arrival rate grows — exactly the near-sink adaptation the paper
+// calls out.
+type RateController struct {
+	capacity  int
+	rhoStar   float64
+	smoothing float64
+	maxMean   float64
+
+	haveLast bool
+	last     float64
+	ewmaGap  float64
+}
+
+// NewRateController returns a controller for a buffer of k slots targeting
+// loss probability alpha. smoothing ∈ (0, 1] is the EWMA weight given to
+// each new interarrival observation; maxMean caps the planned mean delay
+// (the value used until enough arrivals have been observed, and the privacy
+// budget at very low rates).
+func NewRateController(k int, alpha, smoothing, maxMean float64) (*RateController, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: controller needs k >= 1, got %d", k)
+	}
+	if smoothing <= 0 || smoothing > 1 || math.IsNaN(smoothing) {
+		return nil, fmt.Errorf("core: smoothing must lie in (0,1], got %v", smoothing)
+	}
+	if maxMean <= 0 || math.IsNaN(maxMean) || math.IsInf(maxMean, 0) {
+		return nil, fmt.Errorf("core: max mean delay must be positive and finite, got %v", maxMean)
+	}
+	rhoStar, err := queueing.SolveRho(k, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning utilization: %w", err)
+	}
+	return &RateController{capacity: k, rhoStar: rhoStar, smoothing: smoothing, maxMean: maxMean}, nil
+}
+
+// Observe records a packet arrival at time now, updating the rate estimate.
+func (c *RateController) Observe(now float64) {
+	if !c.haveLast {
+		c.haveLast = true
+		c.last = now
+		return
+	}
+	gap := now - c.last
+	c.last = now
+	if gap < 0 {
+		return // defensive: simulated time never decreases
+	}
+	if c.ewmaGap == 0 {
+		c.ewmaGap = gap
+		return
+	}
+	c.ewmaGap += c.smoothing * (gap - c.ewmaGap)
+}
+
+// Rate returns the estimated arrival rate λ̂, or 0 before two arrivals have
+// been observed.
+func (c *RateController) Rate() float64 {
+	if c.ewmaGap <= 0 {
+		return 0
+	}
+	return 1 / c.ewmaGap
+}
+
+// MeanDelay returns the planned mean buffering delay min(ρ*/λ̂, maxMean).
+func (c *RateController) MeanDelay() float64 {
+	rate := c.Rate()
+	if rate <= 0 {
+		return c.maxMean
+	}
+	mean := c.rhoStar / rate
+	if mean > c.maxMean {
+		return c.maxMean
+	}
+	return mean
+}
+
+// TargetUtilization returns ρ*, the utilization at which the Erlang loss
+// equals the configured target.
+func (c *RateController) TargetUtilization() float64 { return c.rhoStar }
+
+// PlanTree computes, for every node in a routing tree, the mean buffering
+// delay that holds the Erlang loss at alpha given per-source packet rates —
+// the §4 network-wide planning rule made executable. It returns the planned
+// mean delay 1/µᵢ for each node that carries traffic, capped at maxMean.
+// The sink (which does not buffer) is excluded.
+func PlanTree(agg map[packet.NodeID]float64, k int, alpha, maxMean float64) (map[packet.NodeID]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: PlanTree needs k >= 1, got %d", k)
+	}
+	if maxMean <= 0 || math.IsNaN(maxMean) || math.IsInf(maxMean, 0) {
+		return nil, fmt.Errorf("core: max mean delay must be positive and finite, got %v", maxMean)
+	}
+	rhoStar, err := queueing.SolveRho(k, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning utilization: %w", err)
+	}
+	plan := make(map[packet.NodeID]float64, len(agg))
+	for id, lambda := range agg {
+		if id == 0 { // the sink does not buffer
+			continue
+		}
+		if lambda <= 0 {
+			plan[id] = maxMean
+			continue
+		}
+		mean := rhoStar / lambda
+		if mean > maxMean {
+			mean = maxMean
+		}
+		plan[id] = mean
+	}
+	return plan, nil
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/buffer"
+	"tempriv/internal/delay"
+	"tempriv/internal/packet"
+	"tempriv/internal/queueing"
+	"tempriv/internal/rng"
+	"tempriv/internal/sim"
+)
+
+func expDist(t *testing.T, mean float64) delay.Distribution {
+	t.Helper()
+	d, err := delay.NewExponential(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	fwd := func(*packet.Packet, bool) {}
+	dist := expDist(t, 30)
+	src := rng.New(1)
+	cases := []Config{
+		{Forward: fwd, Delay: dist, Source: src},
+		{Scheduler: sched, Delay: dist, Source: src},
+		{Scheduler: sched, Forward: fwd, Source: src},
+		{Scheduler: sched, Forward: fwd, Delay: dist},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	sched := sim.NewScheduler()
+	r, err := New(Config{
+		Scheduler: sched,
+		Forward:   func(*packet.Packet, bool) {},
+		Delay:     expDist(t, 30),
+		Source:    rng.New(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capacity() != DefaultCapacity {
+		t.Fatalf("default capacity = %d, want %d", r.Capacity(), DefaultCapacity)
+	}
+	if r.MeanDelay() != 30 {
+		t.Fatalf("mean delay = %v, want 30", r.MeanDelay())
+	}
+}
+
+func TestRCADNeverDropsUnderOverload(t *testing.T) {
+	sched := sim.NewScheduler()
+	delivered := 0
+	r, err := New(Config{
+		Scheduler: sched,
+		Forward:   func(*packet.Packet, bool) { delivered++ },
+		Capacity:  10,
+		Delay:     expDist(t, 30),
+		Source:    rng.New(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		i := i
+		// Interarrival 2 ≪ mean delay 30: the paper's highest-load point.
+		sched.At(float64(i)*2, func() {
+			r.OnPacket(sched.Now(), packet.New(1, uint32(i), sched.Now()))
+		})
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d packets", delivered, n)
+	}
+	s := r.Stats()
+	if s.Drops != 0 {
+		t.Fatalf("RCAD dropped %d packets", s.Drops)
+	}
+	if s.Preemptions == 0 {
+		t.Fatal("no preemptions under 15× overload")
+	}
+}
+
+// TestEffectiveDelayTracksKOverLambda verifies §5.4's analysis: under heavy
+// load the effective per-node delay becomes ≈ k/λ instead of 1/µ.
+func TestEffectiveDelayTracksKOverLambda(t *testing.T) {
+	const k = 10
+	const interarrival = 2.0 // λ = 0.5 → k/λ = 20 < 1/µ = 30
+	sched := sim.NewScheduler()
+	r, err := New(Config{
+		Scheduler: sched,
+		Forward:   func(*packet.Packet, bool) {},
+		Capacity:  k,
+		Delay:     expDist(t, 30),
+		Source:    rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		i := i
+		sched.At(float64(i)*interarrival, func() {
+			r.OnPacket(sched.Now(), packet.New(1, uint32(i), sched.Now()))
+		})
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	held := r.Stats().HeldDelays.Mean()
+	want := float64(k) * interarrival // k/λ
+	if math.Abs(held-want) > 3 {
+		t.Fatalf("effective delay %v, want ≈ k/λ = %v", held, want)
+	}
+}
+
+// TestLowLoadPreservesDistribution: at low load (1/λ ≫ 1/µ) preemptions are
+// rare and realised delays match the sampled distribution's mean.
+func TestLowLoadPreservesDistribution(t *testing.T) {
+	sched := sim.NewScheduler()
+	r, err := New(Config{
+		Scheduler: sched,
+		Forward:   func(*packet.Packet, bool) {},
+		Capacity:  10,
+		Delay:     expDist(t, 30),
+		Source:    rng.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		i := i
+		sched.At(float64(i)*100, func() { // λ = 0.01 → ρ = 0.3 ≪ k
+			r.OnPacket(sched.Now(), packet.New(1, uint32(i), sched.Now()))
+		})
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if rate := s.PreemptionRate(); rate > 0.001 {
+		t.Fatalf("preemption rate at low load = %v", rate)
+	}
+	if math.Abs(s.HeldDelays.Mean()-30) > 2 {
+		t.Fatalf("held delay mean %v, want ≈ 30", s.HeldDelays.Mean())
+	}
+}
+
+func TestVictimPolicyConfigurable(t *testing.T) {
+	sched := sim.NewScheduler()
+	r, err := New(Config{
+		Scheduler: sched,
+		Forward:   func(*packet.Packet, bool) {},
+		Delay:     expDist(t, 30),
+		Victim:    buffer.Oldest{},
+		Source:    rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestRateControllerValidation(t *testing.T) {
+	if _, err := NewRateController(0, 0.1, 0.1, 30); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewRateController(10, 0.1, 0, 30); err == nil {
+		t.Fatal("smoothing=0 accepted")
+	}
+	if _, err := NewRateController(10, 0.1, 1.5, 30); err == nil {
+		t.Fatal("smoothing>1 accepted")
+	}
+	if _, err := NewRateController(10, 0.1, 0.1, 0); err == nil {
+		t.Fatal("maxMean=0 accepted")
+	}
+	if _, err := NewRateController(10, 0, 0.1, 30); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+}
+
+func TestRateControllerEstimatesRate(t *testing.T) {
+	c, err := NewRateController(10, 0.1, 0.2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate() != 0 {
+		t.Fatal("rate non-zero before observations")
+	}
+	if c.MeanDelay() != 1000 {
+		t.Fatalf("pre-observation mean delay = %v, want maxMean", c.MeanDelay())
+	}
+	for i := 0; i <= 100; i++ {
+		c.Observe(float64(i) * 4) // steady interarrival 4 → λ = 0.25
+	}
+	if math.Abs(c.Rate()-0.25) > 0.01 {
+		t.Fatalf("estimated rate = %v, want 0.25", c.Rate())
+	}
+}
+
+func TestRateControllerPlansErlangTarget(t *testing.T) {
+	const k, alpha = 10, 0.1
+	c, err := NewRateController(k, alpha, 0.2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 200; i++ {
+		c.Observe(float64(i) * 2) // λ = 0.5
+	}
+	mean := c.MeanDelay()
+	// Planned utilization λ·mean must satisfy E(ρ, k) = α.
+	loss, err := queueing.ErlangLoss(0.5*mean, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-alpha) > 0.005 {
+		t.Fatalf("planned loss = %v, want %v", loss, alpha)
+	}
+}
+
+func TestRateControllerAdaptsToLoadIncrease(t *testing.T) {
+	c, err := NewRateController(10, 0.1, 0.3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		now += 10
+		c.Observe(now)
+	}
+	slowMean := c.MeanDelay()
+	for i := 0; i < 300; i++ {
+		now += 1
+		c.Observe(now)
+	}
+	fastMean := c.MeanDelay()
+	if fastMean >= slowMean {
+		t.Fatalf("mean delay did not shrink as load grew: %v → %v", slowMean, fastMean)
+	}
+	if ratio := slowMean / fastMean; math.Abs(ratio-10) > 1.5 {
+		t.Fatalf("delay ratio = %v, want ≈ 10 (linear in λ)", ratio)
+	}
+}
+
+func TestRateControllerCapsAtMaxMean(t *testing.T) {
+	c, err := NewRateController(10, 0.1, 0.2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 50; i++ {
+		c.Observe(float64(i) * 1e6) // nearly idle
+	}
+	if got := c.MeanDelay(); got != 30 {
+		t.Fatalf("idle mean delay = %v, want cap 30", got)
+	}
+}
+
+func TestRCADWithControllerAdjustsDelay(t *testing.T) {
+	sched := sim.NewScheduler()
+	ctrl, err := NewRateController(10, 0.1, 0.3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{
+		Scheduler:  sched,
+		Forward:    func(*packet.Packet, bool) {},
+		Capacity:   10,
+		Delay:      expDist(t, 1000),
+		Source:     rng.New(6),
+		Controller: ctrl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		i := i
+		sched.At(float64(i)*2, func() {
+			r.OnPacket(sched.Now(), packet.New(1, uint32(i), sched.Now()))
+		})
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Controller plans ρ*/λ with ρ* ≈ 7.5 for (k=10, α=0.1) → mean ≈ 15,
+	// far below the 1000 cap. The Erlang loss formula models blocking, not
+	// preemption (a preempted victim is the shortest-remaining packet, which
+	// biases the buffer toward longer-remaining ones), so the achieved
+	// preemption rate sits somewhat above the design target — the paper uses
+	// the formula as the same kind of approximation. Require the right order
+	// of magnitude rather than exact α.
+	if got := r.MeanDelay(); got > 20 {
+		t.Fatalf("controlled mean delay = %v, want ≈ 15", got)
+	}
+	if rate := r.Stats().PreemptionRate(); rate < 0.03 || rate > 0.3 {
+		t.Fatalf("preemption rate with controller = %v, want within [0.03, 0.3] of target 0.1", rate)
+	}
+}
+
+func TestPlanTree(t *testing.T) {
+	agg := map[packet.NodeID]float64{
+		0: 1.0, // sink: excluded
+		1: 1.0, // near sink: heavy
+		5: 0.1, // leaf: light
+		7: 0,   // idle node
+	}
+	plan, err := PlanTree(agg, 10, 0.1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan[0]; ok {
+		t.Fatal("sink received a delay plan")
+	}
+	if plan[1] >= plan[5] {
+		t.Fatalf("heavier node got longer delay: node1=%v node5=%v", plan[1], plan[5])
+	}
+	if plan[7] != 500 {
+		t.Fatalf("idle node plan = %v, want maxMean", plan[7])
+	}
+	// Each planned mean must satisfy the Erlang target.
+	for _, id := range []packet.NodeID{1, 5} {
+		loss, err := queueing.ErlangLoss(agg[id]*plan[id], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan[id] < 500 && math.Abs(loss-0.1) > 1e-6 {
+			t.Fatalf("node %d: loss %v, want 0.1", id, loss)
+		}
+	}
+}
+
+func TestPlanTreeValidation(t *testing.T) {
+	if _, err := PlanTree(nil, 0, 0.1, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PlanTree(nil, 10, 0.1, -1); err == nil {
+		t.Fatal("negative maxMean accepted")
+	}
+	if _, err := PlanTree(nil, 10, 2, 10); err == nil {
+		t.Fatal("alpha=2 accepted")
+	}
+}
+
+// Property: the controller's planned mean delay is always positive, finite
+// and capped for arbitrary arrival patterns.
+func TestControllerPlanProperty(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		c, err := NewRateController(10, 0.1, 0.3, 100)
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		for _, g := range gaps {
+			now += float64(g%50) + 0.1
+			c.Observe(now)
+		}
+		m := c.MeanDelay()
+		return m > 0 && m <= 100 && !math.IsNaN(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package delay defines the buffering-delay distributions a node can use to
+// obfuscate packet creation times (§3 of the paper).
+//
+// The paper proposes exponential delays because the exponential maximises
+// differential entropy among non-negative distributions with a fixed mean
+// (§3.2); the other distributions here exist so the delay-distribution
+// ablation (experiment abl-dist) can demonstrate that choice empirically.
+// Every distribution is parameterised by its mean so the ablation compares
+// equal average latency cost.
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"tempriv/internal/rng"
+)
+
+// Distribution is a samplable, non-negative delay distribution.
+type Distribution interface {
+	// Sample draws one delay value using the given random source.
+	Sample(src *rng.Source) float64
+	// Mean returns the distribution's mean delay (1/µ in the paper's
+	// notation).
+	Mean() float64
+	// Name returns a short identifier used in reports.
+	Name() string
+	// Entropy returns the differential entropy in nats and true when a
+	// closed form exists; degenerate distributions return ok == false.
+	Entropy() (value float64, ok bool)
+}
+
+// Exponential is the paper's delay distribution of choice: Exp with the
+// given mean (rate µ = 1/mean). Maximal entropy for a fixed mean on [0, ∞).
+type Exponential struct {
+	mean float64
+}
+
+var _ Distribution = Exponential{}
+
+// NewExponential returns an exponential delay with the given mean. It
+// returns an error if mean <= 0.
+func NewExponential(mean float64) (Exponential, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Exponential{}, fmt.Errorf("delay: exponential mean must be positive and finite, got %v", mean)
+	}
+	return Exponential{mean: mean}, nil
+}
+
+// Sample implements Distribution.
+func (d Exponential) Sample(src *rng.Source) float64 { return src.Exponential(d.mean) }
+
+// Mean implements Distribution.
+func (d Exponential) Mean() float64 { return d.mean }
+
+// Name implements Distribution.
+func (d Exponential) Name() string { return "exponential" }
+
+// Entropy returns 1 + ln(mean) nats.
+func (d Exponential) Entropy() (float64, bool) { return 1 + math.Log(d.mean), true }
+
+// Uniform is a delay uniform on [0, 2·mean]: same mean as the exponential
+// but bounded support and lower entropy.
+type Uniform struct {
+	mean float64
+}
+
+var _ Distribution = Uniform{}
+
+// NewUniform returns a uniform delay on [0, 2·mean]. It returns an error if
+// mean <= 0.
+func NewUniform(mean float64) (Uniform, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Uniform{}, fmt.Errorf("delay: uniform mean must be positive and finite, got %v", mean)
+	}
+	return Uniform{mean: mean}, nil
+}
+
+// Sample implements Distribution.
+func (d Uniform) Sample(src *rng.Source) float64 { return src.Uniform(0, 2*d.mean) }
+
+// Mean implements Distribution.
+func (d Uniform) Mean() float64 { return d.mean }
+
+// Name implements Distribution.
+func (d Uniform) Name() string { return "uniform" }
+
+// Entropy returns ln(2·mean) nats.
+func (d Uniform) Entropy() (float64, bool) { return math.Log(2 * d.mean), true }
+
+// Constant is a deterministic delay: the degenerate case with zero entropy
+// contribution, useful as an ablation baseline (an adversary who knows the
+// protocol subtracts it exactly).
+type Constant struct {
+	mean float64
+}
+
+var _ Distribution = Constant{}
+
+// NewConstant returns a constant delay of the given duration (>= 0).
+func NewConstant(value float64) (Constant, error) {
+	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return Constant{}, fmt.Errorf("delay: constant must be non-negative and finite, got %v", value)
+	}
+	return Constant{mean: value}, nil
+}
+
+// Sample implements Distribution.
+func (d Constant) Sample(*rng.Source) float64 { return d.mean }
+
+// Mean implements Distribution.
+func (d Constant) Mean() float64 { return d.mean }
+
+// Name implements Distribution.
+func (d Constant) Name() string { return "constant" }
+
+// Entropy reports no closed-form differential entropy: a point mass has
+// h = −∞.
+func (d Constant) Entropy() (float64, bool) { return 0, false }
+
+// None is the no-delay distribution used by the paper's baseline case 1
+// (nodes forward packets as soon as they receive them).
+type None struct{}
+
+var _ Distribution = None{}
+
+// Sample implements Distribution.
+func (None) Sample(*rng.Source) float64 { return 0 }
+
+// Mean implements Distribution.
+func (None) Mean() float64 { return 0 }
+
+// Name implements Distribution.
+func (None) Name() string { return "none" }
+
+// Entropy reports no defined differential entropy (point mass at zero).
+func (None) Entropy() (float64, bool) { return 0, false }
+
+// Pareto is a heavy-tailed delay: Pareto type I with shape α > 1 and scale
+// chosen so the mean matches. Included in the ablation to show that heavy
+// tails buy little privacy per unit of mean latency.
+type Pareto struct {
+	mean  float64
+	shape float64
+	scale float64
+}
+
+var _ Distribution = Pareto{}
+
+// NewPareto returns a Pareto delay with the given mean and shape. Shape must
+// exceed 1 so the mean is finite.
+func NewPareto(mean, shape float64) (Pareto, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Pareto{}, fmt.Errorf("delay: pareto mean must be positive and finite, got %v", mean)
+	}
+	if shape <= 1 || math.IsNaN(shape) || math.IsInf(shape, 0) {
+		return Pareto{}, fmt.Errorf("delay: pareto shape must exceed 1 for a finite mean, got %v", shape)
+	}
+	return Pareto{mean: mean, shape: shape, scale: mean * (shape - 1) / shape}, nil
+}
+
+// Sample implements Distribution.
+func (d Pareto) Sample(src *rng.Source) float64 { return src.Pareto(d.scale, d.shape) }
+
+// Mean implements Distribution.
+func (d Pareto) Mean() float64 { return d.mean }
+
+// Name implements Distribution.
+func (d Pareto) Name() string { return "pareto" }
+
+// Entropy returns ln(scale/shape) + 1 + 1/shape nats.
+func (d Pareto) Entropy() (float64, bool) {
+	return math.Log(d.scale/d.shape) + 1 + 1/d.shape, true
+}
+
+// ByName constructs a distribution from a report identifier — the inverse of
+// Name() — using the given mean. Pareto uses shape 2.5. It returns an error
+// for unknown names or invalid means.
+func ByName(name string, mean float64) (Distribution, error) {
+	switch name {
+	case "exponential":
+		return NewExponential(mean)
+	case "uniform":
+		return NewUniform(mean)
+	case "constant":
+		return NewConstant(mean)
+	case "pareto":
+		return NewPareto(mean, 2.5)
+	case "none":
+		return None{}, nil
+	default:
+		return nil, fmt.Errorf("delay: unknown distribution %q", name)
+	}
+}

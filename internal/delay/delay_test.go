@@ -1,0 +1,235 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/rng"
+)
+
+func sampleMean(t *testing.T, d Distribution, n int) float64 {
+	t.Helper()
+	src := rng.New(1234)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(src)
+		if v < 0 {
+			t.Fatalf("%s produced negative delay %v", d.Name(), v)
+		}
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+func TestAllDistributionsMatchDeclaredMean(t *testing.T) {
+	exp, err := NewExponential(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := NewUniform(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := NewConstant(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewPareto(30, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Distribution{exp, uni, con, par} {
+		if d.Mean() != 30 {
+			t.Fatalf("%s declared mean %v, want 30", d.Name(), d.Mean())
+		}
+		got := sampleMean(t, d, 200000)
+		if math.Abs(got-30) > 1.0 {
+			t.Fatalf("%s empirical mean %v, want ≈ 30", d.Name(), got)
+		}
+	}
+}
+
+func TestNoneIsZero(t *testing.T) {
+	src := rng.New(1)
+	var d None
+	for i := 0; i < 100; i++ {
+		if d.Sample(src) != 0 {
+			t.Fatal("None sampled non-zero")
+		}
+	}
+	if d.Mean() != 0 {
+		t.Fatalf("None mean = %v", d.Mean())
+	}
+}
+
+func TestConstantIsDeterministic(t *testing.T) {
+	d, err := NewConstant(7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if got := d.Sample(src); got != 7.5 {
+			t.Fatalf("Constant sampled %v, want 7.5", got)
+		}
+	}
+}
+
+func TestUniformSupport(t *testing.T) {
+	d, err := NewUniform(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(src)
+		if v < 0 || v >= 20 {
+			t.Fatalf("Uniform(mean=10) sampled %v outside [0,20)", v)
+		}
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	d, err := NewPareto(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScale := 10 * 2.0 / 3.0
+	src := rng.New(5)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(src); v < wantScale-1e-9 {
+			t.Fatalf("Pareto sampled %v below scale %v", v, wantScale)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Fatal("NewExponential(0) accepted")
+	}
+	if _, err := NewExponential(math.NaN()); err == nil {
+		t.Fatal("NewExponential(NaN) accepted")
+	}
+	if _, err := NewUniform(-1); err == nil {
+		t.Fatal("NewUniform(-1) accepted")
+	}
+	if _, err := NewConstant(-0.5); err == nil {
+		t.Fatal("NewConstant(-0.5) accepted")
+	}
+	if _, err := NewConstant(0); err != nil {
+		t.Fatalf("NewConstant(0) rejected: %v", err)
+	}
+	if _, err := NewPareto(10, 1); err == nil {
+		t.Fatal("NewPareto(shape=1) accepted")
+	}
+	if _, err := NewPareto(-1, 2); err == nil {
+		t.Fatal("NewPareto(mean=-1) accepted")
+	}
+}
+
+// TestExponentialIsMaxEntropy checks the paper's §3.2 motivation: among the
+// non-degenerate distributions at equal mean, the exponential has the
+// highest differential entropy.
+func TestExponentialIsMaxEntropy(t *testing.T) {
+	const mean = 30.0
+	exp, err := NewExponential(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expH, ok := exp.Entropy()
+	if !ok {
+		t.Fatal("exponential has no entropy closed form")
+	}
+	uni, err := NewUniform(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewPareto(mean, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Distribution{uni, par} {
+		h, ok := d.Entropy()
+		if !ok {
+			t.Fatalf("%s has no entropy closed form", d.Name())
+		}
+		if h >= expH {
+			t.Fatalf("%s entropy %v >= exponential entropy %v at equal mean", d.Name(), h, expH)
+		}
+	}
+}
+
+func TestEntropyClosedForms(t *testing.T) {
+	exp, err := NewExponential(math.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := exp.Entropy(); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("Exp(mean=e) entropy = %v, want 2", h)
+	}
+	uni, err := NewUniform(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := uni.Entropy(); math.Abs(h-0) > 1e-12 {
+		t.Fatalf("Uniform[0,1] entropy = %v, want 0", h)
+	}
+	con, err := NewConstant(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := con.Entropy(); ok {
+		t.Fatal("Constant claims a differential entropy")
+	}
+	if _, ok := (None{}).Entropy(); ok {
+		t.Fatal("None claims a differential entropy")
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"exponential", "uniform", "constant", "pareto", "none"} {
+		d, err := ByName(name, 12)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, d.Name())
+		}
+	}
+	if _, err := ByName("levy", 12); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := ByName("exponential", -3); err == nil {
+		t.Fatal("invalid mean accepted through ByName")
+	}
+}
+
+// Property: sampled delays are non-negative and finite for every
+// distribution at arbitrary means.
+func TestNonNegativeProperty(t *testing.T) {
+	src := rng.New(77)
+	f := func(meanRaw uint16, which uint8) bool {
+		mean := 0.01 + float64(meanRaw)/65535*500
+		var d Distribution
+		var err error
+		switch which % 4 {
+		case 0:
+			d, err = NewExponential(mean)
+		case 1:
+			d, err = NewUniform(mean)
+		case 2:
+			d, err = NewConstant(mean)
+		case 3:
+			d, err = NewPareto(mean, 2.5)
+		}
+		if err != nil {
+			return false
+		}
+		v := d.Sample(src)
+		return v >= 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

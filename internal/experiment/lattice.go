@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tempriv/internal/adversary"
+	"tempriv/internal/network"
+	"tempriv/internal/report"
+)
+
+// AblLattice probes an implicit assumption in the paper's evaluation: its
+// sources are strictly periodic (§5.2), and a deployment-aware adversary
+// knows the period. A lattice-snapping adversary rounds its estimate to the
+// nearest emission slot, which recovers creation times *exactly* whenever
+// the delaying noise stays under half a period. The experiment sweeps the
+// per-hop mean delay 1/µ and reports raw vs lattice-snapped MSE: temporal
+// privacy only begins once the accumulated delay spread exceeds the
+// source's own timing granularity.
+func AblLattice(p Params) (*report.Table, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	const ia = 10.0 // source period
+	means := []float64{0.25, 0.5, 1, 2, 4, 8, 16, 30}
+
+	type row struct{ raw, lattice, recovered float64 }
+	rows := make([]row, len(means))
+	err = parallelFor(p.Workers, len(means), func(i int) error {
+		q := p
+		q.MeanDelay = means[i]
+		res, sources, err := figure1Run(q, network.PolicyUnlimited, ia)
+		if err != nil {
+			return err
+		}
+		s1 := sources[0]
+
+		base, err := adversary.NewBaseline(q.Tau, q.MeanDelay)
+		if err != nil {
+			return err
+		}
+		perFlow, err := adversary.ScorePerFlow(base, res.Observations(), res.Truths())
+		if err != nil {
+			return err
+		}
+		raw, err := flowMSE(perFlow, s1)
+		if err != nil {
+			return err
+		}
+
+		inner, err := adversary.NewBaseline(q.Tau, q.MeanDelay)
+		if err != nil {
+			return err
+		}
+		lattice, err := adversary.NewLattice(inner, ia)
+		if err != nil {
+			return err
+		}
+		// Count exact recoveries alongside the MSE.
+		exact := 0
+		total := 0
+		truths := res.Truths()
+		var mse float64
+		for j, obs := range res.Observations() {
+			if obs.Header.Origin != s1 {
+				continue
+			}
+			est := lattice.Estimate(obs)
+			d := est - truths[j]
+			mse += d * d
+			if d == 0 {
+				exact++
+			}
+			total++
+		}
+		if total == 0 {
+			return fmt.Errorf("experiment: no S1 deliveries at 1/µ=%g", means[i])
+		}
+		rows[i] = row{
+			raw:       raw,
+			lattice:   mse / float64(total),
+			recovered: float64(exact) / float64(total),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &report.Table{
+		Title:     "Extension: lattice adversary vs per-hop delay 1/µ (periodic sources leak their grid)",
+		RowHeader: "1/µ",
+		Columns:   []string{"raw-MSE", "lattice-MSE", "exactly-recovered"},
+		Notes: []string{
+			fmt.Sprintf("Figure-1 topology, periodic sources with period 1/λ=%g, unlimited buffers, flow S1, seed=%d", ia, p.Seed),
+			"lattice adversary snaps the baseline estimate to the nearest emission slot",
+			"expected: below 1/µ ≈ period/(2·√h) the lattice recovers almost every creation time exactly;",
+			"privacy only accumulates once delay spread crosses the source's timing granularity",
+		},
+	}
+	for i, m := range means {
+		t.AddRow(formatSweepLabel(m), rows[i].raw, rows[i].lattice, rows[i].recovered)
+	}
+	return t, nil
+}

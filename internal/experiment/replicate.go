@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tempriv/internal/metrics"
+	"tempriv/internal/report"
+)
+
+// Replicate runs an experiment n times under seeds p.Seed … p.Seed+n−1 and
+// aggregates the runs into one table: every value column C of the
+// underlying experiment becomes two columns, C (the across-seed mean) and
+// "C ±" (the half-width of a normal-approximation 95 % confidence interval,
+// 1.96·s/√n). The paper reports single runs; replication quantifies how
+// much of each curve is signal.
+//
+// Replications execute sequentially — each run already parallelises its
+// sweep internally — and every run must produce the same table shape
+// (guaranteed for all registered experiments, whose row labels depend only
+// on parameters).
+func Replicate(e Experiment, p Params, n int) (*report.Table, error) {
+	if e.Run == nil {
+		return nil, errors.New("experiment: replicate of experiment without Run")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("experiment: replication needs n >= 2, got %d", n)
+	}
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+
+	var shape *report.Table
+	var cells [][]metrics.Welford
+	for rep := 0; rep < n; rep++ {
+		q := p
+		q.Seed = p.Seed + uint64(rep)
+		tab, err := e.Run(q)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replication %d: %w", rep, err)
+		}
+		if err := tab.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: replication %d: %w", rep, err)
+		}
+		if shape == nil {
+			shape = tab
+			cells = make([][]metrics.Welford, len(tab.Rows))
+			for i, r := range tab.Rows {
+				cells[i] = make([]metrics.Welford, len(r.Values))
+			}
+		} else {
+			if len(tab.Rows) != len(shape.Rows) || len(tab.Columns) != len(shape.Columns) {
+				return nil, fmt.Errorf("experiment: replication %d changed table shape", rep)
+			}
+		}
+		for i, r := range tab.Rows {
+			if r.Label != shape.Rows[i].Label {
+				return nil, fmt.Errorf("experiment: replication %d changed row %d label to %q", rep, i, r.Label)
+			}
+			for j, v := range r.Values {
+				if !math.IsNaN(v) {
+					cells[i][j].Add(v)
+				}
+			}
+		}
+	}
+
+	out := &report.Table{
+		Title:     shape.Title + fmt.Sprintf(" — mean of %d seeds", n),
+		RowHeader: shape.RowHeader,
+		Notes: append(append([]string(nil), shape.Notes...),
+			fmt.Sprintf("replicated over seeds %d..%d; ± columns are 1.96·s/√n (normal-approx 95%% CI)", p.Seed, p.Seed+uint64(n)-1)),
+	}
+	for _, c := range shape.Columns {
+		out.Columns = append(out.Columns, c, c+" ±")
+	}
+	for i, r := range shape.Rows {
+		values := make([]float64, 0, 2*len(r.Values))
+		for j := range r.Values {
+			w := &cells[i][j]
+			if w.Count() == 0 {
+				values = append(values, math.NaN(), math.NaN())
+				continue
+			}
+			half := 0.0
+			if w.Count() > 1 {
+				// Sample std needs the n/(n−1) correction on the population
+				// variance Welford reports.
+				nn := float64(w.Count())
+				sampleVar := w.Variance() * nn / (nn - 1)
+				half = 1.96 * math.Sqrt(sampleVar/nn)
+			}
+			values = append(values, w.Mean(), half)
+		}
+		out.AddRow(r.Label, values...)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"tempriv/internal/report"
+)
+
+// syntheticExperiment returns an experiment whose single cell is a
+// deterministic function of the seed, so replication statistics are exactly
+// checkable.
+func syntheticExperiment(f func(seed uint64) float64) Experiment {
+	return Experiment{
+		ID:    "synthetic",
+		Title: "synthetic",
+		Paper: "test",
+		Run: func(p Params) (*report.Table, error) {
+			t := &report.Table{Title: "synthetic", RowHeader: "x", Columns: []string{"v"}}
+			t.AddRow("only", f(p.Seed))
+			return t, nil
+		},
+	}
+}
+
+func TestReplicateExactStatistics(t *testing.T) {
+	// Seeds 10..14 → values 10..14: mean 12, sample std sqrt(2.5).
+	e := syntheticExperiment(func(seed uint64) float64 { return float64(seed) })
+	p := Params{Seed: 10}
+	tab, err := Replicate(e, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 2 || tab.Columns[0] != "v" || tab.Columns[1] != "v ±" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	row := tab.Rows[0]
+	if math.Abs(row.Values[0]-12) > 1e-12 {
+		t.Fatalf("mean = %v, want 12", row.Values[0])
+	}
+	wantHalf := 1.96 * math.Sqrt(2.5/5)
+	if math.Abs(row.Values[1]-wantHalf) > 1e-9 {
+		t.Fatalf("ci half-width = %v, want %v", row.Values[1], wantHalf)
+	}
+	if !strings.Contains(tab.Title, "mean of 5 seeds") {
+		t.Fatalf("title = %q", tab.Title)
+	}
+}
+
+func TestReplicateConstantExperimentHasZeroCI(t *testing.T) {
+	e := syntheticExperiment(func(uint64) float64 { return 7 })
+	tab, err := Replicate(e, Params{Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0].Values[0] != 7 || tab.Rows[0].Values[1] != 0 {
+		t.Fatalf("row = %v, want [7 0]", tab.Rows[0].Values)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	e := syntheticExperiment(func(uint64) float64 { return 0 })
+	if _, err := Replicate(e, Params{}, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Replicate(Experiment{}, Params{}, 3); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+}
+
+func TestReplicateRejectsShapeChange(t *testing.T) {
+	e := Experiment{
+		ID: "shapeshifter", Title: "t", Paper: "p",
+		Run: func(p Params) (*report.Table, error) {
+			tab := &report.Table{RowHeader: "x", Columns: []string{"v"}}
+			// A different label per seed must be rejected.
+			tab.AddRow(fmt.Sprintf("row-%d", p.Seed), 1)
+			return tab, nil
+		},
+	}
+	if _, err := Replicate(e, Params{Seed: 1}, 2); err == nil {
+		t.Fatal("label change across replications accepted")
+	}
+}
+
+func TestReplicateSkipsNaNCells(t *testing.T) {
+	e := Experiment{
+		ID: "nan", Title: "t", Paper: "p",
+		Run: func(p Params) (*report.Table, error) {
+			tab := &report.Table{RowHeader: "x", Columns: []string{"v"}}
+			v := math.NaN()
+			if p.Seed%2 == 0 {
+				v = 4
+			}
+			tab.AddRow("only", v)
+			return tab, nil
+		},
+	}
+	tab, err := Replicate(e, Params{Seed: 2}, 3) // seeds 2,3,4 → values 4, NaN, 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0].Values[0] != 4 {
+		t.Fatalf("NaN cells not skipped: mean = %v", tab.Rows[0].Values[0])
+	}
+}
+
+func TestReplicateRealExperiment(t *testing.T) {
+	e, err := ByID("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Packets = 150
+	p.Interarrivals = []float64{2}
+	tab, err := Replicate(e, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NoDelay latency is deterministic (h·τ): mean 15, CI 0.
+	if math.Abs(tab.Rows[0].Values[0]-15) > 1e-9 || tab.Rows[0].Values[1] != 0 {
+		t.Fatalf("NoDelay columns = %v, want [15 0 ...]", tab.Rows[0].Values[:2])
+	}
+	// RCAD latency varies across seeds: CI strictly positive and small
+	// relative to the mean.
+	rcadMean, rcadCI := tab.Rows[0].Values[4], tab.Rows[0].Values[5]
+	if rcadCI <= 0 {
+		t.Fatalf("RCAD CI = %v, want > 0", rcadCI)
+	}
+	if rcadCI > 0.5*rcadMean {
+		t.Fatalf("RCAD CI %v implausibly wide vs mean %v", rcadCI, rcadMean)
+	}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"tempriv/internal/report"
+	"tempriv/internal/rng"
+)
+
+// SortReorder validates the premise of §3.2's sorted-process argument: the
+// application sequence number travels encrypted, so the adversary observes
+// only the *sorted* arrival process Z̃ = Υ(Z) and cannot tell which arrival
+// is which creation. Independent per-packet delays reorder arrivals; this
+// experiment sweeps the mean delay 1/µ and reports:
+//
+//   - the probability that two consecutive packets of a Poisson(λ) source
+//     arrive out of order, against its closed form. For Exp(µ) delays and
+//     Exp(λ) interarrivals, P(swap) = E[½e^{−µ(Y₁−A)⁺}] = ½·λ/(λ+µ);
+//   - the mean rank displacement |rank(arrival) − index(creation)| within
+//     10-packet windows — how far the sorted process scrambles identity.
+//
+// As 1/µ grows past 1/λ the adversary loses not just each packet's timing
+// but the packet-to-creation correspondence itself.
+func SortReorder(p Params) (*report.Table, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	lambda := 1 / p.Interarrivals[0] // 0.5 by default
+	means := []float64{2, 5, 10, 30, 60, 120}
+	const pairSamples = 400000
+	const windows = 40000
+	const windowSize = 10
+
+	t := &report.Table{
+		Title:     "§3.2: arrival reordering under independent per-packet delays",
+		RowHeader: "1/µ",
+		Columns:   []string{"swap-prob-sim", "swap-prob ½λ/(λ+µ)", "mean-rank-displacement"},
+		Notes: []string{
+			fmt.Sprintf("Poisson source λ=%g; exponential per-packet delays; windows of %d packets", lambda, windowSize),
+			"swap-prob: two consecutive creations arrive out of order (closed form for Exp delays)",
+			"displacement: mean |arrival rank − creation index| within a window (uniform shuffling would give ≈ windowSize/3)",
+			"expected: both grow with 1/µ — the sorted process Z̃ scrambles packet identity (§3.2)",
+			fmt.Sprintf("seed=%d", p.Seed),
+		},
+	}
+
+	src := rng.New(p.Seed)
+	for _, mean := range means {
+		mu := 1 / mean
+		sub := src.Split(fmt.Sprintf("sort/%g", mean))
+
+		swaps := 0
+		for i := 0; i < pairSamples; i++ {
+			a := sub.ExponentialRate(lambda)
+			y1 := sub.Exponential(mean)
+			y2 := sub.Exponential(mean)
+			if a+y2 < y1 {
+				swaps++
+			}
+		}
+		simSwap := float64(swaps) / pairSamples
+		analytic := 0.5 * lambda / (lambda + mu)
+
+		totalDisp := 0.0
+		arrivals := make([]float64, windowSize)
+		ranks := make([]int, windowSize)
+		for w := 0; w < windows; w++ {
+			at := 0.0
+			for j := 0; j < windowSize; j++ {
+				at += sub.ExponentialRate(lambda)
+				arrivals[j] = at + sub.Exponential(mean)
+			}
+			for j := range ranks {
+				ranks[j] = j
+			}
+			sort.Slice(ranks, func(a, b int) bool { return arrivals[ranks[a]] < arrivals[ranks[b]] })
+			for rank, idx := range ranks {
+				d := rank - idx
+				if d < 0 {
+					d = -d
+				}
+				totalDisp += float64(d)
+			}
+		}
+		meanDisp := totalDisp / float64(windows*windowSize)
+
+		t.AddRow(formatSweepLabel(mean), simSwap, analytic, meanDisp)
+	}
+	return t, nil
+}

@@ -1,0 +1,399 @@
+// Package infotheory implements the information-theoretic formulation of
+// temporal privacy from §3 of the paper.
+//
+// Temporal privacy of a single packet is the mutual information
+// I(X; Z) = h(X+Y) − h(Y) between the creation time X and the observed
+// arrival time Z = X + Y, where Y is the buffering delay (eq. 1). The
+// package provides:
+//
+//   - closed-form differential entropies for the distributions in play;
+//   - the entropy-power-inequality lower bound on I(X; Z) (eq. 2);
+//   - the Anantharam–Verdú "bits through queues" upper bound
+//     I(Xj; Zj) ≤ ln(1 + jµ/λ) for a Poisson(λ) source with Exp(µ) delays,
+//     and its partial sums bounding I(Xⁿ; Zⁿ) (eq. 4);
+//   - empirical estimators (Vasicek m-spacing entropy, binned mutual
+//     information) used to validate the bounds against simulation.
+//
+// All entropies and informations are in nats unless a function says
+// otherwise.
+package infotheory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ln2 converts between nats and bits: bits = nats / Ln2.
+const Ln2 = math.Ln2
+
+// ExponentialEntropy returns the differential entropy of Exp with the given
+// mean: h = 1 + ln(mean) nats.
+func ExponentialEntropy(mean float64) (float64, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return 0, fmt.Errorf("infotheory: exponential mean must be positive and finite, got %v", mean)
+	}
+	return 1 + math.Log(mean), nil
+}
+
+// UniformEntropy returns the differential entropy of Uniform[0, width]:
+// h = ln(width) nats.
+func UniformEntropy(width float64) (float64, error) {
+	if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+		return 0, fmt.Errorf("infotheory: uniform width must be positive and finite, got %v", width)
+	}
+	return math.Log(width), nil
+}
+
+// GaussianEntropy returns the differential entropy of N(·, variance):
+// h = ½·ln(2πe·variance) nats.
+func GaussianEntropy(variance float64) (float64, error) {
+	if variance <= 0 || math.IsNaN(variance) || math.IsInf(variance, 0) {
+		return 0, fmt.Errorf("infotheory: variance must be positive and finite, got %v", variance)
+	}
+	return 0.5 * math.Log(2*math.Pi*math.E*variance), nil
+}
+
+// ErlangEntropy returns the differential entropy of a k-stage Erlang with
+// the given rate λ per stage:
+//
+//	h = k + ln(Γ(k)/λ) + (1−k)·ψ(k)  nats,
+//
+// where ψ is the digamma function.
+func ErlangEntropy(k int, rate float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("infotheory: Erlang stages must be >= 1, got %d", k)
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return 0, fmt.Errorf("infotheory: Erlang rate must be positive and finite, got %v", rate)
+	}
+	lg, _ := math.Lgamma(float64(k))
+	return float64(k) + lg - math.Log(rate) + (1-float64(k))*digamma(float64(k)), nil
+}
+
+// digamma computes ψ(x) for x > 0 via the recurrence ψ(x) = ψ(x+1) − 1/x and
+// the asymptotic series for large arguments.
+func digamma(x float64) float64 {
+	result := 0.0
+	for x < 12 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion: ψ(x) ≈ ln x − 1/(2x) − 1/(12x²) + 1/(120x⁴) − 1/(252x⁶).
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv - inv2*(1.0/12-inv2*(1.0/120-inv2/252))
+	return result
+}
+
+// MutualInfoFromEntropies returns I(X; Z) = h(Z) − h(Y) (eq. 1) given the
+// entropy of the observed arrival time and of the delay.
+func MutualInfoFromEntropies(hZ, hY float64) float64 { return hZ - hY }
+
+// GaussianChannelMI returns the exact I(X; X+Y) when both X and Y are
+// Gaussian: ½·ln(1 + varX/varY) nats. It anchors the EPI-bound validation,
+// since Gaussians achieve the entropy-power inequality with equality.
+func GaussianChannelMI(varX, varY float64) (float64, error) {
+	if varX <= 0 || varY <= 0 || math.IsNaN(varX) || math.IsNaN(varY) {
+		return 0, fmt.Errorf("infotheory: variances must be positive, got %v and %v", varX, varY)
+	}
+	return 0.5 * math.Log(1+varX/varY), nil
+}
+
+// EPILowerBound returns the entropy-power-inequality lower bound on
+// I(X; X+Y) (eq. 2):
+//
+//	I(X; Z) ≥ ½·ln(e^{2h(X)} + e^{2h(Y)}) − h(Y)  nats,
+//
+// given the differential entropies of X and Y in nats. The bound is tight
+// when X and Y are Gaussian.
+func EPILowerBound(hX, hY float64) float64 {
+	// Compute ln(e^{2hX} + e^{2hY}) in a shift-stable way.
+	m := math.Max(2*hX, 2*hY)
+	sum := math.Exp(2*hX-m) + math.Exp(2*hY-m)
+	return 0.5*(m+math.Log(sum)) - hY
+}
+
+// AnantharamVerduBound returns the per-packet upper bound of eq. 4,
+//
+//	I(Xj; Zj) ≤ ln(1 + j·µ/λ)  nats,
+//
+// for the j-th packet of a Poisson(λ) source delayed by Exp(µ). Small µ
+// relative to λ (long delays relative to interarrivals) makes the bound —
+// and hence the adversary's information — small.
+func AnantharamVerduBound(j int, mu, lambda float64) (float64, error) {
+	if j < 1 {
+		return 0, fmt.Errorf("infotheory: packet index must be >= 1, got %d", j)
+	}
+	if mu <= 0 || lambda <= 0 || math.IsNaN(mu) || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("infotheory: rates must be positive, got µ=%v λ=%v", mu, lambda)
+	}
+	return math.Log(1 + float64(j)*mu/lambda), nil
+}
+
+// AnantharamVerduSum returns Σ_{j=1..n} ln(1 + jµ/λ), the eq. 4 upper bound
+// on I(Xⁿ; Zⁿ) — and hence, by the data-processing inequality on the sorted
+// arrival process, on I(Xⁿ; Z̃ⁿ).
+func AnantharamVerduSum(n int, mu, lambda float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("infotheory: packet count must be >= 1, got %d", n)
+	}
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		b, err := AnantharamVerduBound(j, mu, lambda)
+		if err != nil {
+			return 0, err
+		}
+		total += b
+	}
+	return total, nil
+}
+
+// ErrTooFewSamples is returned by the empirical estimators when the sample
+// set is too small to estimate from.
+var ErrTooFewSamples = errors.New("infotheory: too few samples")
+
+// VasicekEntropy estimates the differential entropy of a continuous
+// distribution from i.i.d. samples using the Vasicek m-spacing estimator
+// with the standard bias correction:
+//
+//	ĥ = (1/n)·Σ ln( n/(2m) · (x₍ᵢ₊ₘ₎ − x₍ᵢ₋ₘ₎) ) + bias terms.
+//
+// The spacing m defaults to round(sqrt(n)) when m <= 0. The input slice is
+// not modified.
+func VasicekEntropy(samples []float64, m int) (float64, error) {
+	n := len(samples)
+	if n < 4 {
+		return 0, fmt.Errorf("%w: need >= 4, got %d", ErrTooFewSamples, n)
+	}
+	if m <= 0 {
+		m = int(math.Round(math.Sqrt(float64(n))))
+	}
+	if m >= n/2 {
+		m = n/2 - 1
+		if m < 1 {
+			m = 1
+		}
+	}
+	x := make([]float64, n)
+	copy(x, samples)
+	sort.Float64s(x)
+
+	total := 0.0
+	for i := 0; i < n; i++ {
+		lo := i - m
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + m
+		if hi > n-1 {
+			hi = n - 1
+		}
+		gap := x[hi] - x[lo]
+		if gap <= 0 {
+			// Repeated samples: use a tiny floor so the estimator stays
+			// finite; heavy ties mean the distribution is nearly discrete.
+			gap = 1e-300
+		}
+		total += math.Log(float64(n) / (2 * float64(m)) * gap)
+	}
+	h := total / float64(n)
+	// Bias correction (Ebrahimi et al. style constant for the simple
+	// estimator): ln(2m) − ψ-type terms are folded into the standard
+	// correction ln(n) − ψ(n) ≈ small; the dominant correction for the
+	// clipped windows at the edges:
+	h += math.Log(2*float64(m)) - digamma(2*float64(m)) + digamma(float64(n)) - math.Log(float64(n))
+	return h, nil
+}
+
+// BinnedMI estimates the mutual information I(X; Z) in nats from paired
+// samples using a plug-in estimate over a bins×bins 2-D histogram spanning
+// each variable's empirical range. It is biased upward for small samples;
+// the experiments use it only to compare against analytic upper bounds.
+func BinnedMI(xs, zs []float64, bins int) (float64, error) {
+	if len(xs) != len(zs) {
+		return 0, fmt.Errorf("infotheory: sample lengths differ: %d vs %d", len(xs), len(zs))
+	}
+	n := len(xs)
+	if n < 4 {
+		return 0, fmt.Errorf("%w: need >= 4, got %d", ErrTooFewSamples, n)
+	}
+	if bins < 2 {
+		return 0, fmt.Errorf("infotheory: need >= 2 bins, got %d", bins)
+	}
+
+	minX, maxX := minMax(xs)
+	minZ, maxZ := minMax(zs)
+	if maxX == minX || maxZ == minZ {
+		// A constant margin carries zero information.
+		return 0, nil
+	}
+	binOf := func(v, lo, hi float64) int {
+		i := int(float64(bins) * (v - lo) / (hi - lo))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+
+	joint := make([]float64, bins*bins)
+	px := make([]float64, bins)
+	pz := make([]float64, bins)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		bx := binOf(xs[i], minX, maxX)
+		bz := binOf(zs[i], minZ, maxZ)
+		joint[bx*bins+bz] += inv
+		px[bx] += inv
+		pz[bz] += inv
+	}
+
+	mi := 0.0
+	for bx := 0; bx < bins; bx++ {
+		for bz := 0; bz < bins; bz++ {
+			p := joint[bx*bins+bz]
+			if p > 0 {
+				mi += p * math.Log(p/(px[bx]*pz[bz]))
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0 // tiny negative values are numerical noise
+	}
+	return mi, nil
+}
+
+// QuantileBinnedMI estimates I(X; Z) in nats like BinnedMI but with
+// equal-frequency (quantile) bins per marginal instead of equal-width bins.
+// For heavily skewed marginals — exponential delays being the case at hand —
+// equal-width bins waste most of their resolution on the sparse tail;
+// quantile bins keep per-bin counts balanced and materially reduce the
+// discretisation bias at high mutual information.
+func QuantileBinnedMI(xs, zs []float64, bins int) (float64, error) {
+	if len(xs) != len(zs) {
+		return 0, fmt.Errorf("infotheory: sample lengths differ: %d vs %d", len(xs), len(zs))
+	}
+	n := len(xs)
+	if n < 4 {
+		return 0, fmt.Errorf("%w: need >= 4, got %d", ErrTooFewSamples, n)
+	}
+	if bins < 2 {
+		return 0, fmt.Errorf("infotheory: need >= 2 bins, got %d", bins)
+	}
+
+	edgesX := quantileEdges(xs, bins)
+	edgesZ := quantileEdges(zs, bins)
+	if edgesX == nil || edgesZ == nil {
+		// A constant margin carries zero information.
+		return 0, nil
+	}
+
+	joint := make([]float64, bins*bins)
+	px := make([]float64, bins)
+	pz := make([]float64, bins)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		bx := edgeBin(edgesX, xs[i])
+		bz := edgeBin(edgesZ, zs[i])
+		joint[bx*len(pz)+bz] += inv
+		px[bx] += inv
+		pz[bz] += inv
+	}
+
+	mi := 0.0
+	for bx := 0; bx < bins; bx++ {
+		if px[bx] == 0 {
+			continue
+		}
+		for bz := 0; bz < bins; bz++ {
+			p := joint[bx*bins+bz]
+			if p > 0 && pz[bz] > 0 {
+				mi += p * math.Log(p/(px[bx]*pz[bz]))
+			}
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi, nil
+}
+
+// quantileEdges returns bins−1 interior edges splitting xs into
+// (approximately) equal-frequency bins, or nil when the sample is constant.
+func quantileEdges(xs []float64, bins int) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if sorted[0] == sorted[len(sorted)-1] {
+		return nil
+	}
+	edges := make([]float64, bins-1)
+	for i := 1; i < bins; i++ {
+		idx := i * len(sorted) / bins
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		edges[i-1] = sorted[idx]
+	}
+	return edges
+}
+
+// edgeBin returns the bin index of v given interior edges: the number of
+// edges strictly below v (values equal to an edge fall in the bin to its
+// left). The result lies in [0, len(edges)].
+func edgeBin(edges []float64, v float64) int {
+	return sort.SearchFloat64s(edges, v)
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// KLDivergenceHistogram returns D(p‖q) in nats between two discrete
+// distributions given as histograms over the same support. Bins where
+// p > 0 but q == 0 make the divergence infinite.
+func KLDivergenceHistogram(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("infotheory: histogram lengths differ: %d vs %d", len(p), len(q))
+	}
+	sumP, sumQ := 0.0, 0.0
+	for i := range p {
+		if p[i] < 0 || q[i] < 0 {
+			return 0, errors.New("infotheory: negative probability mass")
+		}
+		sumP += p[i]
+		sumQ += q[i]
+	}
+	if sumP == 0 || sumQ == 0 {
+		return 0, errors.New("infotheory: empty distribution")
+	}
+	d := 0.0
+	for i := range p {
+		pi := p[i] / sumP
+		qi := q[i] / sumQ
+		if pi == 0 {
+			continue
+		}
+		if qi == 0 {
+			return math.Inf(1), nil
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}

@@ -1,0 +1,545 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/rng"
+)
+
+func TestClosedFormEntropies(t *testing.T) {
+	h, err := ExponentialEntropy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-1) > 1e-12 {
+		t.Fatalf("h(Exp mean 1) = %v, want 1", h)
+	}
+	h, err = UniformEntropy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h) > 1e-12 {
+		t.Fatalf("h(U[0,1]) = %v, want 0", h)
+	}
+	h, err = GaussianEntropy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * math.Log(2*math.Pi*math.E)
+	if math.Abs(h-want) > 1e-12 {
+		t.Fatalf("h(N(0,1)) = %v, want %v", h, want)
+	}
+}
+
+func TestEntropyValidation(t *testing.T) {
+	if _, err := ExponentialEntropy(0); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	if _, err := UniformEntropy(-1); err == nil {
+		t.Fatal("negative width accepted")
+	}
+	if _, err := GaussianEntropy(math.NaN()); err == nil {
+		t.Fatal("NaN variance accepted")
+	}
+}
+
+func TestErlangEntropyReducesToExponential(t *testing.T) {
+	// 1-stage Erlang with rate λ IS Exp(mean 1/λ).
+	for _, rate := range []float64{0.1, 1, 5} {
+		hErl, err := ErlangEntropy(1, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hExp, err := ExponentialEntropy(1 / rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hErl-hExp) > 1e-9 {
+			t.Fatalf("Erlang(1,%v) entropy %v != Exp %v", rate, hErl, hExp)
+		}
+	}
+}
+
+func TestErlangEntropyAgainstVasicek(t *testing.T) {
+	// Cross-validate the closed form against the empirical estimator.
+	const k, rate = 5, 0.5
+	want, err := ErlangEntropy(k, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(42)
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = src.Erlang(k, 1/rate)
+	}
+	got, err := VasicekEntropy(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("Vasicek estimate %v vs Erlang closed form %v", got, want)
+	}
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	// ψ(1) = −γ.
+	const gamma = 0.5772156649015329
+	if got := digamma(1); math.Abs(got+gamma) > 1e-10 {
+		t.Fatalf("ψ(1) = %v, want %v", got, -gamma)
+	}
+	// ψ(2) = 1 − γ.
+	if got := digamma(2); math.Abs(got-(1-gamma)) > 1e-10 {
+		t.Fatalf("ψ(2) = %v, want %v", got, 1-gamma)
+	}
+	// ψ(0.5) = −γ − 2 ln 2.
+	if got := digamma(0.5); math.Abs(got-(-gamma-2*math.Ln2)) > 1e-10 {
+		t.Fatalf("ψ(0.5) = %v", got)
+	}
+}
+
+func TestGaussianChannelMI(t *testing.T) {
+	mi, err := GaussianChannelMI(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mi-0.5*math.Log(4)) > 1e-12 {
+		t.Fatalf("Gaussian MI = %v, want ln(2)", mi)
+	}
+	if _, err := GaussianChannelMI(0, 1); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+// TestEPIBoundTightForGaussians: for Gaussian X and Y the entropy-power
+// inequality holds with equality, so the bound equals the exact MI.
+func TestEPIBoundTightForGaussians(t *testing.T) {
+	for _, vars := range [][2]float64{{1, 1}, {3, 1}, {0.25, 4}} {
+		hX, err := GaussianEntropy(vars[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hY, err := GaussianEntropy(vars[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := EPILowerBound(hX, hY)
+		exact, err := GaussianChannelMI(vars[0], vars[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(bound-exact) > 1e-9 {
+			t.Fatalf("varX=%v varY=%v: EPI bound %v != exact Gaussian MI %v", vars[0], vars[1], bound, exact)
+		}
+	}
+}
+
+// TestEPIBoundBelowEmpiricalMI: for exponential X and Y the bound must lie
+// at or below the (upward-biased) empirical MI.
+func TestEPIBoundBelowEmpiricalMI(t *testing.T) {
+	const meanX, meanY = 10.0, 30.0
+	hX, err := ExponentialEntropy(meanX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hY, err := ExponentialEntropy(meanY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := EPILowerBound(hX, hY)
+
+	src := rng.New(7)
+	const n = 100000
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := src.Exponential(meanX)
+		y := src.Exponential(meanY)
+		xs[i] = x
+		zs[i] = x + y
+	}
+	mi, err := BinnedMI(xs, zs, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound > mi+0.05 {
+		t.Fatalf("EPI lower bound %v exceeds empirical MI %v", bound, mi)
+	}
+}
+
+func TestAnantharamVerduBound(t *testing.T) {
+	b, err := AnantharamVerduBound(1, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-math.Log(2)) > 1e-12 {
+		t.Fatalf("AV bound (1, µ=λ) = %v, want ln 2", b)
+	}
+	// Bound grows with packet index j and shrinks as µ/λ shrinks.
+	b1, err := AnantharamVerduBound(1, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b10, err := AnantharamVerduBound(10, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b10 <= b1 {
+		t.Fatalf("bound not increasing in j: %v vs %v", b1, b10)
+	}
+	bSmallMu, err := AnantharamVerduBound(1, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bSmallMu >= b1 {
+		t.Fatalf("bound not decreasing in µ: %v vs %v", bSmallMu, b1)
+	}
+	if _, err := AnantharamVerduBound(0, 1, 1); err == nil {
+		t.Fatal("j=0 accepted")
+	}
+	if _, err := AnantharamVerduBound(1, -1, 1); err == nil {
+		t.Fatal("negative µ accepted")
+	}
+}
+
+func TestAnantharamVerduSum(t *testing.T) {
+	got, err := AnantharamVerduSum(3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(2) + math.Log(3) + math.Log(4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AV sum = %v, want %v", got, want)
+	}
+	if _, err := AnantharamVerduSum(0, 1, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+// TestAVBoundDominatesEmpiricalMI is the eq. 4 validation in miniature: the
+// empirical I(Xj; Zj) for a Poisson source with exponential delays stays
+// below ln(1 + jµ/λ).
+func TestAVBoundDominatesEmpiricalMI(t *testing.T) {
+	const lambda, mu = 0.5, 1.0 / 30
+	const j = 3
+	src := rng.New(11)
+	const n = 60000
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := src.Erlang(j, 1/lambda) // j-th arrival time of Poisson(λ)
+		xs[i] = x
+		zs[i] = x + src.Exponential(1/mu)
+	}
+	mi, err := BinnedMI(xs, zs, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := AnantharamVerduBound(j, mu, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > bound*1.05 {
+		t.Fatalf("empirical I(X%d;Z%d) = %v exceeds AV bound %v", j, j, mi, bound)
+	}
+}
+
+func TestVasicekEntropyUniform(t *testing.T) {
+	src := rng.New(13)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = src.Uniform(0, 4)
+	}
+	got, err := VasicekEntropy(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Log(4)) > 0.05 {
+		t.Fatalf("Vasicek on U[0,4] = %v, want %v", got, math.Log(4))
+	}
+}
+
+func TestVasicekEntropyGaussian(t *testing.T) {
+	src := rng.New(17)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = src.Normal(0, 2)
+	}
+	want, err := GaussianEntropy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VasicekEntropy(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("Vasicek on N(0,4) = %v, want %v", got, want)
+	}
+}
+
+func TestVasicekTooFewSamples(t *testing.T) {
+	if _, err := VasicekEntropy([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("3 samples accepted")
+	}
+}
+
+func TestVasicekDoesNotMutateInput(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3, 9, 7, 8}
+	if _, err := VasicekEntropy(samples, 2); err != nil {
+		t.Fatal(err)
+	}
+	if samples[0] != 5 || samples[5] != 9 {
+		t.Fatal("VasicekEntropy sorted the caller's slice")
+	}
+}
+
+func TestBinnedMIIndependentIsNearZero(t *testing.T) {
+	src := rng.New(19)
+	const n = 100000
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.Exponential(10)
+		zs[i] = src.Exponential(10) // independent
+	}
+	mi, err := BinnedMI(xs, zs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > 0.02 {
+		t.Fatalf("MI of independent samples = %v, want ≈ 0", mi)
+	}
+}
+
+func TestBinnedMIPerfectDependence(t *testing.T) {
+	src := rng.New(23)
+	const n = 50000
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.Uniform(0, 1)
+		zs[i] = xs[i] // Z = X exactly
+	}
+	mi, err := BinnedMI(xs, zs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For identical variables the binned MI approaches ln(bins).
+	if mi < 0.8*math.Log(20) {
+		t.Fatalf("MI of identical samples = %v, want ≈ ln 20 = %v", mi, math.Log(20))
+	}
+}
+
+// TestBinnedMIDecreasesWithMoreNoise captures the paper's core claim: longer
+// average delays (more delay entropy) leak less about creation times.
+func TestBinnedMIDecreasesWithMoreNoise(t *testing.T) {
+	src := rng.New(29)
+	const n = 60000
+	miAt := func(delayMean float64) float64 {
+		xs := make([]float64, n)
+		zs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x := src.Exponential(10)
+			xs[i] = x
+			zs[i] = x + src.Exponential(delayMean)
+		}
+		mi, err := BinnedMI(xs, zs, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mi
+	}
+	short := miAt(1)
+	long := miAt(100)
+	if long >= short {
+		t.Fatalf("MI with long delays (%v) >= MI with short delays (%v)", long, short)
+	}
+}
+
+func TestBinnedMIValidation(t *testing.T) {
+	if _, err := BinnedMI([]float64{1, 2}, []float64{1}, 4); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := BinnedMI([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, 1); err == nil {
+		t.Fatal("1 bin accepted")
+	}
+	mi, err := BinnedMI([]float64{5, 5, 5, 5}, []float64{1, 2, 3, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi != 0 {
+		t.Fatalf("constant X yields MI %v, want 0", mi)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	d, err := KLDivergenceHistogram([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("D(p‖p) = %v, want 0", d)
+	}
+	d, err = KLDivergenceHistogram([]float64{1, 0}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-math.Log(2)) > 1e-12 {
+		t.Fatalf("D = %v, want ln 2", d)
+	}
+	d, err = KLDivergenceHistogram([]float64{0.5, 0.5}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("D with disjoint support = %v, want +Inf", d)
+	}
+	if _, err := KLDivergenceHistogram([]float64{1}, []float64{1, 0}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := KLDivergenceHistogram([]float64{0, 0}, []float64{1, 0}); err == nil {
+		t.Fatal("empty p accepted")
+	}
+}
+
+// Property: the EPI bound never exceeds h(X+Y)−h(Y) computed for Gaussians
+// (where it is exact) under arbitrary entropies, and is monotone in hX.
+func TestEPIBoundMonotoneProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		hX := float64(a) / 16
+		hY := float64(b) / 16
+		bound := EPILowerBound(hX, hY)
+		boundBigger := EPILowerBound(hX+0.5, hY)
+		return boundBigger >= bound && bound >= 0 == (bound >= 0) // bound may be any sign; monotonicity is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AV bound is non-negative and increasing in j.
+func TestAVBoundProperty(t *testing.T) {
+	f := func(jRaw uint8, muRaw, lambdaRaw uint16) bool {
+		j := int(jRaw%50) + 1
+		mu := 0.001 + float64(muRaw)/65535
+		lambda := 0.001 + float64(lambdaRaw)/65535
+		b, err := AnantharamVerduBound(j, mu, lambda)
+		if err != nil || b < 0 {
+			return false
+		}
+		b2, err := AnantharamVerduBound(j+1, mu, lambda)
+		return err == nil && b2 >= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileBinnedMIIndependent(t *testing.T) {
+	src := rng.New(41)
+	const n = 100000
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.Exponential(10)
+		zs[i] = src.Exponential(10)
+	}
+	mi, err := QuantileBinnedMI(xs, zs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > 0.02 {
+		t.Fatalf("quantile MI of independent samples = %v, want ≈ 0", mi)
+	}
+}
+
+func TestQuantileBinnedMIPerfectDependence(t *testing.T) {
+	src := rng.New(43)
+	const n, bins = 50000, 20
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.Exponential(1) // heavily skewed, where equal-width suffers
+		zs[i] = xs[i]
+	}
+	mi, err := QuantileBinnedMI(xs, zs, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi < 0.95*math.Log(bins) {
+		t.Fatalf("quantile MI of identical skewed samples = %v, want ≈ ln %d = %v", mi, bins, math.Log(bins))
+	}
+}
+
+// TestQuantileBeatsEqualWidthOnSkewedData verifies the estimator's reason
+// to exist: for exponential X with exponential noise at high SNR, quantile
+// bins capture more of the true MI than equal-width bins.
+func TestQuantileBeatsEqualWidthOnSkewedData(t *testing.T) {
+	src := rng.New(47)
+	const n, bins = 100000, 30
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := src.Exponential(10)
+		xs[i] = x
+		zs[i] = x + src.Exponential(0.5) // high SNR: large true MI
+	}
+	equal, err := BinnedMI(xs, zs, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantile, err := QuantileBinnedMI(xs, zs, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quantile <= equal {
+		t.Fatalf("quantile MI %v not above equal-width MI %v on skewed high-SNR data", quantile, equal)
+	}
+}
+
+func TestQuantileBinnedMIValidation(t *testing.T) {
+	if _, err := QuantileBinnedMI([]float64{1, 2}, []float64{1}, 4); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := QuantileBinnedMI([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, 1); err == nil {
+		t.Fatal("1 bin accepted")
+	}
+	if _, err := QuantileBinnedMI([]float64{1, 2, 3}, []float64{1, 2, 3}, 4); err == nil {
+		t.Fatal("3 samples accepted")
+	}
+	mi, err := QuantileBinnedMI([]float64{5, 5, 5, 5}, []float64{1, 2, 3, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi != 0 {
+		t.Fatalf("constant X quantile MI = %v, want 0", mi)
+	}
+}
+
+// TestQuantileStillRespectsAVBound: the better estimator must still sit
+// below the eq. 4 analytic upper bound.
+func TestQuantileStillRespectsAVBound(t *testing.T) {
+	const lambda, mu, j = 0.5, 1.0 / 30, 3
+	src := rng.New(53)
+	const n = 60000
+	xs := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := src.Erlang(j, 1/lambda)
+		xs[i] = x
+		zs[i] = x + src.Exponential(1/mu)
+	}
+	mi, err := QuantileBinnedMI(xs, zs, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := AnantharamVerduBound(j, mu, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi > bound*1.05 {
+		t.Fatalf("quantile MI %v exceeds AV bound %v", mi, bound)
+	}
+}

@@ -1,0 +1,677 @@
+// Package network assembles topology, routing, traffic, buffering and the
+// RCAD engine into a runnable simulated sensor network — the event-driven
+// simulator of §5.
+//
+// The simulation model follows §5.2: PHY and MAC are abstracted to a
+// constant per-hop transmission delay τ (1 time unit by default); every
+// non-sink node on a packet's routing path draws an independent buffering
+// delay from its configured distribution before forwarding; the sink records
+// arrivals. Payload sealing (AES-CTR + HMAC) can be enabled to run the §2
+// confidentiality assumption end-to-end.
+//
+// A Run is fully deterministic in (Config, Seed): every node draws from its
+// own labelled substream of the master seed.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tempriv/internal/adversary"
+	"tempriv/internal/buffer"
+	"tempriv/internal/core"
+	"tempriv/internal/delay"
+	"tempriv/internal/metrics"
+	"tempriv/internal/packet"
+	"tempriv/internal/rng"
+	"tempriv/internal/routing"
+	"tempriv/internal/seal"
+	"tempriv/internal/sim"
+	"tempriv/internal/topology"
+	"tempriv/internal/trace"
+	"tempriv/internal/traffic"
+)
+
+// PolicyKind selects the buffering behaviour of every node in the network,
+// matching the three evaluation cases of §5.3 plus the analytic drop model
+// of §4.
+type PolicyKind int
+
+const (
+	// PolicyForward forwards packets immediately with no buffering delay —
+	// evaluation case 1 ("NoDelay").
+	PolicyForward PolicyKind = iota + 1
+	// PolicyUnlimited delays every packet for its full sampled time with
+	// unbounded buffers — evaluation case 2 ("Delay&UnlimitedBuffers").
+	PolicyUnlimited
+	// PolicyDropTail delays packets with a finite buffer that drops
+	// arrivals when full — the M/M/k/k model of §4.
+	PolicyDropTail
+	// PolicyRCAD delays packets with a finite buffer that preempts the
+	// victim packet when full — evaluation case 3
+	// ("Delay&LimitedBuffers", §5).
+	PolicyRCAD
+	// PolicyCustom installs the buffering policy built by
+	// Config.CustomPolicy on every node — the extension point used by the
+	// mix-network comparators (package mix) and available to downstream
+	// users.
+	PolicyCustom
+)
+
+// String returns the report identifier of the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyForward:
+		return "no-delay"
+	case PolicyUnlimited:
+		return "delay-unlimited"
+	case PolicyDropTail:
+		return "delay-droptail"
+	case PolicyRCAD:
+		return "rcad"
+	case PolicyCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// Source declares one traffic source.
+type Source struct {
+	// Node is the source's node ID; it must exist in the topology.
+	Node packet.NodeID
+	// Process generates the source's packet interarrival times.
+	Process traffic.Process
+	// Count is the number of packets to create. Zero means "until the
+	// horizon", which then must be positive.
+	Count int
+}
+
+// RateControl enables the §4 per-node µ-planner on every buffering node.
+type RateControl struct {
+	// TargetLoss is the Erlang-loss design target α (the paper discusses
+	// 0.1).
+	TargetLoss float64
+	// Smoothing is the EWMA weight for rate estimation, in (0, 1].
+	Smoothing float64
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Topology is the deployment. Required and must be sink-connected.
+	Topology *topology.Topology
+	// Sources declare the traffic. Required, non-empty.
+	Sources []Source
+	// Policy selects the buffering behaviour. Required.
+	Policy PolicyKind
+	// Delay is the per-hop buffering-delay distribution, required for every
+	// policy except PolicyForward. The paper's evaluation uses
+	// exponential with mean 30.
+	Delay delay.Distribution
+	// PerNodeDelay overrides Delay for specific nodes (used by the §3.3
+	// delay-decomposition experiments and the Erlang planner example).
+	PerNodeDelay map[packet.NodeID]delay.Distribution
+	// Capacity is the buffer size k for PolicyDropTail and PolicyRCAD.
+	// Defaults to core.DefaultCapacity (10, the Mica-2 approximation).
+	Capacity int
+	// Victim is the RCAD victim-selection rule. Defaults to
+	// buffer.ShortestRemaining, the paper's rule.
+	Victim buffer.VictimSelector
+	// CustomPolicy builds each node's buffering policy when Policy is
+	// PolicyCustom. It is called once per buffering node with that node's
+	// forward function and private random substream. When Delay is nil,
+	// custom policies receive zero sampled delays (appropriate for
+	// batching mixes, which ignore them).
+	CustomPolicy func(sched *sim.Scheduler, forward buffer.Forward, src *rng.Source) (buffer.Policy, error)
+	// RateControl optionally enables per-node delay planning (§4).
+	RateControl *RateControl
+	// TransmissionDelay is τ, the per-hop transmission time. Defaults to 1
+	// (§5.2).
+	TransmissionDelay float64
+	// Horizon stops packet generation at this simulated time; 0 means
+	// "generate exactly Count packets per source". In-flight packets always
+	// drain completely.
+	Horizon float64
+	// Seed drives all randomness. Runs with equal configs and seeds are
+	// identical.
+	Seed uint64
+	// NodeFailures schedules permanent node deaths (failure injection).
+	NodeFailures []NodeFailure
+	// Tracer optionally receives per-packet lifecycle events (creation,
+	// per-hop admission and release, delivery, loss). See package trace.
+	Tracer trace.Recorder
+	// Seal, when true, encrypts every payload with the network keyring and
+	// verifies it at the sink (slower; the privacy results do not depend
+	// on it, only the §2 threat model's realism).
+	Seal bool
+}
+
+// NodeFailure schedules a permanent node death: at time At the node's
+// buffered packets are lost and every packet subsequently reaching it is
+// lost. Routing is static (the paper's tree), so flows through a dead node
+// are cut off — modelling sensor exhaustion or destruction.
+type NodeFailure struct {
+	// Node is the failing node; it must exist and must not be the sink.
+	Node packet.NodeID
+	// At is the failure time (>= 0).
+	At float64
+}
+
+// Delivery is one packet arrival at the sink: what the adversary can see
+// (arrival time, cleartext header) plus the simulator ground truth used for
+// scoring.
+type Delivery struct {
+	// At is the sink arrival time.
+	At float64
+	// Header is the cleartext header as received.
+	Header packet.Header
+	// Truth is the simulator-only ground truth.
+	Truth packet.Truth
+}
+
+// NodeStats summarises one buffering node after a run.
+type NodeStats struct {
+	// ID is the node.
+	ID packet.NodeID
+	// HopsToSink is the node's routing depth.
+	HopsToSink int
+	// Arrivals, Departures, Drops and Preemptions count buffer events.
+	Arrivals, Departures, Drops, Preemptions uint64
+	// AvgOccupancy is the time-weighted mean number of buffered packets.
+	AvgOccupancy float64
+	// MaxOccupancy is the peak buffered count.
+	MaxOccupancy float64
+	// MeanHeldDelay is the mean realised holding time.
+	MeanHeldDelay float64
+}
+
+// FlowStats summarises one source flow after a run.
+type FlowStats struct {
+	// Source is the flow's origin node.
+	Source packet.NodeID
+	// HopCount is the routing-path length to the sink.
+	HopCount int
+	// Created and Delivered count the flow's packets.
+	Created, Delivered uint64
+	// Latency summarises end-to-end delivery latency.
+	Latency metrics.LatencyReport
+}
+
+// Dropped returns the number of the flow's packets lost in the network.
+func (f *FlowStats) Dropped() uint64 {
+	if f.Created < f.Delivered {
+		return 0
+	}
+	return f.Created - f.Delivered
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Deliveries lists sink arrivals in time order.
+	Deliveries []Delivery
+	// Flows maps each source node to its flow summary.
+	Flows map[packet.NodeID]*FlowStats
+	// Nodes maps each buffering node to its buffer summary.
+	Nodes map[packet.NodeID]*NodeStats
+	// Duration is the simulated time at which the last event fired.
+	Duration float64
+	// Events is the total number of simulation events executed.
+	Events uint64
+	// SealFailures counts payloads that failed authentication at the sink
+	// (always 0 unless the run is corrupted; present as an invariant).
+	SealFailures uint64
+	// LostToFailures counts packets destroyed by injected node failures:
+	// buffer contents at failure time plus packets that later reached a
+	// dead node.
+	LostToFailures uint64
+}
+
+// Observations converts the deliveries into the adversary's view, in arrival
+// order.
+func (r *Result) Observations() []adversary.Observation {
+	out := make([]adversary.Observation, len(r.Deliveries))
+	for i, d := range r.Deliveries {
+		out[i] = adversary.Observation{ArrivalTime: d.At, Header: d.Header}
+	}
+	return out
+}
+
+// Truths returns the ground-truth creation times aligned with Observations.
+func (r *Result) Truths() []float64 {
+	out := make([]float64, len(r.Deliveries))
+	for i, d := range r.Deliveries {
+		out[i] = d.Truth.CreatedAt
+	}
+	return out
+}
+
+// node is the per-node simulation state.
+type node struct {
+	id     packet.NodeID
+	parent packet.NodeID
+	policy buffer.Policy // nil for PolicyForward
+	rcad   *core.RCAD    // non-nil only when rate control is enabled
+	dist   delay.Distribution
+	src    *rng.Source
+	dead   bool
+}
+
+// evacuator is implemented by buffering policies whose contents can be
+// destroyed on node failure.
+type evacuator interface {
+	Evacuate() []*packet.Packet
+}
+
+// runner holds one simulation's full state.
+type runner struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	routes  *routing.Table
+	nodes   map[packet.NodeID]*node
+	keyring *seal.Keyring
+	result  *Result
+}
+
+// Run validates cfg, executes the simulation to completion, and returns the
+// result.
+func Run(cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.scheduleSources(); err != nil {
+		return nil, err
+	}
+	r.scheduleFailures()
+	if err := r.sched.Run(); err != nil {
+		return nil, fmt.Errorf("network: simulation: %w", err)
+	}
+	r.finalize()
+	return r.result, nil
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("network: nil topology")
+	}
+	if len(cfg.Sources) == 0 {
+		return nil, errors.New("network: no sources")
+	}
+	switch cfg.Policy {
+	case PolicyForward:
+	case PolicyUnlimited, PolicyDropTail, PolicyRCAD:
+		if cfg.Delay == nil {
+			return nil, fmt.Errorf("network: policy %v requires a delay distribution", cfg.Policy)
+		}
+	case PolicyCustom:
+		if cfg.CustomPolicy == nil {
+			return nil, errors.New("network: PolicyCustom requires a CustomPolicy factory")
+		}
+		if cfg.Delay == nil {
+			cfg.Delay = delay.None{} // batching mixes ignore sampled delays
+		}
+	default:
+		return nil, fmt.Errorf("network: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.TransmissionDelay < 0 {
+		return nil, fmt.Errorf("network: negative transmission delay %v", cfg.TransmissionDelay)
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("network: negative horizon %v", cfg.Horizon)
+	}
+	seenSources := make(map[packet.NodeID]bool, len(cfg.Sources))
+	for i, s := range cfg.Sources {
+		if !cfg.Topology.HasNode(s.Node) {
+			return nil, fmt.Errorf("network: source %d at unknown node %v", i, s.Node)
+		}
+		if seenSources[s.Node] {
+			// Flow identity is the origin node (the adversary's view), so
+			// two sources on one node would merge their flow accounting
+			// silently.
+			return nil, fmt.Errorf("network: duplicate source on node %v", s.Node)
+		}
+		seenSources[s.Node] = true
+		if s.Node == topology.Sink {
+			return nil, fmt.Errorf("network: source %d is the sink", i)
+		}
+		if s.Process == nil {
+			return nil, fmt.Errorf("network: source %d has nil traffic process", i)
+		}
+		if s.Count < 0 {
+			return nil, fmt.Errorf("network: source %d has negative count", i)
+		}
+		if s.Count == 0 && cfg.Horizon <= 0 {
+			return nil, fmt.Errorf("network: source %d is unbounded (count 0) without a horizon", i)
+		}
+	}
+	if cfg.RateControl != nil {
+		if cfg.Policy != PolicyRCAD {
+			return nil, errors.New("network: rate control requires PolicyRCAD")
+		}
+	}
+	for i, f := range cfg.NodeFailures {
+		if !cfg.Topology.HasNode(f.Node) {
+			return nil, fmt.Errorf("network: failure %d targets unknown node %v", i, f.Node)
+		}
+		if f.Node == topology.Sink {
+			return nil, fmt.Errorf("network: failure %d targets the sink", i)
+		}
+		if f.At < 0 {
+			return nil, fmt.Errorf("network: failure %d has negative time %v", i, f.At)
+		}
+	}
+
+	routes, err := routing.BuildTree(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("network: building routes: %w", err)
+	}
+
+	if cfg.TransmissionDelay == 0 {
+		cfg.TransmissionDelay = 1
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = core.DefaultCapacity
+	}
+	if cfg.Victim == nil {
+		cfg.Victim = buffer.ShortestRemaining{}
+	}
+
+	r := &runner{
+		cfg:    cfg,
+		sched:  sim.NewScheduler(),
+		routes: routes,
+		nodes:  make(map[packet.NodeID]*node),
+		result: &Result{
+			Flows: make(map[packet.NodeID]*FlowStats),
+			Nodes: make(map[packet.NodeID]*NodeStats),
+		},
+	}
+	if cfg.Seal {
+		r.keyring = seal.NewKeyring([]byte(fmt.Sprintf("tempriv/network/%d", cfg.Seed)))
+	}
+
+	master := rng.New(cfg.Seed)
+	for _, id := range cfg.Topology.Nodes() {
+		if id == topology.Sink {
+			continue
+		}
+		parent, ok := routes.NextHop(id)
+		if !ok {
+			return nil, fmt.Errorf("network: node %v has no route to the sink", id)
+		}
+		n := &node{
+			id:     id,
+			parent: parent,
+			dist:   cfg.Delay,
+			src:    master.SplitIndexed("node", int(id)),
+		}
+		if d, ok := cfg.PerNodeDelay[id]; ok {
+			n.dist = d
+		}
+		if err := r.attachPolicy(n); err != nil {
+			return nil, err
+		}
+		r.nodes[id] = n
+	}
+	return r, nil
+}
+
+// attachPolicy wires the configured buffering policy to node n.
+func (r *runner) attachPolicy(n *node) error {
+	forward := func(p *packet.Packet, preempted bool) {
+		kind := trace.Released
+		if preempted {
+			kind = trace.Preempted
+		}
+		r.record(kind, n.id, p)
+		r.transmit(n, p)
+	}
+	switch r.cfg.Policy {
+	case PolicyForward:
+		return nil // handled inline in deliver
+	case PolicyUnlimited:
+		pol, err := buffer.NewUnlimited(r.sched, forward)
+		if err != nil {
+			return fmt.Errorf("network: node %v: %w", n.id, err)
+		}
+		n.policy = pol
+	case PolicyDropTail:
+		pol, err := buffer.NewDropTail(r.sched, forward, r.cfg.Capacity)
+		if err != nil {
+			return fmt.Errorf("network: node %v: %w", n.id, err)
+		}
+		n.policy = pol
+	case PolicyCustom:
+		pol, err := r.cfg.CustomPolicy(r.sched, forward, n.src.Split("policy"))
+		if err != nil {
+			return fmt.Errorf("network: node %v: building custom policy: %w", n.id, err)
+		}
+		if pol == nil {
+			return fmt.Errorf("network: node %v: custom policy factory returned nil", n.id)
+		}
+		n.policy = pol
+	case PolicyRCAD:
+		var ctrl *core.RateController
+		if rc := r.cfg.RateControl; rc != nil {
+			var err error
+			ctrl, err = core.NewRateController(r.cfg.Capacity, rc.TargetLoss, rc.Smoothing, n.dist.Mean())
+			if err != nil {
+				return fmt.Errorf("network: node %v: %w", n.id, err)
+			}
+		}
+		eng, err := core.New(core.Config{
+			Scheduler:  r.sched,
+			Forward:    forward,
+			Capacity:   r.cfg.Capacity,
+			Delay:      n.dist,
+			Victim:     r.cfg.Victim,
+			Source:     n.src.Split("victim"),
+			Controller: ctrl,
+		})
+		if err != nil {
+			return fmt.Errorf("network: node %v: %w", n.id, err)
+		}
+		n.rcad = eng
+	}
+	return nil
+}
+
+// scheduleSources arms the first creation event of every source.
+func (r *runner) scheduleSources() error {
+	for i, s := range r.cfg.Sources {
+		hops, ok := r.routes.HopCount(s.Node)
+		if !ok {
+			return fmt.Errorf("network: source %v not routed", s.Node)
+		}
+		r.result.Flows[s.Node] = &FlowStats{Source: s.Node, HopCount: hops}
+		src := rng.New(r.cfg.Seed).SplitIndexed("traffic", i)
+		r.armCreation(s, src, 0)
+	}
+	return nil
+}
+
+// record emits a lifecycle event if tracing is enabled.
+func (r *runner) record(kind trace.Kind, node packet.NodeID, p *packet.Packet) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	r.cfg.Tracer.Record(trace.Event{
+		At:   r.sched.Now(),
+		Kind: kind,
+		Node: node,
+		Flow: p.Truth.Flow,
+		Seq:  p.Truth.Seq,
+	})
+}
+
+// scheduleFailures arms the injected node deaths.
+func (r *runner) scheduleFailures() {
+	for _, f := range r.cfg.NodeFailures {
+		n := r.nodes[f.Node]
+		r.sched.At(f.At, func() {
+			n.dead = true
+			var holder evacuator
+			switch {
+			case n.rcad != nil:
+				holder = n.rcad
+			case n.policy != nil:
+				if ev, ok := n.policy.(evacuator); ok {
+					holder = ev
+				}
+			}
+			if holder != nil {
+				evacuated := holder.Evacuate()
+				r.result.LostToFailures += uint64(len(evacuated))
+				for _, p := range evacuated {
+					r.record(trace.Lost, n.id, p)
+				}
+			}
+		})
+	}
+}
+
+// armCreation schedules the next packet creation for source s, having
+// already created seq packets.
+func (r *runner) armCreation(s Source, src *rng.Source, seq uint32) {
+	if s.Count > 0 && int(seq) >= s.Count {
+		return
+	}
+	gap := s.Process.Next(src)
+	when := r.sched.Now() + gap
+	if r.cfg.Horizon > 0 && when > r.cfg.Horizon {
+		return
+	}
+	r.sched.At(when, func() {
+		r.createPacket(s, seq)
+		r.armCreation(s, src, seq+1)
+	})
+}
+
+// createPacket materialises one packet at its source and hands it to the
+// source node's buffering policy. A dead source senses nothing.
+func (r *runner) createPacket(s Source, seq uint32) {
+	if r.nodes[s.Node].dead {
+		return
+	}
+	now := r.sched.Now()
+	p := packet.New(s.Node, seq, now)
+	if r.keyring != nil {
+		reading := packet.Reading{Value: float64(seq), AppSeq: seq, CreatedAt: now}
+		if err := p.SealReading(r.keyring, reading); err != nil {
+			// Sealing uses validated keys and cannot fail at runtime; a
+			// failure here is a programming error worth stopping for.
+			panic(fmt.Sprintf("network: sealing payload: %v", err))
+		}
+	}
+	r.result.Flows[s.Node].Created++
+	r.record(trace.Created, s.Node, p)
+	r.deliver(r.nodes[s.Node], p)
+}
+
+// deliver hands a packet to node n's buffering policy (or forwards it
+// immediately under PolicyForward). Packets reaching a dead node are lost.
+func (r *runner) deliver(n *node, p *packet.Packet) {
+	if n.dead {
+		r.result.LostToFailures++
+		r.record(trace.Lost, n.id, p)
+		return
+	}
+	switch {
+	case n.rcad != nil:
+		r.record(trace.Admitted, n.id, p)
+		n.rcad.OnPacket(r.sched.Now(), p)
+	case n.policy != nil:
+		r.record(trace.Admitted, n.id, p)
+		n.policy.Admit(p, n.dist.Sample(n.src))
+	default: // PolicyForward
+		r.transmit(n, p)
+	}
+}
+
+// transmit moves a packet one hop from n toward the sink, applying the
+// transmission delay τ and updating the cleartext header.
+func (r *runner) transmit(n *node, p *packet.Packet) {
+	p.Forward(n.id)
+	dest := n.parent
+	r.sched.After(r.cfg.TransmissionDelay, func() {
+		if dest == topology.Sink {
+			r.arriveAtSink(p)
+			return
+		}
+		r.deliver(r.nodes[dest], p)
+	})
+}
+
+// arriveAtSink records a delivery and its ground truth.
+func (r *runner) arriveAtSink(p *packet.Packet) {
+	now := r.sched.Now()
+	if r.keyring != nil {
+		reading, err := p.OpenReading(r.keyring)
+		if err != nil || reading.CreatedAt != p.Truth.CreatedAt {
+			r.result.SealFailures++
+		}
+	}
+	r.record(trace.Delivered, topology.Sink, p)
+	r.result.Deliveries = append(r.result.Deliveries, Delivery{
+		At:     now,
+		Header: p.Header,
+		Truth:  p.Truth,
+	})
+}
+
+// finalize computes the per-flow and per-node summaries once the event list
+// has drained.
+func (r *runner) finalize() {
+	res := r.result
+	res.Duration = r.sched.Now()
+	res.Events = r.sched.Fired()
+
+	latencies := make(map[packet.NodeID]*metrics.Latency)
+	for _, d := range res.Deliveries {
+		fs, ok := res.Flows[d.Truth.Flow]
+		if !ok {
+			continue // defensive: deliveries only come from declared sources
+		}
+		fs.Delivered++
+		l, ok := latencies[d.Truth.Flow]
+		if !ok {
+			l = &metrics.Latency{}
+			latencies[d.Truth.Flow] = l
+		}
+		l.Add(d.At - d.Truth.CreatedAt)
+	}
+	for flow, l := range latencies {
+		res.Flows[flow].Latency = l.Report()
+	}
+
+	ids := make([]packet.NodeID, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := r.nodes[id]
+		var st *buffer.Stats
+		switch {
+		case n.rcad != nil:
+			st = n.rcad.Stats()
+		case n.policy != nil:
+			st = n.policy.Stats()
+		default:
+			continue // PolicyForward keeps no buffer state
+		}
+		hops, _ := r.routes.HopCount(id)
+		res.Nodes[id] = &NodeStats{
+			ID:            id,
+			HopsToSink:    hops,
+			Arrivals:      st.Arrivals,
+			Departures:    st.Departures,
+			Drops:         st.Drops,
+			Preemptions:   st.Preemptions,
+			AvgOccupancy:  st.Occupancy.Average(res.Duration),
+			MaxOccupancy:  st.Occupancy.Max(),
+			MeanHeldDelay: st.HeldDelays.Mean(),
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package packet
+
+import "testing"
+
+// FuzzHeaderUnmarshal feeds arbitrary bytes to the header decoder: it must
+// never panic, and whenever it succeeds, re-encoding must reproduce the
+// first headerWireSize bytes.
+func FuzzHeaderUnmarshal(f *testing.F) {
+	valid, err := (Header{PrevHop: 1, Origin: 2, RoutingSeq: 3, HopCount: 4}).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, headerWireSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		if err := h.UnmarshalBinary(data); err != nil {
+			if len(data) >= headerWireSize {
+				t.Fatalf("decoder rejected %d bytes: %v", len(data), err)
+			}
+			return
+		}
+		out, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("byte %d: re-encode %x != input %x", i, out[i], data[i])
+			}
+		}
+	})
+}
+
+// FuzzReadingUnmarshal is the payload-decoder analogue.
+func FuzzReadingUnmarshal(f *testing.F) {
+	valid, err := (Reading{Value: 1.5, AppSeq: 9, CreatedAt: 100}).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Reading
+		if err := r.UnmarshalBinary(data); err != nil {
+			if len(data) >= readingWireSize {
+				t.Fatalf("decoder rejected %d bytes: %v", len(data), err)
+			}
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("byte %d differs after round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+// Package packet defines the sensor-network packet model from §2 of the
+// paper.
+//
+// A packet has two parts:
+//
+//   - Header: the cleartext routing header. Field-for-field it mirrors the
+//     TinyOS 1.1.7 MultiHop.h header the paper cites — previous hop, origin,
+//     routing-layer sequence number, and hop count. The adversary can read
+//     all of it.
+//   - Sealed payload: the application-level Reading (sensor value,
+//     application sequence number, creation timestamp), encrypted and
+//     authenticated by package seal. Only the sink's keyring can open it.
+//
+// The Packet struct additionally carries simulator-only ground truth (the
+// true creation time and flow identity) used for scoring the adversary's
+// estimates. Adversary implementations never receive a Packet; they receive
+// an adversary.Observation holding only the header and the arrival time.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"tempriv/internal/seal"
+)
+
+// NodeID identifies a sensor node in a deployment. The sink is conventionally
+// node 0 (see package topology).
+type NodeID uint16
+
+// String formats the ID for logs and reports.
+func (id NodeID) String() string { return fmt.Sprintf("n%d", uint16(id)) }
+
+// Header is the cleartext routing header, readable by the adversary
+// (§2 "Cleartext Headers").
+type Header struct {
+	// PrevHop is the node that transmitted this packet on the current hop.
+	PrevHop NodeID
+	// Origin is the node that generated the packet; the routing layer uses
+	// it to distinguish generated from forwarded packets.
+	Origin NodeID
+	// RoutingSeq is the routing-layer sequence number used for loop
+	// avoidance. It is not flow-specific and, per the paper, does not help
+	// the adversary estimate creation times.
+	RoutingSeq uint32
+	// HopCount is the number of hops the packet has traversed so far. At
+	// the sink it equals the length of the routing path, which is how the
+	// adversary learns the hop count h_i of flow i.
+	HopCount uint8
+}
+
+const headerWireSize = 2 + 2 + 4 + 1
+
+// MarshalBinary encodes the header in its on-air representation.
+func (h Header) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, headerWireSize)
+	binary.BigEndian.PutUint16(buf[0:], uint16(h.PrevHop))
+	binary.BigEndian.PutUint16(buf[2:], uint16(h.Origin))
+	binary.BigEndian.PutUint32(buf[4:], h.RoutingSeq)
+	buf[8] = h.HopCount
+	return buf, nil
+}
+
+// ErrShortHeader is returned by UnmarshalBinary when the input is shorter
+// than the wire format.
+var ErrShortHeader = errors.New("packet: header too short")
+
+// UnmarshalBinary decodes a header from its on-air representation.
+func (h *Header) UnmarshalBinary(data []byte) error {
+	if len(data) < headerWireSize {
+		return ErrShortHeader
+	}
+	h.PrevHop = NodeID(binary.BigEndian.Uint16(data[0:]))
+	h.Origin = NodeID(binary.BigEndian.Uint16(data[2:]))
+	h.RoutingSeq = binary.BigEndian.Uint32(data[4:])
+	h.HopCount = data[8]
+	return nil
+}
+
+// Reading is the application-level payload: what the sensor observed and
+// when. It is always transmitted sealed.
+type Reading struct {
+	// Value is the sensed measurement.
+	Value float64
+	// AppSeq is the application-level sequence number, hidden from the
+	// adversary so arrival order cannot be mapped back to creation order
+	// (§3.2: the adversary observes only the sorted arrival process).
+	AppSeq uint32
+	// CreatedAt is the creation timestamp in simulated time units — the
+	// quantity whose privacy the whole system defends.
+	CreatedAt float64
+}
+
+const readingWireSize = 8 + 4 + 8
+
+// ErrShortReading is returned when decoding a reading from too few bytes.
+var ErrShortReading = errors.New("packet: reading too short")
+
+// MarshalBinary encodes the reading for sealing.
+func (r Reading) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, readingWireSize)
+	binary.BigEndian.PutUint64(buf[0:], math.Float64bits(r.Value))
+	binary.BigEndian.PutUint32(buf[8:], r.AppSeq)
+	binary.BigEndian.PutUint64(buf[12:], math.Float64bits(r.CreatedAt))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a reading produced by MarshalBinary.
+func (r *Reading) UnmarshalBinary(data []byte) error {
+	if len(data) < readingWireSize {
+		return ErrShortReading
+	}
+	r.Value = math.Float64frombits(binary.BigEndian.Uint64(data[0:]))
+	r.AppSeq = binary.BigEndian.Uint32(data[8:])
+	r.CreatedAt = math.Float64frombits(binary.BigEndian.Uint64(data[12:]))
+	return nil
+}
+
+// Truth is simulator-only ground truth attached to a packet for scoring and
+// metrics. It is never serialised on the wire and must not be read by
+// adversary implementations.
+type Truth struct {
+	// CreatedAt is the true creation time.
+	CreatedAt float64
+	// Flow identifies the source flow (equal to the origin node ID).
+	Flow NodeID
+	// Seq is the per-flow packet index, 0-based.
+	Seq uint32
+}
+
+// Packet is a sensor message in flight.
+type Packet struct {
+	Header Header
+	// Sealed is the encrypted Reading (nil when the simulation runs with
+	// sealing disabled for speed; the header/ground-truth split is enforced
+	// either way).
+	Sealed []byte
+	// Truth is simulator-only ground truth; see Truth.
+	Truth Truth
+}
+
+// New creates a packet originating at origin with the given per-flow
+// sequence number and creation time. The header starts with HopCount 0 and
+// PrevHop equal to the origin; Forward advances both.
+func New(origin NodeID, seq uint32, createdAt float64) *Packet {
+	return &Packet{
+		Header: Header{
+			PrevHop:    origin,
+			Origin:     origin,
+			RoutingSeq: seq,
+		},
+		Truth: Truth{CreatedAt: createdAt, Flow: origin, Seq: seq},
+	}
+}
+
+// SealReading encrypts r into the packet using the network keyring.
+func (p *Packet) SealReading(k *seal.Keyring, r Reading) error {
+	plain, err := r.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("packet: marshaling reading: %w", err)
+	}
+	sealed, err := k.Seal(plain)
+	if err != nil {
+		return fmt.Errorf("packet: sealing reading: %w", err)
+	}
+	p.Sealed = sealed
+	return nil
+}
+
+// OpenReading decrypts the packet's sealed payload with the sink's keyring.
+func (p *Packet) OpenReading(k *seal.Keyring) (Reading, error) {
+	plain, err := k.Open(p.Sealed)
+	if err != nil {
+		return Reading{}, fmt.Errorf("packet: opening reading: %w", err)
+	}
+	var r Reading
+	if err := r.UnmarshalBinary(plain); err != nil {
+		return Reading{}, fmt.Errorf("packet: decoding reading: %w", err)
+	}
+	return r, nil
+}
+
+// Forward updates the cleartext header as node from transmits the packet on
+// its next hop: the previous-hop field becomes from and the hop count
+// increments. Hop counts saturate at 255 rather than wrapping; paths that
+// long do not occur in any supported topology.
+func (p *Packet) Forward(from NodeID) {
+	p.Header.PrevHop = from
+	if p.Header.HopCount < math.MaxUint8 {
+		p.Header.HopCount++
+	}
+}

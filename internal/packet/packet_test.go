@@ -1,0 +1,196 @@
+package packet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/seal"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tests := []Header{
+		{},
+		{PrevHop: 1, Origin: 2, RoutingSeq: 3, HopCount: 4},
+		{PrevHop: 65535, Origin: 65534, RoutingSeq: math.MaxUint32, HopCount: 255},
+	}
+	for _, h := range tests {
+		data, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", h, err)
+		}
+		var got Header
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v want %+v", got, h)
+		}
+	}
+}
+
+func TestHeaderUnmarshalShort(t *testing.T) {
+	var h Header
+	if err := h.UnmarshalBinary(make([]byte, 8)); !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("short header: %v, want ErrShortHeader", err)
+	}
+}
+
+func TestReadingRoundTrip(t *testing.T) {
+	tests := []Reading{
+		{},
+		{Value: 21.5, AppSeq: 7, CreatedAt: 1234.25},
+		{Value: -math.MaxFloat64, AppSeq: math.MaxUint32, CreatedAt: math.Inf(1)},
+	}
+	for _, r := range tests {
+		data, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", r, err)
+		}
+		var got Reading
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v want %+v", got, r)
+		}
+	}
+}
+
+func TestReadingUnmarshalShort(t *testing.T) {
+	var r Reading
+	if err := r.UnmarshalBinary(make([]byte, readingWireSize-1)); !errors.Is(err, ErrShortReading) {
+		t.Fatalf("short reading: %v, want ErrShortReading", err)
+	}
+}
+
+func TestNewPacketInitialState(t *testing.T) {
+	p := New(42, 7, 123.5)
+	if p.Header.Origin != 42 || p.Header.PrevHop != 42 {
+		t.Fatalf("origin/prevhop = %v/%v, want 42/42", p.Header.Origin, p.Header.PrevHop)
+	}
+	if p.Header.HopCount != 0 {
+		t.Fatalf("new packet hop count = %d, want 0", p.Header.HopCount)
+	}
+	if p.Truth.CreatedAt != 123.5 || p.Truth.Flow != 42 || p.Truth.Seq != 7 {
+		t.Fatalf("truth = %+v", p.Truth)
+	}
+}
+
+func TestForwardAdvancesHeader(t *testing.T) {
+	p := New(5, 0, 0)
+	path := []NodeID{5, 9, 13, 0}
+	for i, hop := range path[:len(path)-1] {
+		p.Forward(hop)
+		if p.Header.PrevHop != hop {
+			t.Fatalf("after hop %d: prevhop = %v, want %v", i, p.Header.PrevHop, hop)
+		}
+		if int(p.Header.HopCount) != i+1 {
+			t.Fatalf("after hop %d: hopcount = %d, want %d", i, p.Header.HopCount, i+1)
+		}
+	}
+}
+
+func TestForwardSaturatesHopCount(t *testing.T) {
+	p := New(1, 0, 0)
+	for i := 0; i < 300; i++ {
+		p.Forward(2)
+	}
+	if p.Header.HopCount != 255 {
+		t.Fatalf("hop count = %d, want saturation at 255", p.Header.HopCount)
+	}
+}
+
+func TestSealOpenReading(t *testing.T) {
+	k := seal.NewKeyring([]byte("network key"))
+	p := New(3, 11, 77.25)
+	want := Reading{Value: 98.6, AppSeq: 11, CreatedAt: 77.25}
+	if err := p.SealReading(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.OpenReading(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("opened reading %+v, want %+v", got, want)
+	}
+}
+
+func TestOpenReadingWrongKey(t *testing.T) {
+	k1 := seal.NewKeyring([]byte("real key"))
+	k2 := seal.NewKeyring([]byte("adversary guess"))
+	p := New(3, 0, 50)
+	if err := p.SealReading(k1, Reading{CreatedAt: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OpenReading(k2); err == nil {
+		t.Fatal("OpenReading with wrong key succeeded")
+	}
+}
+
+func TestSealedPayloadHidesTimestamp(t *testing.T) {
+	k := seal.NewKeyring([]byte("network key"))
+	r := Reading{Value: 1, AppSeq: 2, CreatedAt: 424242.0}
+	plainBytes, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(1, 2, r.CreatedAt)
+	if err := p.SealReading(k, r); err != nil {
+		t.Fatal(err)
+	}
+	// The timestamp bytes must not appear in the sealed payload.
+	tsBytes := plainBytes[12:]
+	for i := 0; i+len(tsBytes) <= len(p.Sealed); i++ {
+		match := true
+		for j := range tsBytes {
+			if p.Sealed[i+j] != tsBytes[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			t.Fatal("sealed payload leaks raw timestamp bytes")
+		}
+	}
+}
+
+// Property: header round trip is the identity for arbitrary field values.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(prev, origin uint16, seq uint32, hops uint8) bool {
+		h := Header{PrevHop: NodeID(prev), Origin: NodeID(origin), RoutingSeq: seq, HopCount: hops}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Header
+		return got.UnmarshalBinary(data) == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reading round trip preserves all finite values.
+func TestReadingRoundTripProperty(t *testing.T) {
+	f := func(value float64, seq uint32, created float64) bool {
+		r := Reading{Value: value, AppSeq: seq, CreatedAt: created}
+		data, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Reading
+		if got.UnmarshalBinary(data) != nil {
+			return false
+		}
+		// NaN != NaN, so compare bit patterns.
+		return math.Float64bits(got.Value) == math.Float64bits(r.Value) &&
+			got.AppSeq == r.AppSeq &&
+			math.Float64bits(got.CreatedAt) == math.Float64bits(r.CreatedAt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package queueing implements the analytic queueing machinery of §4.
+//
+// Buffering a packet for an exponential delay makes each node an M/M/∞
+// queue: every arriving packet gets its own "variable-delay server", so the
+// number of buffered packets N(t) is Poisson with mean ρ = λ/µ. Finite
+// buffers turn the model into M/M/k/k, whose blocking probability is the
+// Erlang loss formula E(ρ, k) (eq. 5). The formula is monotone in ρ, which
+// lets a node *plan* its delay parameter µ: given an incoming rate λ, buffer
+// size k, and target drop/preemption rate α, solve E(λ/µ, k) = α for µ.
+// That planner is the "rate-controlled" half of RCAD.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PoissonPMF returns P{N = k} for a Poisson distribution with the given
+// mean, computed in log space for stability at large means. It returns an
+// error for negative mean or k.
+func PoissonPMF(mean float64, k int) (float64, error) {
+	if mean < 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return 0, fmt.Errorf("queueing: poisson mean must be non-negative and finite, got %v", mean)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("queueing: poisson k must be non-negative, got %d", k)
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(mean) - mean - lg), nil
+}
+
+// MMInfOccupancyPMF returns the steady-state probability that an M/M/∞
+// buffering node with arrival rate lambda and mean delay 1/mu holds exactly
+// k packets: Poisson(ρ = λ/µ) evaluated at k (§4).
+func MMInfOccupancyPMF(lambda, mu float64, k int) (float64, error) {
+	rho, err := utilization(lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return PoissonPMF(rho, k)
+}
+
+// MMInfExpectedOccupancy returns the expected number of buffered packets at
+// an M/M/∞ node: N̄ = ρ = λ/µ (§4).
+func MMInfExpectedOccupancy(lambda, mu float64) (float64, error) {
+	return utilization(lambda, mu)
+}
+
+func utilization(lambda, mu float64) (float64, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return 0, fmt.Errorf("queueing: arrival rate must be non-negative and finite, got %v", lambda)
+	}
+	if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return 0, fmt.Errorf("queueing: service rate must be positive and finite, got %v", mu)
+	}
+	return lambda / mu, nil
+}
+
+// ErlangLoss returns the Erlang loss (Erlang-B) blocking probability
+// E(ρ, k): the probability that an arriving packet finds all k buffer slots
+// of an M/M/k/k node occupied (eq. 5). It is computed with the standard
+// stable recurrence
+//
+//	E(ρ, 0) = 1
+//	E(ρ, j) = ρ·E(ρ, j−1) / (j + ρ·E(ρ, j−1))
+//
+// which avoids the factorial overflow of the textbook form. It returns an
+// error for negative ρ or k.
+func ErlangLoss(rho float64, k int) (float64, error) {
+	if rho < 0 || math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return 0, fmt.Errorf("queueing: utilization must be non-negative and finite, got %v", rho)
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("queueing: buffer size must be non-negative, got %d", k)
+	}
+	e := 1.0
+	for j := 1; j <= k; j++ {
+		e = rho * e / (float64(j) + rho*e)
+	}
+	return e, nil
+}
+
+// MMkkOccupancyPMF returns the steady-state probability that an M/M/k/k node
+// with utilization ρ holds exactly n packets: the Poisson pmf truncated to
+// {0..k} and renormalised.
+func MMkkOccupancyPMF(rho float64, k, n int) (float64, error) {
+	if n < 0 || n > k {
+		return 0, fmt.Errorf("queueing: occupancy %d outside [0,%d]", n, k)
+	}
+	num, err := PoissonPMF(rho, n)
+	if err != nil {
+		return 0, err
+	}
+	den := 0.0
+	for j := 0; j <= k; j++ {
+		p, err := PoissonPMF(rho, j)
+		if err != nil {
+			return 0, err
+		}
+		den += p
+	}
+	if den == 0 {
+		return 0, errors.New("queueing: degenerate truncated distribution")
+	}
+	return num / den, nil
+}
+
+// MMkkExpectedOccupancy returns the expected number of packets in an
+// M/M/k/k node: ρ·(1 − E(ρ, k)) (carried load).
+func MMkkExpectedOccupancy(rho float64, k int) (float64, error) {
+	e, err := ErlangLoss(rho, k)
+	if err != nil {
+		return 0, err
+	}
+	return rho * (1 - e), nil
+}
+
+// MMInfTransientMean returns the expected occupancy of an M/M/∞ buffering
+// node at time t after starting empty: m(t) = ρ·(1 − e^{−µt}). It converges
+// to the stationary ρ with time constant 1/µ, which is why simulations
+// discard a warmup of a few mean delays before measuring occupancy.
+func MMInfTransientMean(lambda, mu, t float64) (float64, error) {
+	rho, err := utilization(lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	if t < 0 || math.IsNaN(t) {
+		return 0, fmt.Errorf("queueing: time must be non-negative, got %v", t)
+	}
+	return rho * (1 - math.Exp(-mu*t)), nil
+}
+
+// ErrTargetUnreachable is returned by the planners when no finite parameter
+// achieves the requested loss target.
+var ErrTargetUnreachable = errors.New("queueing: loss target unreachable")
+
+// SolveRho returns the utilization ρ at which E(ρ, k) equals the target loss
+// probability α ∈ (0, 1). E(·, k) is strictly increasing in ρ, so the root is
+// unique; it is found by bisection to within tol (relative). It returns an
+// error for α outside (0, 1) or k < 1.
+func SolveRho(k int, alpha float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("queueing: SolveRho needs k >= 1, got %d", k)
+	}
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return 0, fmt.Errorf("queueing: target loss must lie in (0,1), got %v", alpha)
+	}
+	lo, hi := 0.0, 1.0
+	// Grow the bracket until E(hi, k) exceeds alpha. E(ρ,k) → 1 as ρ → ∞,
+	// so this terminates.
+	for {
+		e, err := ErlangLoss(hi, k)
+		if err != nil {
+			return 0, err
+		}
+		if e >= alpha {
+			break
+		}
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("%w: E(ρ,%d) < %v for all ρ <= 1e12", ErrTargetUnreachable, k, alpha)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		e, err := ErlangLoss(mid, k)
+		if err != nil {
+			return 0, err
+		}
+		if e < alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*math.Max(1, hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// PlanMu returns the delay rate µ (per-packet service rate, i.e. the inverse
+// of the mean buffering delay) that an M/M/k/k node with incoming rate
+// lambda must use so that its Erlang loss equals the target α. This is the
+// §4 adaptive design rule: as λ grows near the sink, µ must grow (delays
+// must shorten) to hold the drop rate at α.
+func PlanMu(lambda float64, k int, alpha float64) (float64, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return 0, fmt.Errorf("queueing: arrival rate must be positive and finite, got %v", lambda)
+	}
+	rho, err := SolveRho(k, alpha)
+	if err != nil {
+		return 0, err
+	}
+	return lambda / rho, nil
+}
+
+// SuperposedRate returns the aggregate arrival rate of m independent Poisson
+// flows (§4's superposition property). Negative rates are rejected.
+func SuperposedRate(rates ...float64) (float64, error) {
+	total := 0.0
+	for i, r := range rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return 0, fmt.Errorf("queueing: flow %d rate must be non-negative and finite, got %v", i, r)
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// BurkeDepartureRate returns the steady-state departure rate of a stable
+// M/M/m queue with arrival rate lambda — which, by Burke's theorem, is a
+// Poisson process at the same rate λ. For M/M/∞ (every packet gets its own
+// delay server) stability always holds. The function exists so the tandem
+// analysis in package core reads as the theorem it applies.
+func BurkeDepartureRate(lambda float64) (float64, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return 0, fmt.Errorf("queueing: arrival rate must be non-negative and finite, got %v", lambda)
+	}
+	return lambda, nil
+}

@@ -1,0 +1,435 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonPMFKnownValues(t *testing.T) {
+	tests := []struct {
+		mean float64
+		k    int
+		want float64
+	}{
+		{0, 0, 1},
+		{0, 3, 0},
+		{1, 0, math.Exp(-1)},
+		{1, 1, math.Exp(-1)},
+		{2, 2, 2 * math.Exp(-2)},
+		{10, 10, math.Pow(10, 10) / 3628800 * math.Exp(-10)},
+	}
+	for _, tc := range tests {
+		got, err := PoissonPMF(tc.mean, tc.k)
+		if err != nil {
+			t.Fatalf("PoissonPMF(%v,%d): %v", tc.mean, tc.k, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12*math.Max(1, tc.want) {
+			t.Fatalf("PoissonPMF(%v,%d) = %v, want %v", tc.mean, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 30, 300} {
+		sum := 0.0
+		for k := 0; k < int(mean)*4+50; k++ {
+			p, err := PoissonPMF(mean, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Poisson(%v) pmf sums to %v", mean, sum)
+		}
+	}
+}
+
+func TestPoissonPMFLargeMeanStable(t *testing.T) {
+	// The naive ρ^k/k! overflows beyond k ≈ 170; the log-space form must not.
+	p, err := PoissonPMF(500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mode of Poisson(500) ≈ 1/sqrt(2π·500).
+	want := 1 / math.Sqrt(2*math.Pi*500)
+	if math.Abs(p-want) > 0.01*want {
+		t.Fatalf("PoissonPMF(500,500) = %v, want ≈ %v", p, want)
+	}
+}
+
+func TestPoissonPMFValidation(t *testing.T) {
+	if _, err := PoissonPMF(-1, 0); err == nil {
+		t.Fatal("negative mean accepted")
+	}
+	if _, err := PoissonPMF(1, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestMMInfOccupancy(t *testing.T) {
+	// λ=0.5, µ=1/30 → ρ=15: the paper's S1-like load.
+	rho, err := MMInfExpectedOccupancy(0.5, 1.0/30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-15) > 1e-9 {
+		t.Fatalf("expected occupancy = %v, want 15", rho)
+	}
+	p, err := MMInfOccupancyPMF(0.5, 1.0/30, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PoissonPMF(15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-want) > 1e-15 {
+		t.Fatalf("MMInf pmf = %v, want Poisson(15) at 15 = %v", p, want)
+	}
+}
+
+func TestMMInfValidation(t *testing.T) {
+	if _, err := MMInfExpectedOccupancy(-1, 1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := MMInfExpectedOccupancy(1, 0); err == nil {
+		t.Fatal("zero mu accepted")
+	}
+}
+
+func TestErlangLossKnownValues(t *testing.T) {
+	// E(ρ, 0) = 1 for any ρ: zero slots block everything.
+	e, err := ErlangLoss(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1 {
+		t.Fatalf("E(5,0) = %v, want 1", e)
+	}
+	// E(ρ, 1) = ρ/(1+ρ).
+	e, err = ErlangLoss(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-2.0/3.0) > 1e-12 {
+		t.Fatalf("E(2,1) = %v, want 2/3", e)
+	}
+	// E(ρ, 2) = (ρ²/2)/(1+ρ+ρ²/2); at ρ=2: 2/(1+2+2) = 0.4.
+	e, err = ErlangLoss(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-0.4) > 1e-12 {
+		t.Fatalf("E(2,2) = %v, want 0.4", e)
+	}
+	// Zero load never blocks (k >= 1).
+	e, err = ErlangLoss(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Fatalf("E(0,3) = %v, want 0", e)
+	}
+}
+
+func TestErlangLossMatchesDirectFormula(t *testing.T) {
+	// Compare the recurrence against the textbook formula where factorials
+	// are still exact.
+	factorial := func(n int) float64 {
+		f := 1.0
+		for i := 2; i <= n; i++ {
+			f *= float64(i)
+		}
+		return f
+	}
+	for _, rho := range []float64{0.5, 1, 5, 15} {
+		for _, k := range []int{1, 5, 10, 20} {
+			num := math.Pow(rho, float64(k)) / factorial(k)
+			den := 0.0
+			for i := 0; i <= k; i++ {
+				den += math.Pow(rho, float64(i)) / factorial(i)
+			}
+			want := num / den
+			got, err := ErlangLoss(rho, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("E(%v,%d) = %v, want %v", rho, k, got, want)
+			}
+		}
+	}
+}
+
+func TestErlangLossMonotoneInRhoAndK(t *testing.T) {
+	prev := 0.0
+	for _, rho := range []float64{0.1, 1, 5, 10, 50} {
+		e, err := ErlangLoss(rho, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < prev {
+			t.Fatalf("E(ρ,10) not increasing in ρ at %v", rho)
+		}
+		prev = e
+	}
+	prevK := 1.0
+	for k := 0; k <= 30; k++ {
+		e, err := ErlangLoss(15, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prevK {
+			t.Fatalf("E(15,k) not decreasing in k at %d", k)
+		}
+		prevK = e
+	}
+}
+
+func TestErlangLossLargeArgumentsStable(t *testing.T) {
+	e, err := ErlangLoss(1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(e) || e <= 0 || e >= 1 {
+		t.Fatalf("E(1000,1000) = %v, want in (0,1)", e)
+	}
+}
+
+func TestMMkkOccupancyPMF(t *testing.T) {
+	// k=1, ρ=1: P{0} = P{1} = 1/2.
+	p0, err := MMkkOccupancyPMF(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := MMkkOccupancyPMF(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p0-0.5) > 1e-12 || math.Abs(p1-0.5) > 1e-12 {
+		t.Fatalf("M/M/1/1 at ρ=1: p0=%v p1=%v, want 0.5 each", p0, p1)
+	}
+	// The distribution sums to 1 for arbitrary parameters.
+	sum := 0.0
+	for n := 0; n <= 10; n++ {
+		p, err := MMkkOccupancyPMF(7.3, 10, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("M/M/10/10 pmf sums to %v", sum)
+	}
+	if _, err := MMkkOccupancyPMF(1, 5, 6); err == nil {
+		t.Fatal("occupancy beyond k accepted")
+	}
+}
+
+func TestMMkkExpectedOccupancyIsCarriedLoad(t *testing.T) {
+	rho := 15.0
+	k := 10
+	e, err := ErlangLoss(rho, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MMkkExpectedOccupancy(rho, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rho * (1 - e)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("carried load = %v, want %v", got, want)
+	}
+	if got >= float64(k)+1e-9 {
+		t.Fatalf("expected occupancy %v exceeds buffer size %d", got, k)
+	}
+}
+
+func TestSolveRhoRoundTrips(t *testing.T) {
+	for _, k := range []int{1, 5, 10, 50} {
+		for _, alpha := range []float64{0.001, 0.01, 0.1, 0.5} {
+			rho, err := SolveRho(k, alpha)
+			if err != nil {
+				t.Fatalf("SolveRho(%d,%v): %v", k, alpha, err)
+			}
+			e, err := ErlangLoss(rho, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(e-alpha) > 1e-6 {
+				t.Fatalf("E(SolveRho(%d,%v)=%v, %d) = %v, want %v", k, alpha, rho, k, e, alpha)
+			}
+		}
+	}
+}
+
+func TestSolveRhoValidation(t *testing.T) {
+	if _, err := SolveRho(0, 0.1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SolveRho(5, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := SolveRho(5, 1); err == nil {
+		t.Fatal("alpha=1 accepted")
+	}
+}
+
+func TestPlanMuAchievesTarget(t *testing.T) {
+	const k = 10
+	const alpha = 0.1
+	for _, lambda := range []float64{0.05, 0.5, 2} {
+		mu, err := PlanMu(lambda, k, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := ErlangLoss(lambda/mu, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-alpha) > 1e-6 {
+			t.Fatalf("PlanMu(%v): achieved loss %v, want %v", lambda, e, alpha)
+		}
+	}
+}
+
+// TestPlanMuScalesWithLoad verifies the paper's §4 observation: "as we
+// approach the sink and the traffic rate λ increases, we must decrease the
+// average delay time 1/µ in order to maintain E(ρ,k) at a target drop rate".
+func TestPlanMuScalesWithLoad(t *testing.T) {
+	const k, alpha = 10, 0.1
+	muLow, err := PlanMu(0.1, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muHigh, err := PlanMu(1.0, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muHigh <= muLow {
+		t.Fatalf("µ did not grow with load: µ(0.1)=%v µ(1.0)=%v", muLow, muHigh)
+	}
+	// With a fixed target ρ*, µ is proportional to λ, so 1/µ (the privacy
+	// delay budget) shrinks linearly near the sink.
+	if math.Abs(muHigh/muLow-10) > 1e-6 {
+		t.Fatalf("µ ratio = %v, want 10 (linear in λ)", muHigh/muLow)
+	}
+}
+
+func TestSuperposedRate(t *testing.T) {
+	got, err := SuperposedRate(0.1, 0.2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("superposed rate = %v, want 0.6", got)
+	}
+	if _, err := SuperposedRate(0.1, -0.2); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestBurkeDepartureRate(t *testing.T) {
+	got, err := BurkeDepartureRate(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.7 {
+		t.Fatalf("Burke departure rate = %v, want 0.7", got)
+	}
+	if _, err := BurkeDepartureRate(-1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestTargetUnreachableError(t *testing.T) {
+	// Extremely small alpha with huge k is still reachable; unreachable is
+	// exercised through PlanMu with invalid inputs instead. Verify the
+	// sentinel is wired.
+	_, err := SolveRho(1, 1e-300)
+	if err != nil && !errors.Is(err, ErrTargetUnreachable) {
+		// Either succeed or fail with the typed sentinel.
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+// Property: Erlang loss always lies in [0,1] and the recurrence is monotone
+// in ρ for arbitrary inputs.
+func TestErlangLossRangeProperty(t *testing.T) {
+	f := func(rhoRaw uint16, kRaw uint8) bool {
+		rho := float64(rhoRaw) / 100
+		k := int(kRaw % 64)
+		e, err := ErlangLoss(rho, k)
+		if err != nil {
+			return false
+		}
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			return false
+		}
+		e2, err := ErlangLoss(rho+1, k)
+		if err != nil {
+			return false
+		}
+		return e2+1e-12 >= e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PlanMu round-trips through ErlangLoss for arbitrary loads.
+func TestPlanMuRoundTripProperty(t *testing.T) {
+	f := func(lambdaRaw uint16, kRaw uint8) bool {
+		lambda := 0.01 + float64(lambdaRaw)/65535*10
+		k := int(kRaw%20) + 1
+		mu, err := PlanMu(lambda, k, 0.1)
+		if err != nil {
+			return false
+		}
+		e, err := ErlangLoss(lambda/mu, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(e-0.1) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMInfTransientMean(t *testing.T) {
+	// At t=0 the buffer is empty; as t → ∞ it approaches ρ.
+	v, err := MMInfTransientMean(0.5, 1.0/30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("m(0) = %v, want 0", v)
+	}
+	v, err = MMInfTransientMean(0.5, 1.0/30, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-15) > 1e-6 {
+		t.Fatalf("m(∞) = %v, want ρ = 15", v)
+	}
+	// One time constant (t = 1/µ = 30) reaches 1−1/e of ρ.
+	v, err = MMInfTransientMean(0.5, 1.0/30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 15 * (1 - math.Exp(-1))
+	if math.Abs(v-want) > 1e-9 {
+		t.Fatalf("m(1/µ) = %v, want %v", v, want)
+	}
+	if _, err := MMInfTransientMean(0.5, 1.0/30, -1); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if _, err := MMInfTransientMean(-1, 1, 0); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}

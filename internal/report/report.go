@@ -1,0 +1,179 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"unicode/utf8"
+)
+
+// Row is one table row: a label (e.g. the packet interarrival time of a
+// sweep point) and one value per column.
+type Row struct {
+	// Label identifies the row, shown in the first column.
+	Label string
+	// Values holds one number per value column.
+	Values []float64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// Title heads the rendering.
+	Title string
+	// RowHeader names the label column (e.g. "1/λ").
+	RowHeader string
+	// Columns names the value columns.
+	Columns []string
+	// Rows holds the data.
+	Rows []Row
+	// Notes are free-form lines appended after the table (substitutions,
+	// expected shapes, parameter records).
+	Notes []string
+}
+
+// ErrShape is returned when a table's rows do not match its column count.
+var ErrShape = errors.New("report: row width does not match column count")
+
+// Validate checks that every row has exactly one value per column.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r.Values) != len(t.Columns) {
+			return fmt.Errorf("%w: row %d (%q) has %d values for %d columns",
+				ErrShape, i, r.Label, len(r.Values), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// formatValue renders a float compactly: integers without decimals, large
+// magnitudes in scientific notation, everything else with 4 significant
+// digits.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v <= -1e6 || (v < 1e-3 && v > -1e-3):
+		return fmt.Sprintf("%.3e", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	headers := append([]string{t.RowHeader}, t.Columns...)
+	cells := make([][]string, 0, len(t.Rows)+1)
+	cells = append(cells, headers)
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(headers))
+		row = append(row, r.Label)
+		for _, v := range r.Values {
+			row = append(row, formatValue(v))
+		}
+		cells = append(cells, row)
+	}
+
+	widths := make([]int, len(headers))
+	for _, row := range cells {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			// Pad by rune count so multibyte headers (e.g. "1/λ") align.
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(cells[0])
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range cells[1:] {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("# ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (label column first). Notes become
+// trailing comment lines prefixed with '#'.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(csvEscape(t.RowHeader))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			b.WriteByte(',')
+			b.WriteString(fmt.Sprintf("%g", v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		b.WriteString("# ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:     "Figure 2(a): MSE vs interarrival",
+		RowHeader: "1/λ",
+		Columns:   []string{"NoDelay", "Unlimited", "RCAD"},
+		Notes:     []string{"seed=42", "1000 packets per source"},
+	}
+	t.AddRow("2", 0.1, 13500, 1200000)
+	t.AddRow("20", 0.1, 13400, 15000)
+	return t
+}
+
+func TestValidate(t *testing.T) {
+	tab := sample()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tab.AddRow("bad", 1)
+	if err := tab.Validate(); !errors.Is(err, ErrShape) {
+		t.Fatalf("short row: %v, want ErrShape", err)
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 2(a)", "1/λ", "NoDelay", "Unlimited", "RCAD",
+		"13500", "# seed=42", "# 1000 packets per source",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// 1.2e6 renders in scientific notation.
+	if !strings.Contains(out, "1.200e+06") {
+		t.Fatalf("large value not in scientific notation:\n%s", out)
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Title, underline, header, separator, 2 data rows, 2 notes.
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	// Header and data rows all have the same rendered width in runes (the
+	// "λ" header is multibyte, so byte lengths differ legitimately).
+	header := utf8.RuneCountInString(lines[2])
+	for _, l := range lines[4:6] {
+		if got := utf8.RuneCountInString(l); got != header {
+			t.Fatalf("row width %d != header width %d:\n%s", got, header, b.String())
+		}
+	}
+}
+
+func TestRenderRejectsInvalid(t *testing.T) {
+	tab := sample()
+	tab.AddRow("bad", 1, 2)
+	var b strings.Builder
+	if err := tab.Render(&b); !errors.Is(err, ErrShape) {
+		t.Fatalf("render of invalid table: %v", err)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != "1/λ,NoDelay,Unlimited,RCAD" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "2,0.1,13500,1.2e+06" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+	if lines[3] != "# seed=42" {
+		t.Fatalf("csv note = %q", lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{
+		RowHeader: "metric, with comma",
+		Columns:   []string{`quoted "col"`},
+	}
+	tab.AddRow("r1", 1)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"metric, with comma"`) {
+		t.Fatalf("comma header not quoted: %s", b.String())
+	}
+	if !strings.Contains(b.String(), `"quoted ""col"""`) {
+		t.Fatalf("quotes not escaped: %s", b.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-3, "-3"},
+		{1.5, "1.5"},
+		{13500.25, "1.35e+04"},
+		{1.2e6, "1.200e+06"},
+		{0.0005, "5.000e-04"},
+	}
+	for _, tc := range tests {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Fatalf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	if got := formatValue(math.NaN()); got != "-" {
+		t.Fatalf("formatValue(NaN) = %q, want -", got)
+	}
+	if got := formatValue(math.Inf(1)); got != "+inf" {
+		t.Fatalf("formatValue(+Inf) = %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-inf" {
+		t.Fatalf("formatValue(-Inf) = %q", got)
+	}
+}

@@ -1,0 +1,365 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sources with different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("node/1")
+	c2 := parent.Split("node/1")
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("identical splits diverged at draw %d", i)
+		}
+	}
+	// Splitting must not advance the parent.
+	fresh := New(7)
+	_ = fresh.Split("node/1")
+	want := New(7).Uint64()
+	if got := fresh.Uint64(); got != want {
+		t.Fatalf("Split advanced parent state: got %d want %d", got, want)
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("node/1")
+	c2 := parent.Split("node/2")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams with different labels produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitIndexedMatchesSplit(t *testing.T) {
+	parent := New(3)
+	a := parent.SplitIndexed("node", 17)
+	b := parent.Split("node/17")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitIndexed does not match equivalent Split label")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(19)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("Intn(%d): value %d drawn %d times, want ≈ %.0f", n, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(23)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := New(29)
+	const n = 200000
+	const mean = 30.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential sample: %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.02*mean {
+		t.Fatalf("exponential mean = %v, want ≈ %v", m, mean)
+	}
+	if math.Abs(variance-mean*mean) > 0.05*mean*mean {
+		t.Fatalf("exponential variance = %v, want ≈ %v", variance, mean*mean)
+	}
+}
+
+func TestExponentialRateMatchesMean(t *testing.T) {
+	a := New(31)
+	b := New(31)
+	for i := 0; i < 100; i++ {
+		if got, want := a.ExponentialRate(0.25), b.Exponential(4); got != want {
+			t.Fatalf("ExponentialRate(0.25) = %v, Exponential(4) = %v", got, want)
+		}
+	}
+}
+
+func TestUniformRangeAndMean(t *testing.T) {
+	s := New(37)
+	const lo, hi, n = 10.0, 50.0, 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Uniform(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("Uniform(%v,%v) = %v out of range", lo, hi, v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-30) > 0.5 {
+		t.Fatalf("uniform mean = %v, want ≈ 30", mean)
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	s := New(41)
+	const k, stageMean, n = 5, 2.0, 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Erlang(k, stageMean)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	wantMean := float64(k) * stageMean
+	wantVar := float64(k) * stageMean * stageMean
+	if math.Abs(m-wantMean) > 0.02*wantMean {
+		t.Fatalf("Erlang mean = %v, want ≈ %v", m, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 0.05*wantVar {
+		t.Fatalf("Erlang variance = %v, want ≈ %v", variance, wantVar)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(43)
+	const mean, stddev, n = 5.0, 3.0, 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("normal mean = %v, want ≈ %v", m, mean)
+	}
+	if math.Abs(variance-stddev*stddev) > 0.2 {
+		t.Fatalf("normal variance = %v, want ≈ %v", variance, stddev*stddev)
+	}
+}
+
+func TestParetoSupportAndMean(t *testing.T) {
+	s := New(47)
+	const scale, shape, n = 2.0, 3.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(scale, shape)
+		if v < scale {
+			t.Fatalf("Pareto sample %v below scale %v", v, scale)
+		}
+		sum += v
+	}
+	wantMean := shape * scale / (shape - 1)
+	if m := sum / n; math.Abs(m-wantMean) > 0.05*wantMean {
+		t.Fatalf("Pareto mean = %v, want ≈ %v", m, wantMean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 30, 600} {
+		s := New(53)
+		const n = 100000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.03*mean+0.02 {
+			t.Fatalf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.08*mean+0.05 {
+			t.Fatalf("Poisson(%v) variance = %v", mean, variance)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	s := New(59)
+	for i := 0; i < 100; i++ {
+		if v := s.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", v)
+		}
+	}
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	s := New(61)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate = %v", p, got)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(67)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+// Property: exponential samples are always non-negative and finite for any
+// positive mean.
+func TestExponentialNonNegativeProperty(t *testing.T) {
+	s := New(71)
+	f := func(seed uint64, meanBits uint16) bool {
+		mean := 0.001 + float64(meanBits)/65535*1000
+		src := s.Split("prop").Split(string(rune(seed)))
+		v := src.Exponential(mean)
+		return v >= 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn(n) is always within [0, n) for arbitrary positive n.
+func TestIntnRangeProperty(t *testing.T) {
+	s := New(73)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Float64 stays in [0,1) over arbitrary substreams.
+func TestFloat64RangeProperty(t *testing.T) {
+	parent := New(79)
+	f := func(label string) bool {
+		v := parent.Split(label).Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkExponential(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Exponential(30)
+	}
+}

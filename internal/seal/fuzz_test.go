@@ -1,0 +1,50 @@
+package seal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSealOpen checks that Seal/Open round-trips arbitrary payloads and
+// that Open never panics or succeeds on mutated ciphertexts.
+func FuzzSealOpen(f *testing.F) {
+	f.Add([]byte("sensor reading"), []byte("master key"), uint8(0))
+	f.Add([]byte{}, []byte{0x01}, uint8(3))
+	f.Add(bytes.Repeat([]byte{0xFF}, 200), []byte("k"), uint8(7))
+	f.Fuzz(func(t *testing.T, payload, master []byte, flip uint8) {
+		k := NewKeyring(master)
+		sealed, err := k.Seal(payload)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		got, err := k.Open(sealed)
+		if err != nil {
+			t.Fatalf("Open of valid seal: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch: %x vs %x", got, payload)
+		}
+		// Any single-byte mutation must be rejected.
+		if len(sealed) > 0 {
+			tampered := append([]byte(nil), sealed...)
+			tampered[int(flip)%len(tampered)] ^= 0x01
+			if _, err := k.Open(tampered); err == nil {
+				t.Fatal("Open accepted a tampered ciphertext")
+			}
+		}
+	})
+}
+
+// FuzzOpenArbitrary feeds Open arbitrary bytes: it must never panic and
+// never authenticate garbage.
+func FuzzOpenArbitrary(f *testing.F) {
+	f.Add([]byte("not a ciphertext"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, Overhead))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := NewKeyring([]byte("fuzz"))
+		if _, err := k.Open(data); err == nil {
+			t.Fatal("Open authenticated arbitrary bytes")
+		}
+	})
+}

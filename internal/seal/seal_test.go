@@ -1,0 +1,168 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := NewKeyring([]byte("master secret"))
+	msgs := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("sensor reading at t=42"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	for _, msg := range msgs {
+		sealed, err := k.Seal(msg)
+		if err != nil {
+			t.Fatalf("Seal(%d bytes): %v", len(msg), err)
+		}
+		if len(sealed) != len(msg)+Overhead {
+			t.Fatalf("sealed length %d, want %d", len(sealed), len(msg)+Overhead)
+		}
+		got, err := k.Open(sealed)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip mismatch: got %x want %x", got, msg)
+		}
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	k := NewKeyring([]byte("master secret"))
+	sealed, err := k.Seal([]byte("the animal was seen at t=17"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(sealed); i++ {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x01
+		if _, err := k.Open(tampered); !errors.Is(err, ErrAuthentication) {
+			t.Fatalf("flipping byte %d: Open returned %v, want ErrAuthentication", i, err)
+		}
+	}
+}
+
+func TestOpenRejectsTruncation(t *testing.T) {
+	k := NewKeyring([]byte("master secret"))
+	sealed, err := k.Seal([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open(sealed[:len(sealed)-1]); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("truncated by 1: %v, want ErrAuthentication", err)
+	}
+	if _, err := k.Open(sealed[:Overhead-1]); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("below minimum size: %v, want ErrTooShort", err)
+	}
+	if _, err := k.Open(nil); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("nil input: %v, want ErrTooShort", err)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	k1 := NewKeyring([]byte("key one"))
+	k2 := NewKeyring([]byte("key two"))
+	sealed, err := k1.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k2.Open(sealed); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("wrong key: %v, want ErrAuthentication", err)
+	}
+}
+
+func TestDistinctIVsPerMessage(t *testing.T) {
+	k := NewKeyring([]byte("master"))
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		sealed, err := k.Seal([]byte("same plaintext"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := string(sealed[:16])
+		if seen[iv] {
+			t.Fatalf("IV reused at message %d", i)
+		}
+		seen[iv] = true
+	}
+}
+
+func TestCiphertextDiffersAcrossMessages(t *testing.T) {
+	k := NewKeyring([]byte("master"))
+	a, err := k.Seal([]byte("identical"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Seal([]byte("identical"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext produced identical output")
+	}
+}
+
+func TestKeyringDeterministicDerivation(t *testing.T) {
+	a := NewKeyring([]byte("shared"))
+	b := NewKeyring([]byte("shared"))
+	sealed, err := a.Seal([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Open(sealed)
+	if err != nil {
+		t.Fatalf("keyring derived from same master could not open: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	k := NewKeyring([]byte("master"))
+	plaintext := bytes.Repeat([]byte("timestamp=123456789"), 4)
+	sealed, err := k.Seal(plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, []byte("timestamp")) {
+		t.Fatal("sealed output contains plaintext substring")
+	}
+}
+
+// Property: round trip holds for arbitrary byte strings.
+func TestRoundTripProperty(t *testing.T) {
+	k := NewKeyring([]byte("prop"))
+	f := func(msg []byte) bool {
+		sealed, err := k.Seal(msg)
+		if err != nil {
+			return false
+		}
+		got, err := k.Open(sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	k := NewKeyring([]byte("bench"))
+	msg := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Seal(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

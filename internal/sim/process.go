@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrTerminated is returned by Proc.Wait when the scheduler is shut down
+// while the process sleeps. A process receiving it must return promptly.
+var ErrTerminated = errors.New("sim: process terminated by shutdown")
+
+// Proc is a process-oriented view of the simulation: a goroutine that
+// alternates between running model code and sleeping in simulated time via
+// Wait. Exactly one process goroutine runs at any instant — the kernel
+// hands control to a process and blocks until it yields — so process-based
+// models are as deterministic as callback-based ones.
+//
+// A process must eventually return from its body; a body that blocks on
+// anything other than Wait deadlocks the simulation (and is a bug in the
+// model, not the kernel).
+type Proc struct {
+	sched *Scheduler
+	name  string
+
+	resume chan error    // kernel → process: run (nil) or terminate (error)
+	yield  chan struct{} // process → kernel: gone to sleep or returned
+	timer  *Timer
+	done   bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.sched.Now() }
+
+// Wait suspends the process for delay simulated time units. It returns
+// ErrTerminated if the scheduler was shut down while sleeping; the process
+// must then return. Negative delays panic (as Scheduler.After does).
+func (p *Proc) Wait(delay float64) error {
+	p.timer = p.sched.At(p.sched.Now()+delay, p.wake)
+	p.yield <- struct{}{}              // hand control back to the kernel
+	if err := <-p.resume; err != nil { // sleep until the kernel wakes us
+		return err
+	}
+	return nil
+}
+
+// wake is the timer callback: transfer control to the process goroutine and
+// block until it yields again (or returns).
+func (p *Proc) wake() {
+	p.timer = nil
+	p.resume <- nil
+	<-p.yield
+}
+
+// run hosts the process body.
+func (p *Proc) run(body func(*Proc) error, wg *sync.WaitGroup, onErr func(error)) {
+	defer wg.Done()
+	if err := <-p.resume; err != nil {
+		// Terminated before first activation.
+		p.done = true
+		p.yield <- struct{}{}
+		return
+	}
+	err := body(p)
+	p.done = true
+	if err != nil && !errors.Is(err, ErrTerminated) && onErr != nil {
+		onErr(err)
+	}
+	p.yield <- struct{}{}
+}
+
+// processHost tracks the scheduler's spawned processes. It lives on the
+// Scheduler lazily so callback-only simulations pay nothing.
+type processHost struct {
+	wg    sync.WaitGroup
+	procs []*Proc
+	err   error
+}
+
+// Spawn starts a process: body runs on its own goroutine, activated at the
+// current simulated time (after already-queued events at this instant). The
+// returned Proc is mainly useful for diagnostics; control flow happens
+// inside body via Wait. If body returns a non-nil error (other than
+// ErrTerminated), the simulation stops and Run/RunUntil reports it.
+//
+// All spawned goroutines are joined by Shutdown, which Run calls implicitly
+// when the event list drains.
+func (s *Scheduler) Spawn(name string, body func(*Proc) error) *Proc {
+	if body == nil {
+		panic("sim: Spawn called with nil body")
+	}
+	if s.host == nil {
+		s.host = &processHost{}
+	}
+	p := &Proc{
+		sched:  s,
+		name:   name,
+		resume: make(chan error),
+		yield:  make(chan struct{}),
+	}
+	s.host.procs = append(s.host.procs, p)
+	s.host.wg.Add(1)
+	go p.run(body, &s.host.wg, func(err error) {
+		if s.host.err == nil {
+			s.host.err = fmt.Errorf("sim: process %q: %w", name, err)
+		}
+		s.Stop()
+	})
+	// First activation: enter the body at the current instant.
+	p.timer = s.At(s.Now(), func() {
+		p.timer = nil
+		p.resume <- nil
+		<-p.yield
+	})
+	return p
+}
+
+// Shutdown terminates all sleeping processes (their Wait returns
+// ErrTerminated) and joins their goroutines. It is idempotent and is called
+// automatically when Run finishes; call it explicitly after RunUntil if the
+// simulation is being abandoned early.
+func (s *Scheduler) Shutdown() {
+	if s.host == nil {
+		return
+	}
+	for _, p := range s.host.procs {
+		if p.done {
+			continue
+		}
+		s.Cancel(p.timer)
+		p.resume <- ErrTerminated
+		<-p.yield
+	}
+	s.host.wg.Wait()
+}
+
+// processErr returns the first process-body error, if any.
+func (s *Scheduler) processErr() error {
+	if s.host == nil {
+		return nil
+	}
+	return s.host.err
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"tempriv/internal/rng"
+)
+
+func TestProcessWaitAdvancesTime(t *testing.T) {
+	s := NewScheduler()
+	var times []float64
+	s.Spawn("ticker", func(p *Proc) error {
+		for i := 0; i < 5; i++ {
+			if err := p.Wait(10); err != nil {
+				return err
+			}
+			times = append(times, p.Now())
+		}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30, 40, 50}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := NewScheduler()
+		var order []string
+		for _, cfg := range []struct {
+			name string
+			gap  float64
+		}{{"a", 3}, {"b", 5}} {
+			cfg := cfg
+			s.Spawn(cfg.name, func(p *Proc) error {
+				for i := 0; i < 4; i++ {
+					if err := p.Wait(cfg.gap); err != nil {
+						return err
+					}
+					order = append(order, fmt.Sprintf("%s@%g", cfg.name, p.Now()))
+				}
+				return nil
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	want := []string{"a@3", "b@5", "a@6", "a@9", "b@10", "a@12", "b@15", "b@20"}
+	if len(first) != len(want) {
+		t.Fatalf("order = %v", first)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+	// Same result on every run (goroutines notwithstanding).
+	for trial := 0; trial < 20; trial++ {
+		again := run()
+		for i := range want {
+			if again[i] != want[i] {
+				t.Fatalf("trial %d: order = %v", trial, again)
+			}
+		}
+	}
+}
+
+func TestProcessesAndCallbacksShareTheClock(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(5, func() { order = append(order, "callback@5") })
+	s.Spawn("proc", func(p *Proc) error {
+		if err := p.Wait(5); err != nil {
+			return err
+		}
+		order = append(order, "proc@5")
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The callback was scheduled before the process's wake event.
+	if len(order) != 2 || order[0] != "callback@5" || order[1] != "proc@5" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestProcessBodyErrorStopsSimulation(t *testing.T) {
+	s := NewScheduler()
+	boom := errors.New("model bug")
+	s.Spawn("bad", func(p *Proc) error {
+		if err := p.Wait(1); err != nil {
+			return err
+		}
+		return boom
+	})
+	fired := false
+	s.At(100, func() { fired = true })
+	err := s.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want the process error", err)
+	}
+	if fired {
+		t.Fatal("events after a process error still fired")
+	}
+}
+
+func TestShutdownTerminatesSleepers(t *testing.T) {
+	s := NewScheduler()
+	var sawTerminated bool
+	s.Spawn("sleeper", func(p *Proc) error {
+		err := p.Wait(1e9)
+		sawTerminated = errors.Is(err, ErrTerminated)
+		return err
+	})
+	if err := s.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	if !sawTerminated {
+		t.Fatal("sleeping process did not observe ErrTerminated")
+	}
+	// Idempotent.
+	s.Shutdown()
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := NewScheduler()
+	var childRan bool
+	s.Spawn("parent", func(p *Proc) error {
+		if err := p.Wait(5); err != nil {
+			return err
+		}
+		s.Spawn("child", func(c *Proc) error {
+			if err := c.Wait(5); err != nil {
+				return err
+			}
+			childRan = c.Now() == 10
+			return nil
+		})
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child process did not run at the expected time")
+	}
+}
+
+func TestSpawnNilBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn(nil) did not panic")
+		}
+	}()
+	NewScheduler().Spawn("nil", nil)
+}
+
+func TestProcName(t *testing.T) {
+	s := NewScheduler()
+	p := s.Spawn("worker", func(p *Proc) error { return nil })
+	if p.Name() != "worker" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessMMInfMatchesCallbackModel rebuilds the §4 M/M/∞ occupancy
+// check in process style — an arrival process spawning one holder process
+// per packet — and verifies the same stationary mean ρ, demonstrating the
+// two APIs agree.
+func TestProcessMMInfMatchesCallbackModel(t *testing.T) {
+	const lambda, meanDelay, horizon = 1.0, 5.0, 40000.0
+	s := NewScheduler()
+	src := rng.New(81)
+	occupancy := 0
+	area := 0.0
+	last := 0.0
+	observe := func(delta int) {
+		area += float64(occupancy) * (s.Now() - last)
+		last = s.Now()
+		occupancy += delta
+	}
+	s.Spawn("arrivals", func(p *Proc) error {
+		for p.Now() < horizon {
+			if err := p.Wait(src.ExponentialRate(lambda)); err != nil {
+				return err
+			}
+			observe(+1)
+			hold := src.Exponential(meanDelay)
+			s.Spawn("holder", func(h *Proc) error {
+				if err := h.Wait(hold); err != nil {
+					return err
+				}
+				observe(-1)
+				return nil
+			})
+		}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	observe(0)
+	avg := area / last
+	if math.Abs(avg-lambda*meanDelay) > 0.35 {
+		t.Fatalf("process-style M/M/∞ occupancy %v, want ≈ %v", avg, lambda*meanDelay)
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate underneath every experiment in this
+// repository: the paper evaluates RCAD with "a detailed event-driven
+// simulator" (§5), and this package is that simulator's engine. It keeps a
+// future-event list in a binary heap ordered by (time, sequence number), so
+// two events scheduled for the same instant always fire in the order they
+// were scheduled — runs are bit-for-bit reproducible.
+//
+// Simulated time is a float64 in abstract "time units", matching the paper's
+// parameterisation (per-hop transmission delay τ = 1 time unit, buffer delay
+// mean 1/µ = 30 time units, and so on).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// rather than by draining the event list or reaching the horizon.
+var ErrStopped = errors.New("sim: stopped")
+
+// Timer is a handle to a scheduled event. The zero value is not meaningful;
+// Timers are created by Scheduler.At and Scheduler.After.
+type Timer struct {
+	when      float64
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+	fired     bool
+}
+
+// When returns the simulated time at which the timer is (or was) scheduled
+// to fire.
+func (t *Timer) When() float64 { return t.when }
+
+// Active reports whether the timer is still pending: neither fired nor
+// cancelled.
+func (t *Timer) Active() bool { return !t.cancelled && !t.fired }
+
+// eventQueue is a min-heap of timers ordered by (when, seq).
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		panic(fmt.Sprintf("sim: eventQueue.Push got %T, want *Timer", x))
+	}
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil // let the timer be collected
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
+
+// Scheduler owns the simulation clock and the future-event list. It is not
+// safe for concurrent use: a simulation runs on a single goroutine, and the
+// sweep harness parallelises across independent Scheduler instances instead.
+type Scheduler struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+	host    *processHost // lazily created by Spawn
+}
+
+// NewScheduler returns a Scheduler with the clock at time 0 and an empty
+// event list.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Pending returns the number of events still queued (including events that
+// were cancelled but not yet removed from the heap — cancellation is lazy).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events that have been executed.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute simulated time when. Scheduling in the
+// past (when < Now) is a programmer error and panics; scheduling exactly at
+// Now is allowed and fires after all currently queued events at Now with a
+// lower sequence number. fn must not be nil.
+func (s *Scheduler) At(when float64, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if math.IsNaN(when) {
+		panic("sim: At called with NaN time")
+	}
+	if when < s.now {
+		panic(fmt.Sprintf("sim: At called with time %v before now %v", when, s.now))
+	}
+	t := &Timer{when: when, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, t)
+	return t
+}
+
+// After schedules fn to run delay time units from now. Negative delays
+// panic.
+func (s *Scheduler) After(delay float64, fn func()) *Timer {
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a pending timer. It reports whether the timer was still
+// pending (true) or had already fired or been cancelled (false).
+// Cancellation is O(log n) and immediate: the timer is removed from the
+// heap, not lazily skipped.
+func (s *Scheduler) Cancel(t *Timer) bool {
+	if t == nil || !t.Active() {
+		return false
+	}
+	t.cancelled = true
+	if t.index >= 0 {
+		heap.Remove(&s.queue, t.index)
+	}
+	return true
+}
+
+// Reschedule moves a pending timer to a new absolute time, preserving its
+// callback. It reports whether the move happened (false if the timer already
+// fired or was cancelled). The rescheduled event receives a fresh sequence
+// number, so it fires after same-time events scheduled before the move.
+func (s *Scheduler) Reschedule(t *Timer, when float64) bool {
+	if t == nil || !t.Active() {
+		return false
+	}
+	if when < s.now {
+		panic(fmt.Sprintf("sim: Reschedule to time %v before now %v", when, s.now))
+	}
+	t.when = when
+	t.seq = s.seq
+	s.seq++
+	heap.Fix(&s.queue, t.index)
+	return true
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed (false when the
+// queue is empty or the scheduler is stopped).
+func (s *Scheduler) Step() bool {
+	if s.stopped {
+		return false
+	}
+	for len(s.queue) > 0 {
+		t, ok := heap.Pop(&s.queue).(*Timer)
+		if !ok {
+			panic("sim: event queue held a non-Timer element")
+		}
+		if t.cancelled {
+			continue // defensive: cancelled timers are removed eagerly
+		}
+		s.now = t.when
+		t.fired = true
+		s.fired++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, then shuts down any spawned
+// processes and joins their goroutines. It returns the first process-body
+// error if one stopped the simulation, ErrStopped if halted by Stop, and
+// nil otherwise.
+func (s *Scheduler) Run() error {
+	for s.Step() {
+	}
+	s.Shutdown()
+	if err := s.processErr(); err != nil {
+		return err
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= horizon, then advances the
+// clock to horizon. Events after the horizon remain queued. It returns
+// ErrStopped if halted by Stop.
+func (s *Scheduler) RunUntil(horizon float64) error {
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].when <= horizon {
+		s.Step()
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// Stop halts the simulation: subsequent Step calls are no-ops and a running
+// Run/RunUntil loop returns ErrStopped after the current event completes.
+// It is intended to be called from inside an event callback.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }

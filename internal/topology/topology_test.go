@@ -1,0 +1,414 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/packet"
+	"tempriv/internal/rng"
+)
+
+// rngNew keeps the random-deployment tests terse.
+func rngNew(seed uint64) *rng.Source { return rng.New(seed) }
+
+func TestNewContainsOnlySink(t *testing.T) {
+	topo := New()
+	if topo.NodeCount() != 1 {
+		t.Fatalf("new topology has %d nodes, want 1 (sink)", topo.NodeCount())
+	}
+	if !topo.HasNode(Sink) {
+		t.Fatal("new topology missing the sink")
+	}
+	if topo.LinkCount() != 0 {
+		t.Fatalf("new topology has %d links", topo.LinkCount())
+	}
+}
+
+func TestAddNodeAndLink(t *testing.T) {
+	topo := New()
+	topo.AddNode(1, Position{X: 1})
+	topo.AddNode(2, Position{X: 2})
+	if err := topo.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(Sink, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Neighbors(1); len(got) != 2 || got[0] != Sink || got[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v, want [0 2]", got)
+	}
+	if topo.LinkCount() != 2 {
+		t.Fatalf("LinkCount = %d, want 2", topo.LinkCount())
+	}
+}
+
+func TestAddLinkRejectsSelfAndUnknownAndDuplicate(t *testing.T) {
+	topo := New()
+	topo.AddNode(1, Position{})
+	if err := topo.AddLink(1, 1); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if err := topo.AddLink(1, 99); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("link to unknown node: %v, want ErrUnknownNode", err)
+	}
+	if err := topo.AddLink(Sink, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(1, Sink); err == nil {
+		t.Fatal("duplicate link (reversed) accepted")
+	}
+}
+
+func TestPositionOf(t *testing.T) {
+	topo := New()
+	topo.AddNode(5, Position{X: 3, Y: 4})
+	p, err := topo.PositionOf(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 3 || p.Y != 4 {
+		t.Fatalf("PositionOf(5) = %+v", p)
+	}
+	if _, err := topo.PositionOf(77); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: %v", err)
+	}
+}
+
+func TestPositionDistance(t *testing.T) {
+	a := Position{X: 0, Y: 0}
+	b := Position{X: 3, Y: 4}
+	if d := a.Distance(b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("distance = %v, want 5", d)
+	}
+}
+
+func TestMarkSource(t *testing.T) {
+	topo := New()
+	topo.AddNode(3, Position{})
+	if err := topo.MarkSource(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.MarkSource(3); err != nil {
+		t.Fatalf("re-marking a source: %v", err)
+	}
+	if err := topo.MarkSource(9); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("marking unknown source: %v", err)
+	}
+	if got := topo.Sources(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Sources = %v, want [3]", got)
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	topo, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeCount() != 6 {
+		t.Fatalf("Line(5) has %d nodes, want 6", topo.NodeCount())
+	}
+	if topo.LinkCount() != 5 {
+		t.Fatalf("Line(5) has %d links, want 5", topo.LinkCount())
+	}
+	if !topo.Connected() {
+		t.Fatal("line topology not connected")
+	}
+	if got := topo.Sources(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Line(5) sources = %v, want [5]", got)
+	}
+}
+
+func TestLineRejectsZeroHops(t *testing.T) {
+	if _, err := Line(0); err == nil {
+		t.Fatal("Line(0) accepted")
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	topo, err := Grid(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeCount() != 12 {
+		t.Fatalf("Grid(4,3) has %d nodes, want 12", topo.NodeCount())
+	}
+	// 4x3 grid: horizontal links 3*3=9, vertical links 4*2=8.
+	if topo.LinkCount() != 17 {
+		t.Fatalf("Grid(4,3) has %d links, want 17", topo.LinkCount())
+	}
+	if !topo.Connected() {
+		t.Fatal("grid not connected")
+	}
+	// Interior node has 4 neighbours.
+	interior := GridID(4, 1, 1)
+	if got := topo.Neighbors(interior); len(got) != 4 {
+		t.Fatalf("interior node has %d neighbours, want 4", len(got))
+	}
+	// Corner (sink) has 2.
+	if got := topo.Neighbors(Sink); len(got) != 2 {
+		t.Fatalf("sink corner has %d neighbours, want 2", len(got))
+	}
+}
+
+func TestGridRejectsBadDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}, {300, 300}} {
+		if _, err := Grid(dims[0], dims[1]); err == nil {
+			t.Fatalf("Grid(%d,%d) accepted", dims[0], dims[1])
+		}
+	}
+}
+
+func TestGridIDMatchesPositions(t *testing.T) {
+	topo, err := Grid(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := GridID(5, 3, 2)
+	p, err := topo.PositionOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 3 || p.Y != 2 {
+		t.Fatalf("GridID(5,3,2) placed at %+v, want (3,2)", p)
+	}
+}
+
+func TestMergeTreeHopCountsExact(t *testing.T) {
+	hops := []int{15, 22, 9, 11}
+	topo, sources, err := MergeTree(hops, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 4 {
+		t.Fatalf("got %d sources, want 4", len(sources))
+	}
+	if !topo.Connected() {
+		t.Fatal("merge tree not connected")
+	}
+	// Verify each source's BFS distance to the sink equals its hop count.
+	for i, src := range sources {
+		if got := bfsDistance(topo, src); got != hops[i] {
+			t.Fatalf("source %d: BFS distance %d, want %d", i, got, hops[i])
+		}
+	}
+}
+
+func TestMergeTreeSharedTrunk(t *testing.T) {
+	_, sources, err := MergeTree([]int{5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 {
+		t.Fatalf("sources = %v", sources)
+	}
+	// With a 2-hop trunk the total node count is 2 (trunk) + (5-2) + (6-2)
+	// private nodes + sink = 10.
+	topo, _, err := MergeTree([]int{5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NodeCount(); got != 10 {
+		t.Fatalf("node count = %d, want 10", got)
+	}
+}
+
+func TestMergeTreeZeroTrunk(t *testing.T) {
+	topo, sources, err := MergeTree([]int{3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{3, 4} {
+		if got := bfsDistance(topo, sources[i]); got != want {
+			t.Fatalf("flow %d distance = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMergeTreeRejectsInvalid(t *testing.T) {
+	if _, _, err := MergeTree(nil, 1); err == nil {
+		t.Fatal("empty flow list accepted")
+	}
+	if _, _, err := MergeTree([]int{5}, -1); err == nil {
+		t.Fatal("negative trunk accepted")
+	}
+	if _, _, err := MergeTree([]int{3}, 3); err == nil {
+		t.Fatal("hop count equal to trunk length accepted")
+	}
+}
+
+func TestFigure1MatchesPaper(t *testing.T) {
+	topo, sources, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 4 {
+		t.Fatalf("Figure1 has %d sources, want 4", len(sources))
+	}
+	for i, want := range Figure1HopCounts {
+		if got := bfsDistance(topo, sources[i]); got != want {
+			t.Fatalf("S%d hop count = %d, want %d", i+1, got, want)
+		}
+	}
+	if got := topo.Sources(); len(got) != 4 {
+		t.Fatalf("Sources() = %v", got)
+	}
+}
+
+func TestConnectedDetectsIsland(t *testing.T) {
+	topo := New()
+	topo.AddNode(1, Position{})
+	topo.AddNode(2, Position{})
+	if err := topo.AddLink(Sink, 1); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Fatal("topology with isolated node reported connected")
+	}
+}
+
+// Property: every MergeTree realisation has exact hop counts for arbitrary
+// small flow sets.
+func TestMergeTreeHopCountProperty(t *testing.T) {
+	f := func(raw []uint8, trunkRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		trunk := int(trunkRaw % 4)
+		hops := make([]int, len(raw))
+		for i, r := range raw {
+			hops[i] = trunk + 1 + int(r%20)
+		}
+		topo, sources, err := MergeTree(hops, trunk)
+		if err != nil {
+			return false
+		}
+		for i, src := range sources {
+			if bfsDistance(topo, src) != hops[i] {
+				return false
+			}
+		}
+		return topo.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bfsDistance computes hop distance from n to the sink independently of the
+// routing package, so topology tests do not depend on routing.
+func bfsDistance(topo *Topology, n packet.NodeID) int {
+	dist := map[packet.NodeID]int{Sink: 0}
+	frontier := []packet.NodeID{Sink}
+	for len(frontier) > 0 {
+		var next []packet.NodeID
+		for _, u := range frontier {
+			for _, v := range topo.Neighbors(u) {
+				if _, ok := dist[v]; !ok {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	d, ok := dist[n]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+func TestRandomGeometricConnectedDeployment(t *testing.T) {
+	src := rngNew(101)
+	// Dense enough that connectivity is near-certain: 150 nodes, radius
+	// 1.6 in a 10x10 field.
+	topo, err := RandomGeometric(150, 10, 1.6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeCount() != 151 {
+		t.Fatalf("node count = %d, want 151", topo.NodeCount())
+	}
+	if !topo.Connected() {
+		t.Fatal("returned deployment not connected")
+	}
+	// Every link respects the radio radius.
+	for _, a := range topo.Nodes() {
+		pa, err := topo.PositionOf(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range topo.Neighbors(a) {
+			pb, err := topo.PositionOf(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pa.Distance(pb) > 1.6+1e-12 {
+				t.Fatalf("link %v-%v spans %v > radius", a, b, pa.Distance(pb))
+			}
+		}
+	}
+	// Positions stay inside the field.
+	for _, id := range topo.Nodes() {
+		p, err := topo.PositionOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("node %v at %+v outside the field", id, p)
+		}
+	}
+}
+
+func TestRandomGeometricDeterministic(t *testing.T) {
+	a, err := RandomGeometric(60, 10, 2.5, rngNew(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomGeometric(60, 10, 2.5, rngNew(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.Nodes() {
+		pa, err := a.PositionOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.PositionOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa != pb {
+			t.Fatalf("node %v placed at %+v vs %+v across equal seeds", id, pa, pb)
+		}
+	}
+}
+
+func TestRandomGeometricDisconnected(t *testing.T) {
+	// Tiny radius in a big field: certainly disconnected.
+	_, err := RandomGeometric(10, 100, 0.1, rngNew(3))
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("sparse deployment: %v, want ErrDisconnected", err)
+	}
+}
+
+func TestRandomGeometricValidation(t *testing.T) {
+	src := rngNew(1)
+	if _, err := RandomGeometric(0, 10, 1, src); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomGeometric(10, 0, 1, src); err == nil {
+		t.Fatal("zero side accepted")
+	}
+	if _, err := RandomGeometric(10, 10, 0, src); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	if _, err := RandomGeometric(10, 10, 1, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := RandomGeometric(70000, 10, 1, src); err == nil {
+		t.Fatal("node-ID overflow accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace records per-packet lifecycle events from a simulation run:
+// creation, admission to each hop's buffer, release (normal or preempted),
+// delivery at the sink, and loss to node failures. It is the simulator's
+// observability layer — useful both for debugging buffering policies and
+// for teaching: a single packet's journey through RCAD shows exactly where
+// its delay came from and which hop preempted it.
+//
+// Recorders are pluggable: Memory keeps events in-process for analysis;
+// JSONL streams one JSON object per line to any io.Writer (the rcadsim
+// -trace flag). Both are driven by network.Config.Tracer.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"tempriv/internal/packet"
+)
+
+// Kind classifies a lifecycle event.
+type Kind int
+
+const (
+	// Created: the source sensed a phenomenon and generated the packet.
+	Created Kind = iota + 1
+	// Admitted: a node's buffering policy accepted the packet.
+	Admitted
+	// Released: the packet left a buffer after its full sampled delay.
+	Released
+	// Preempted: the packet was forced out early by RCAD preemption.
+	Preempted
+	// Delivered: the packet reached the sink.
+	Delivered
+	// Lost: the packet died at a failed node (in-buffer or on arrival).
+	Lost
+)
+
+// String returns the event kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case Created:
+		return "created"
+	case Admitted:
+		return "admitted"
+	case Released:
+		return "released"
+	case Preempted:
+		return "preempted"
+	case Delivered:
+		return "delivered"
+	case Lost:
+		return "lost"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one lifecycle record.
+type Event struct {
+	// At is the simulated time of the event.
+	At float64 `json:"at"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Node is where the event happened.
+	Node packet.NodeID `json:"node"`
+	// Flow identifies the packet's source flow.
+	Flow packet.NodeID `json:"flow"`
+	// Seq is the packet's per-flow sequence number.
+	Seq uint32 `json:"seq"`
+}
+
+// Recorder consumes lifecycle events. Implementations must tolerate being
+// called once per event for the whole run (hundreds of thousands of calls).
+type Recorder interface {
+	Record(e Event)
+}
+
+// Memory retains every event in order. The zero value is ready to use.
+type Memory struct {
+	events []Event
+}
+
+var _ Recorder = (*Memory)(nil)
+
+// Record implements Recorder.
+func (m *Memory) Record(e Event) { m.events = append(m.events, e) }
+
+// Len returns the number of recorded events.
+func (m *Memory) Len() int { return len(m.events) }
+
+// Events returns the recorded events in record order. The returned slice is
+// a copy.
+func (m *Memory) Events() []Event {
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Journey returns the events of one packet (flow, seq) in time order.
+func (m *Memory) Journey(flow packet.NodeID, seq uint32) []Event {
+	var out []Event
+	for _, e := range m.events {
+		if e.Flow == flow && e.Seq == seq {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// HopDelays returns, for one packet, the time spent buffered at each node
+// on its path, keyed in path order. A packet still buffered (or dropped)
+// contributes only completed hops.
+func (m *Memory) HopDelays(flow packet.NodeID, seq uint32) []HopDelay {
+	journey := m.Journey(flow, seq)
+	var out []HopDelay
+	var pending *Event
+	for i := range journey {
+		e := journey[i]
+		switch e.Kind {
+		case Admitted:
+			pending = &journey[i]
+		case Released, Preempted:
+			if pending != nil && pending.Node == e.Node {
+				out = append(out, HopDelay{
+					Node:      e.Node,
+					Delay:     e.At - pending.At,
+					Preempted: e.Kind == Preempted,
+				})
+				pending = nil
+			}
+		}
+	}
+	return out
+}
+
+// HopDelay is the buffering time a packet spent at one node.
+type HopDelay struct {
+	// Node is the buffering node.
+	Node packet.NodeID
+	// Delay is the realised holding time.
+	Delay float64
+	// Preempted reports whether the hold ended by preemption.
+	Preempted bool
+}
+
+// CountKind returns how many recorded events have the given kind.
+func (m *Memory) CountKind(k Kind) int {
+	n := 0
+	for _, e := range m.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// JSONL streams events as JSON Lines. Create with NewJSONL; check Err after
+// the run.
+type JSONL struct {
+	enc *json.Encoder
+	err error
+}
+
+var _ Recorder = (*JSONL)(nil)
+
+// NewJSONL returns a recorder writing one JSON object per event to w.
+func NewJSONL(w io.Writer) (*JSONL, error) {
+	if w == nil {
+		return nil, errors.New("trace: nil writer")
+	}
+	return &JSONL{enc: json.NewEncoder(w)}, nil
+}
+
+// Record implements Recorder. The first write error is retained and
+// subsequent events are dropped; check Err after the run.
+func (j *JSONL) Record(e Event) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(e); err != nil {
+		j.err = fmt.Errorf("trace: encoding event: %w", err)
+	}
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Multi fans events out to several recorders.
+func Multi(recorders ...Recorder) Recorder {
+	return multi(recorders)
+}
+
+type multi []Recorder
+
+// Record implements Recorder.
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		if r != nil {
+			r.Record(e)
+		}
+	}
+}

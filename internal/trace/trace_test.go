@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Created:   "created",
+		Admitted:  "admitted",
+		Released:  "released",
+		Preempted: "preempted",
+		Delivered: "delivered",
+		Lost:      "lost",
+		Kind(99):  "kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestMemoryRecorder(t *testing.T) {
+	var m Memory
+	events := []Event{
+		{At: 0, Kind: Created, Node: 5, Flow: 5, Seq: 0},
+		{At: 0, Kind: Admitted, Node: 5, Flow: 5, Seq: 0},
+		{At: 12, Kind: Released, Node: 5, Flow: 5, Seq: 0},
+		{At: 13, Kind: Admitted, Node: 3, Flow: 5, Seq: 0},
+		{At: 20, Kind: Preempted, Node: 3, Flow: 5, Seq: 0},
+		{At: 21, Kind: Delivered, Node: 0, Flow: 5, Seq: 0},
+		{At: 5, Kind: Created, Node: 9, Flow: 9, Seq: 0},
+	}
+	for _, e := range events {
+		m.Record(e)
+	}
+	if m.Len() != len(events) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	journey := m.Journey(5, 0)
+	if len(journey) != 6 {
+		t.Fatalf("journey has %d events, want 6", len(journey))
+	}
+	for i := 1; i < len(journey); i++ {
+		if journey[i].At < journey[i-1].At {
+			t.Fatal("journey not time-ordered")
+		}
+	}
+	if got := m.CountKind(Created); got != 2 {
+		t.Fatalf("CountKind(Created) = %d", got)
+	}
+}
+
+func TestMemoryHopDelays(t *testing.T) {
+	var m Memory
+	for _, e := range []Event{
+		{At: 0, Kind: Created, Node: 5, Flow: 5, Seq: 3},
+		{At: 0, Kind: Admitted, Node: 5, Flow: 5, Seq: 3},
+		{At: 12, Kind: Released, Node: 5, Flow: 5, Seq: 3},
+		{At: 13, Kind: Admitted, Node: 3, Flow: 5, Seq: 3},
+		{At: 20, Kind: Preempted, Node: 3, Flow: 5, Seq: 3},
+	} {
+		m.Record(e)
+	}
+	hops := m.HopDelays(5, 3)
+	if len(hops) != 2 {
+		t.Fatalf("hop delays = %+v, want 2 hops", hops)
+	}
+	if hops[0].Node != 5 || hops[0].Delay != 12 || hops[0].Preempted {
+		t.Fatalf("hop 0 = %+v", hops[0])
+	}
+	if hops[1].Node != 3 || hops[1].Delay != 7 || !hops[1].Preempted {
+		t.Fatalf("hop 1 = %+v", hops[1])
+	}
+}
+
+func TestMemoryEventsIsCopy(t *testing.T) {
+	var m Memory
+	m.Record(Event{At: 1, Kind: Created})
+	events := m.Events()
+	events[0].At = 999
+	if m.Events()[0].At != 1 {
+		t.Fatal("Events exposed internal slice")
+	}
+}
+
+func TestJSONLRecorder(t *testing.T) {
+	var b strings.Builder
+	j, err := NewJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{At: 1.5, Kind: Created, Node: 5, Flow: 5, Seq: 7})
+	j.Record(Event{At: 2, Kind: Delivered, Node: 0, Flow: 5, Seq: 7})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []map[string]any
+	for scanner.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(scanner.Bytes(), &obj); err != nil {
+			t.Fatalf("invalid JSON line: %v", err)
+		}
+		lines = append(lines, obj)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0]["kind"] != "created" || lines[0]["at"] != 1.5 || lines[0]["seq"] != 7.0 {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if lines[1]["kind"] != "delivered" {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+}
+
+func TestNewJSONLValidation(t *testing.T) {
+	if _, err := NewJSONL(nil); err == nil {
+		t.Fatal("nil writer accepted")
+	}
+}
+
+type failingWriter struct{ calls int }
+
+func (f *failingWriter) Write([]byte) (int, error) {
+	f.calls++
+	return 0, errWrite
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "disk full" }
+
+func TestJSONLRetainsFirstError(t *testing.T) {
+	w := &failingWriter{}
+	j, err := NewJSONL(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{})
+	j.Record(Event{})
+	if j.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if w.calls != 1 {
+		t.Fatalf("recorder kept writing after error: %d calls", w.calls)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b Memory
+	m := Multi(&a, nil, &b)
+	m.Record(Event{At: 1, Kind: Created})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out lens = %d, %d", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,203 @@
+// Package tracking quantifies the paper's motivating claim (§1–§2): "if we
+// add temporal ambiguity to the time that the packets are created then, as
+// the asset moves, this would introduce spatial ambiguity and make it
+// harder for the adversary to track the asset."
+//
+// It models a mobile asset as a piecewise-linear trajectory over a
+// deployment, derives which sensors sight it when (Sightings), lets an
+// adversary reconstruct the trajectory from (sensor position, estimated
+// creation time) pairs (Reconstruct), and scores the reconstruction against
+// the truth (TrackingError). The habitat example drives the full pipeline:
+// temporal estimation error from package adversary becomes spatial tracking
+// error here.
+package tracking
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"tempriv/internal/packet"
+	"tempriv/internal/topology"
+)
+
+// Waypoint fixes the asset's position at a time.
+type Waypoint struct {
+	// At is the waypoint time.
+	At float64
+	// Pos is the asset's position at that time.
+	Pos topology.Position
+}
+
+// Trajectory is a piecewise-linear asset path. Construct with NewTrajectory.
+type Trajectory struct {
+	points []Waypoint
+}
+
+// ErrBadTrajectory is returned for trajectories with fewer than two
+// waypoints or non-increasing times.
+var ErrBadTrajectory = errors.New("tracking: trajectory needs >= 2 waypoints with strictly increasing times")
+
+// NewTrajectory builds a trajectory from waypoints. Times must strictly
+// increase; the slice is copied.
+func NewTrajectory(points []Waypoint) (*Trajectory, error) {
+	if len(points) < 2 {
+		return nil, ErrBadTrajectory
+	}
+	cp := make([]Waypoint, len(points))
+	copy(cp, points)
+	for i := 1; i < len(cp); i++ {
+		if !(cp[i].At > cp[i-1].At) {
+			return nil, fmt.Errorf("%w: waypoint %d at %v after %v", ErrBadTrajectory, i, cp[i].At, cp[i-1].At)
+		}
+	}
+	return &Trajectory{points: cp}, nil
+}
+
+// Start returns the first waypoint time.
+func (t *Trajectory) Start() float64 { return t.points[0].At }
+
+// End returns the last waypoint time.
+func (t *Trajectory) End() float64 { return t.points[len(t.points)-1].At }
+
+// At returns the asset's position at the given time, clamping outside
+// [Start, End] and interpolating linearly between waypoints.
+func (t *Trajectory) At(at float64) topology.Position {
+	if at <= t.Start() {
+		return t.points[0].Pos
+	}
+	if at >= t.End() {
+		return t.points[len(t.points)-1].Pos
+	}
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].At > at }) - 1
+	a, b := t.points[i], t.points[i+1]
+	frac := (at - a.At) / (b.At - a.At)
+	return topology.Position{
+		X: a.Pos.X + frac*(b.Pos.X-a.Pos.X),
+		Y: a.Pos.Y + frac*(b.Pos.Y-a.Pos.Y),
+	}
+}
+
+// Sighting is one sensor detection of the asset.
+type Sighting struct {
+	// Sensor is the detecting node.
+	Sensor packet.NodeID
+	// At is the detection time — the packet-creation time whose privacy is
+	// at stake.
+	At float64
+}
+
+// Sightings samples the trajectory every sampleInterval and reports, for
+// each sample, every non-sink sensor within detection range of the asset.
+// Results are in time order. It returns an error for non-positive range or
+// interval.
+func Sightings(topo *topology.Topology, traj *Trajectory, detectionRange, sampleInterval float64) ([]Sighting, error) {
+	if detectionRange <= 0 || math.IsNaN(detectionRange) {
+		return nil, fmt.Errorf("tracking: detection range must be positive, got %v", detectionRange)
+	}
+	if sampleInterval <= 0 || math.IsNaN(sampleInterval) {
+		return nil, fmt.Errorf("tracking: sample interval must be positive, got %v", sampleInterval)
+	}
+	nodes := topo.Nodes()
+	var out []Sighting
+	for at := traj.Start(); at <= traj.End(); at += sampleInterval {
+		assetPos := traj.At(at)
+		for _, id := range nodes {
+			if id == topology.Sink {
+				continue
+			}
+			pos, err := topo.PositionOf(id)
+			if err != nil {
+				return nil, fmt.Errorf("tracking: %w", err)
+			}
+			if pos.Distance(assetPos) <= detectionRange {
+				out = append(out, Sighting{Sensor: id, At: at})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Report is one input to the adversary's reconstruction: where a sighting
+// happened (the origin sensor's position, known from the deployment) and
+// when the adversary believes it happened (its creation-time estimate).
+type Report struct {
+	// Pos is the reporting sensor's position.
+	Pos topology.Position
+	// EstimatedAt is the adversary's creation-time estimate x̂.
+	EstimatedAt float64
+}
+
+// Reconstruction is the adversary's estimate of the asset trajectory:
+// reports sorted by estimated time, queried with PositionAt.
+type Reconstruction struct {
+	reports []Report
+}
+
+// ErrNoReports is returned when reconstructing from an empty report set.
+var ErrNoReports = errors.New("tracking: no reports to reconstruct from")
+
+// Reconstruct sorts the reports by estimated time. The input is copied.
+func Reconstruct(reports []Report) (*Reconstruction, error) {
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	cp := make([]Report, len(reports))
+	copy(cp, reports)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].EstimatedAt < cp[j].EstimatedAt })
+	return &Reconstruction{reports: cp}, nil
+}
+
+// PositionAt returns the adversary's best guess of the asset position at
+// time at: the position of the report whose estimated time is nearest.
+func (r *Reconstruction) PositionAt(at float64) topology.Position {
+	i := sort.Search(len(r.reports), func(i int) bool { return r.reports[i].EstimatedAt >= at })
+	switch {
+	case i == 0:
+		return r.reports[0].Pos
+	case i == len(r.reports):
+		return r.reports[len(r.reports)-1].Pos
+	default:
+		before, after := r.reports[i-1], r.reports[i]
+		if at-before.EstimatedAt <= after.EstimatedAt-at {
+			return before.Pos
+		}
+		return after.Pos
+	}
+}
+
+// Error summarises a reconstruction's spatial tracking error against the
+// true trajectory.
+type Error struct {
+	// Mean is the time-averaged distance between true and reconstructed
+	// positions.
+	Mean float64
+	// Max is the worst-case distance.
+	Max float64
+	// Samples is the number of evaluation points.
+	Samples int
+}
+
+// TrackingError samples [traj.Start(), traj.End()] every step and compares
+// the reconstruction's position guesses to the truth.
+func TrackingError(traj *Trajectory, rec *Reconstruction, step float64) (Error, error) {
+	if step <= 0 || math.IsNaN(step) {
+		return Error{}, fmt.Errorf("tracking: step must be positive, got %v", step)
+	}
+	var e Error
+	total := 0.0
+	for at := traj.Start(); at <= traj.End(); at += step {
+		d := traj.At(at).Distance(rec.PositionAt(at))
+		total += d
+		if d > e.Max {
+			e.Max = d
+		}
+		e.Samples++
+	}
+	if e.Samples == 0 {
+		return Error{}, errors.New("tracking: empty evaluation window")
+	}
+	e.Mean = total / float64(e.Samples)
+	return e, nil
+}

@@ -1,0 +1,264 @@
+package tracking
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/topology"
+)
+
+func line(t *testing.T) *Trajectory {
+	t.Helper()
+	traj, err := NewTrajectory([]Waypoint{
+		{At: 0, Pos: topology.Position{X: 0, Y: 0}},
+		{At: 100, Pos: topology.Position{X: 100, Y: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestTrajectoryInterpolation(t *testing.T) {
+	traj := line(t)
+	if p := traj.At(50); math.Abs(p.X-50) > 1e-12 || p.Y != 0 {
+		t.Fatalf("At(50) = %+v, want (50,0)", p)
+	}
+	if p := traj.At(-10); p.X != 0 {
+		t.Fatalf("before start: %+v, want clamp to (0,0)", p)
+	}
+	if p := traj.At(200); p.X != 100 {
+		t.Fatalf("after end: %+v, want clamp to (100,0)", p)
+	}
+	if traj.Start() != 0 || traj.End() != 100 {
+		t.Fatalf("bounds = [%v,%v]", traj.Start(), traj.End())
+	}
+}
+
+func TestTrajectoryMultiSegment(t *testing.T) {
+	traj, err := NewTrajectory([]Waypoint{
+		{At: 0, Pos: topology.Position{X: 0, Y: 0}},
+		{At: 10, Pos: topology.Position{X: 10, Y: 0}},
+		{At: 20, Pos: topology.Position{X: 10, Y: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := traj.At(15); math.Abs(p.X-10) > 1e-12 || math.Abs(p.Y-5) > 1e-12 {
+		t.Fatalf("At(15) = %+v, want (10,5)", p)
+	}
+}
+
+func TestTrajectoryValidation(t *testing.T) {
+	if _, err := NewTrajectory(nil); !errors.Is(err, ErrBadTrajectory) {
+		t.Fatalf("empty trajectory: %v", err)
+	}
+	if _, err := NewTrajectory([]Waypoint{{At: 0}}); !errors.Is(err, ErrBadTrajectory) {
+		t.Fatalf("single waypoint: %v", err)
+	}
+	if _, err := NewTrajectory([]Waypoint{{At: 5}, {At: 5}}); !errors.Is(err, ErrBadTrajectory) {
+		t.Fatalf("equal times: %v", err)
+	}
+	if _, err := NewTrajectory([]Waypoint{{At: 5}, {At: 1}}); !errors.Is(err, ErrBadTrajectory) {
+		t.Fatalf("decreasing times: %v", err)
+	}
+}
+
+func TestTrajectoryCopiesInput(t *testing.T) {
+	pts := []Waypoint{{At: 0}, {At: 10, Pos: topology.Position{X: 10}}}
+	traj, err := NewTrajectory(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[1].Pos.X = 999
+	if p := traj.At(10); p.X != 10 {
+		t.Fatal("trajectory exposed caller mutation")
+	}
+}
+
+func TestSightingsAlongGrid(t *testing.T) {
+	topo, err := topology.Grid(11, 1) // sensors at x=0..10, y=0
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asset moves x: 0→10 over t: 0→100 at y=0.
+	traj := mustTraj(t, []Waypoint{
+		{At: 0, Pos: topology.Position{X: 0, Y: 0}},
+		{At: 100, Pos: topology.Position{X: 10, Y: 0}},
+	})
+	sightings, err := Sightings(topo, traj, 0.6, 10) // samples at t=0,10,…,100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sightings) == 0 {
+		t.Fatal("no sightings")
+	}
+	// At sample t the asset is at x=t/10; the only sensor within 0.6 is
+	// node x=round(t/10) — except the sink (x=0), which never reports.
+	for _, s := range sightings {
+		pos, err := topo.PositionOf(s.Sensor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assetX := s.At / 10
+		if math.Abs(pos.X-assetX) > 0.6 {
+			t.Fatalf("sensor at x=%v sighted asset at x=%v", pos.X, assetX)
+		}
+		if s.Sensor == topology.Sink {
+			t.Fatal("sink reported a sighting")
+		}
+	}
+	// Time-ordering.
+	for i := 1; i < len(sightings); i++ {
+		if sightings[i].At < sightings[i-1].At {
+			t.Fatal("sightings out of order")
+		}
+	}
+}
+
+func TestSightingsValidation(t *testing.T) {
+	topo, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := line(t)
+	if _, err := Sightings(topo, traj, 0, 1); err == nil {
+		t.Fatal("zero range accepted")
+	}
+	if _, err := Sightings(topo, traj, 1, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func mustTraj(t *testing.T, pts []Waypoint) *Trajectory {
+	t.Helper()
+	traj, err := NewTrajectory(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traj
+}
+
+func TestReconstructPerfectTimesTracksClosely(t *testing.T) {
+	// Reports at the true times from sensors on the asset's path: the
+	// reconstruction error is bounded by the report spacing.
+	traj := line(t)
+	var reports []Report
+	for x := 0.0; x <= 100; x += 10 {
+		reports = append(reports, Report{Pos: topology.Position{X: x}, EstimatedAt: x})
+	}
+	rec, err := Reconstruct(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := TrackingError(traj, rec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Max > 5+1e-9 {
+		t.Fatalf("max error %v with perfect times, want <= half the 10-unit spacing", e.Max)
+	}
+	if e.Mean > 3 {
+		t.Fatalf("mean error %v with perfect times", e.Mean)
+	}
+}
+
+func TestReconstructShiftedTimesMislocates(t *testing.T) {
+	// A constant +30 time error slides every report 30 time units (=30
+	// distance units at unit speed) away from the truth.
+	traj := line(t)
+	var exact, shifted []Report
+	for x := 0.0; x <= 100; x += 5 {
+		exact = append(exact, Report{Pos: topology.Position{X: x}, EstimatedAt: x})
+		shifted = append(shifted, Report{Pos: topology.Position{X: x}, EstimatedAt: x + 30})
+	}
+	recExact, err := Reconstruct(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recShifted, err := Reconstruct(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eExact, err := TrackingError(traj, recExact, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eShifted, err := TrackingError(traj, recShifted, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eShifted.Mean < 5*eExact.Mean+5 {
+		t.Fatalf("shifted reconstruction error %v not well above exact %v", eShifted.Mean, eExact.Mean)
+	}
+	// In the interior the shift displaces the answer by ≈ 30 units.
+	if math.Abs(eShifted.Max-30) > 5 {
+		t.Fatalf("max shifted error %v, want ≈ 30", eShifted.Max)
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	if _, err := Reconstruct(nil); !errors.Is(err, ErrNoReports) {
+		t.Fatalf("empty reports: %v", err)
+	}
+}
+
+func TestReconstructSortsReports(t *testing.T) {
+	rec, err := Reconstruct([]Report{
+		{Pos: topology.Position{X: 2}, EstimatedAt: 20},
+		{Pos: topology.Position{X: 1}, EstimatedAt: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := rec.PositionAt(11); p.X != 1 {
+		t.Fatalf("PositionAt(11) = %+v, want nearest report (x=1)", p)
+	}
+	if p := rec.PositionAt(19); p.X != 2 {
+		t.Fatalf("PositionAt(19) = %+v, want nearest report (x=2)", p)
+	}
+	if p := rec.PositionAt(-5); p.X != 1 {
+		t.Fatalf("PositionAt before all = %+v", p)
+	}
+	if p := rec.PositionAt(99); p.X != 2 {
+		t.Fatalf("PositionAt after all = %+v", p)
+	}
+}
+
+func TestTrackingErrorValidation(t *testing.T) {
+	traj := line(t)
+	rec, err := Reconstruct([]Report{{EstimatedAt: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrackingError(traj, rec, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+// Property: the reconstruction's PositionAt always returns the position of
+// one of its reports (it never invents locations).
+func TestReconstructionReturnsRealReportsProperty(t *testing.T) {
+	f := func(raw []uint8, query uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		reports := make([]Report, len(raw))
+		positions := make(map[topology.Position]bool, len(raw))
+		for i, r := range raw {
+			p := topology.Position{X: float64(r % 50), Y: float64(r % 7)}
+			reports[i] = Report{Pos: p, EstimatedAt: float64(r)}
+			positions[p] = true
+		}
+		rec, err := Reconstruct(reports)
+		if err != nil {
+			return false
+		}
+		return positions[rec.PositionAt(float64(query))]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

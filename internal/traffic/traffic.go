@@ -1,0 +1,186 @@
+// Package traffic models the packet-creation processes of sensor sources.
+//
+// The paper uses two creation models: Poisson processes for the analytic
+// sections (§3.2, §4) and a "realistic sensor traffic model where packets
+// are periodically transmitted by each source" for the evaluation (§5.2).
+// Both are provided here, together with an on-off bursty model (assets move
+// through and out of sensing range) and trace playback for replaying
+// recorded interarrival sequences.
+//
+// A Process emits successive interarrival times; the network simulator turns
+// them into packet-creation events.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tempriv/internal/rng"
+)
+
+// Process generates successive packet interarrival times for one source.
+// Implementations may be stateful; each source owns its own Process value.
+type Process interface {
+	// Next returns the time until the next packet creation, drawing any
+	// randomness from src. Returned values are non-negative.
+	Next(src *rng.Source) float64
+	// Rate returns the long-run average packet rate λ (packets per time
+	// unit), used by the Erlang-loss planner and the adaptive adversary.
+	Rate() float64
+	// Name returns a short identifier used in reports.
+	Name() string
+}
+
+// Periodic creates packets at fixed intervals — the paper's evaluation
+// traffic (§5.2: "Each source generated … packets at periodic intervals with
+// an inter-arrival time of 1/λ time units").
+type Periodic struct {
+	interval float64
+}
+
+var _ Process = Periodic{}
+
+// NewPeriodic returns a periodic process with the given interarrival time.
+// It returns an error if interval <= 0.
+func NewPeriodic(interval float64) (Periodic, error) {
+	if interval <= 0 || math.IsNaN(interval) || math.IsInf(interval, 0) {
+		return Periodic{}, fmt.Errorf("traffic: periodic interval must be positive and finite, got %v", interval)
+	}
+	return Periodic{interval: interval}, nil
+}
+
+// Next implements Process.
+func (p Periodic) Next(*rng.Source) float64 { return p.interval }
+
+// Rate implements Process.
+func (p Periodic) Rate() float64 { return 1 / p.interval }
+
+// Name implements Process.
+func (p Periodic) Name() string { return "periodic" }
+
+// Poisson creates packets as a Poisson process: exponential interarrivals
+// with mean 1/λ. Used by the analytic validations (§3.2, §4).
+type Poisson struct {
+	rate float64
+}
+
+var _ Process = Poisson{}
+
+// NewPoisson returns a Poisson process with rate λ. It returns an error if
+// rate <= 0.
+func NewPoisson(rate float64) (Poisson, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return Poisson{}, fmt.Errorf("traffic: poisson rate must be positive and finite, got %v", rate)
+	}
+	return Poisson{rate: rate}, nil
+}
+
+// Next implements Process.
+func (p Poisson) Next(src *rng.Source) float64 { return src.ExponentialRate(p.rate) }
+
+// Rate implements Process.
+func (p Poisson) Rate() float64 { return p.rate }
+
+// Name implements Process.
+func (p Poisson) Name() string { return "poisson" }
+
+// OnOff is a two-state bursty source: during an on-period (exponential with
+// mean onMean) packets arrive as a Poisson process with rate onRate; between
+// bursts the source is silent for an exponential off-period (mean offMean).
+// This approximates an asset moving through and out of a sensor's range.
+type OnOff struct {
+	onRate  float64
+	onMean  float64
+	offMean float64
+
+	remainingOn float64
+	started     bool
+}
+
+var _ Process = (*OnOff)(nil)
+
+// NewOnOff returns a bursty on-off process. All parameters must be positive.
+func NewOnOff(onRate, onMean, offMean float64) (*OnOff, error) {
+	for name, v := range map[string]float64{"onRate": onRate, "onMean": onMean, "offMean": offMean} {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("traffic: on-off %s must be positive and finite, got %v", name, v)
+		}
+	}
+	return &OnOff{onRate: onRate, onMean: onMean, offMean: offMean}, nil
+}
+
+// Next implements Process. The first call begins with an off-period (the
+// asset has not yet arrived).
+func (p *OnOff) Next(src *rng.Source) float64 {
+	gap := 0.0
+	if !p.started {
+		p.started = true
+		gap += src.Exponential(p.offMean)
+		p.remainingOn = src.Exponential(p.onMean)
+	}
+	for {
+		step := src.ExponentialRate(p.onRate)
+		if step <= p.remainingOn {
+			p.remainingOn -= step
+			return gap + step
+		}
+		// Burst ended before the next packet: advance through the rest of
+		// the on-period and a full off-period, then start a new burst.
+		gap += p.remainingOn + src.Exponential(p.offMean)
+		p.remainingOn = src.Exponential(p.onMean)
+	}
+}
+
+// Rate implements Process: the long-run rate is onRate scaled by the duty
+// cycle.
+func (p *OnOff) Rate() float64 {
+	return p.onRate * p.onMean / (p.onMean + p.offMean)
+}
+
+// Name implements Process.
+func (p *OnOff) Name() string { return "onoff" }
+
+// ErrEmptyTrace is returned when constructing a trace with no intervals.
+var ErrEmptyTrace = errors.New("traffic: empty trace")
+
+// Trace replays a recorded sequence of interarrival times, looping when the
+// sequence is exhausted.
+type Trace struct {
+	intervals []float64
+	pos       int
+	rate      float64
+}
+
+var _ Process = (*Trace)(nil)
+
+// NewTrace returns a trace process replaying the given interarrival times.
+// Intervals must be positive; the slice is copied.
+func NewTrace(intervals []float64) (*Trace, error) {
+	if len(intervals) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	total := 0.0
+	for i, v := range intervals {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("traffic: trace interval %d must be positive and finite, got %v", i, v)
+		}
+		total += v
+	}
+	cp := make([]float64, len(intervals))
+	copy(cp, intervals)
+	return &Trace{intervals: cp, rate: float64(len(intervals)) / total}, nil
+}
+
+// Next implements Process.
+func (p *Trace) Next(*rng.Source) float64 {
+	v := p.intervals[p.pos]
+	p.pos = (p.pos + 1) % len(p.intervals)
+	return v
+}
+
+// Rate implements Process.
+func (p *Trace) Rate() float64 { return p.rate }
+
+// Name implements Process.
+func (p *Trace) Name() string { return "trace" }

@@ -1,0 +1,215 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tempriv/internal/rng"
+)
+
+func TestPeriodicConstantIntervals(t *testing.T) {
+	p, err := NewPeriodic(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if got := p.Next(src); got != 2.5 {
+			t.Fatalf("interval %d = %v, want 2.5", i, got)
+		}
+	}
+	if r := p.Rate(); math.Abs(r-0.4) > 1e-12 {
+		t.Fatalf("Rate = %v, want 0.4", r)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPeriodic(v); err == nil {
+			t.Fatalf("NewPeriodic(%v) accepted", v)
+		}
+	}
+}
+
+func TestPoissonInterarrivalMoments(t *testing.T) {
+	p, err := NewPoisson(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := p.Next(src)
+		if v < 0 {
+			t.Fatalf("negative interarrival %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("poisson(0.5) interarrival mean = %v, want ≈ 2", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("poisson(0.5) interarrival variance = %v, want ≈ 4", variance)
+	}
+	if p.Rate() != 0.5 {
+		t.Fatalf("Rate = %v", p.Rate())
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	for _, v := range []float64{0, -2, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoisson(v); err == nil {
+			t.Fatalf("NewPoisson(%v) accepted", v)
+		}
+	}
+}
+
+func TestOnOffLongRunRate(t *testing.T) {
+	// onRate 2, duty cycle 10/(10+30) = 0.25 → long-run rate 0.5.
+	p, err := NewOnOff(2, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Rate(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Rate = %v, want 0.5", got)
+	}
+	src := rng.New(11)
+	const n = 100000
+	total := 0.0
+	for i := 0; i < n; i++ {
+		v := p.Next(src)
+		if v < 0 {
+			t.Fatalf("negative interarrival %v", v)
+		}
+		total += v
+	}
+	empirical := n / total
+	if math.Abs(empirical-0.5) > 0.05 {
+		t.Fatalf("empirical rate = %v, want ≈ 0.5", empirical)
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	// A bursty process has interarrival variance far above a Poisson of the
+	// same rate (coefficient of variation > 1).
+	p, err := NewOnOff(5, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(13)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := p.Next(src)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	cv2 := variance / (mean * mean)
+	if cv2 < 1.5 {
+		t.Fatalf("on-off squared CV = %v, want > 1.5 (bursty)", cv2)
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	if _, err := NewOnOff(0, 1, 1); err == nil {
+		t.Fatal("zero onRate accepted")
+	}
+	if _, err := NewOnOff(1, 0, 1); err == nil {
+		t.Fatal("zero onMean accepted")
+	}
+	if _, err := NewOnOff(1, 1, math.Inf(1)); err == nil {
+		t.Fatal("infinite offMean accepted")
+	}
+}
+
+func TestTraceReplaysAndLoops(t *testing.T) {
+	p, err := NewTrace([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	want := []float64{1, 2, 3, 1, 2, 3, 1}
+	for i, w := range want {
+		if got := p.Next(src); got != w {
+			t.Fatalf("trace step %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestTraceRate(t *testing.T) {
+	p, err := NewTrace([]float64{1, 3}) // mean interval 2 → rate 0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Rate(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("trace rate = %v, want 0.5", got)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("empty trace: %v, want ErrEmptyTrace", err)
+	}
+	if _, err := NewTrace([]float64{1, 0}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewTrace([]float64{1, -2}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+func TestTraceCopiesInput(t *testing.T) {
+	intervals := []float64{1, 2}
+	p, err := NewTrace(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals[0] = 99
+	src := rng.New(1)
+	if got := p.Next(src); got != 1 {
+		t.Fatalf("trace exposed caller mutation: got %v, want 1", got)
+	}
+}
+
+// Property: every process emits non-negative finite interarrivals and a
+// positive rate.
+func TestProcessInvariantProperty(t *testing.T) {
+	src := rng.New(21)
+	f := func(raw uint16, which uint8) bool {
+		param := 0.01 + float64(raw)/65535*50
+		var p Process
+		var err error
+		switch which % 3 {
+		case 0:
+			p, err = NewPeriodic(param)
+		case 1:
+			p, err = NewPoisson(1 / param)
+		case 2:
+			p, err = NewOnOff(1/param, param, param)
+		}
+		if err != nil {
+			return false
+		}
+		if p.Rate() <= 0 {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			v := p.Next(src)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
