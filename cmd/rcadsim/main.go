@@ -8,6 +8,8 @@
 //	rcadsim -policy delay-unlimited -interarrival 10
 //	rcadsim -topo line -hops 15 -adversary adaptive
 //	rcadsim -rate-control -target-loss 0.1      # §4 per-node µ planning
+//	rcadsim -link-loss 0.1 -arq                 # lossy links, per-hop ARQ
+//	rcadsim -topo grid -fail 11@500 -route-repair
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"tempriv"
 )
@@ -51,6 +55,18 @@ func run(args []string) error {
 		rateControl  = fs.Bool("rate-control", false, "enable the §4 per-node delay planner")
 		targetLoss   = fs.Float64("target-loss", 0.1, "rate controller's Erlang-loss target α")
 		traceFile    = fs.String("trace", "", "write per-packet lifecycle events as JSON Lines to this file")
+		linkLoss     = fs.Float64("link-loss", 0, "per-link frame-loss probability p (Bernoulli, or good-state under -burst)")
+		burst        = fs.Bool("burst", false, "use the Gilbert–Elliott burst-loss channel")
+		burstLoss    = fs.Float64("burst-loss", 0.5, "bad-state frame-loss probability (with -burst)")
+		burstLen     = fs.Float64("burst-len", 0, "mean burst length in transmissions (with -burst; 0 = default)")
+		goodRun      = fs.Float64("good-run", 0, "mean good-state run in transmissions (with -burst; 0 = default)")
+		ackLoss      = fs.Float64("ack-loss", 0, "ACK-loss probability (requires -arq; provokes duplicates)")
+		arq          = fs.Bool("arq", false, "enable link-layer ARQ (per-hop ACK + retransmission)")
+		arqRetries   = fs.Int("arq-retries", 3, "ARQ retransmission budget per hop")
+		arqTimeout   = fs.Float64("arq-timeout", 0, "ARQ retransmission timeout (0 = 3τ)")
+		arqBackoff   = fs.Float64("arq-backoff", 0, "ARQ timeout backoff multiplier (0 = 2)")
+		failSpec     = fs.String("fail", "", "node failures as node@time[,node@time...] e.g. 11@500,14@800")
+		routeRepair  = fs.Bool("route-repair", false, "rebuild routes around failed nodes and re-home their buffers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +113,25 @@ func run(args []string) error {
 	if *rateControl {
 		cfg.RateControl = &tempriv.RateControl{TargetLoss: *targetLoss, Smoothing: 0.3}
 	}
+	if *linkLoss > 0 || *burst || *ackLoss > 0 {
+		cfg.Channel = &tempriv.ChannelConfig{
+			LossP:        *linkLoss,
+			Burst:        *burst,
+			BurstLossP:   *burstLoss,
+			MeanGoodRun:  *goodRun,
+			MeanBurstLen: *burstLen,
+			AckLossP:     *ackLoss,
+		}
+	}
+	if *arq {
+		cfg.ARQ = &tempriv.ARQConfig{MaxRetries: *arqRetries, Timeout: *arqTimeout, Backoff: *arqBackoff}
+	}
+	failures, err := parseFailures(*failSpec)
+	if err != nil {
+		return err
+	}
+	cfg.NodeFailures = failures
+	cfg.RouteRepair = *routeRepair
 	var tracer *tempriv.JSONLTracer
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -135,6 +170,34 @@ func run(args []string) error {
 	return nil
 }
 
+// maxPlacementAttempts bounds how many consecutive seeds the random-topology
+// builder tries before concluding the requested density is unworkable.
+const maxPlacementAttempts = 10
+
+// parseFailures parses -fail's node@time list into failure injections.
+func parseFailures(spec string) ([]tempriv.NodeFailure, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []tempriv.NodeFailure
+	for _, part := range strings.Split(spec, ",") {
+		node, at, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -fail entry %q, want node@time", part)
+		}
+		id, err := strconv.ParseUint(node, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fail node in %q: %w", part, err)
+		}
+		t, err := strconv.ParseFloat(at, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fail time in %q: %w", part, err)
+		}
+		out = append(out, tempriv.NodeFailure{Node: tempriv.NodeID(id), At: t})
+	}
+	return out, nil
+}
+
 func buildTopology(kind string, hops, w, h, fieldNodes int, fieldSide, fieldRadius float64, seed uint64) (*tempriv.Topology, []tempriv.NodeID, error) {
 	switch kind {
 	case "figure1":
@@ -157,17 +220,21 @@ func buildTopology(kind string, hops, w, h, fieldNodes int, fieldSide, fieldRadi
 		}
 		return topo, topo.Sources(), nil
 	case "random":
-		// Retry a few placements: sparse samples can be disconnected.
+		// Retry a few placements: sparse samples can be disconnected. The
+		// bound keeps a hopeless density (radius far below the connectivity
+		// threshold) from looping forever on ever-new seeds.
 		var topo *tempriv.Topology
 		var err error
-		for attempt := 0; attempt < 10; attempt++ {
+		for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
 			topo, err = tempriv.NewRandomGeometricTopology(fieldNodes, fieldSide, fieldRadius, seed+uint64(attempt))
 			if err == nil {
 				break
 			}
 		}
 		if err != nil {
-			return nil, nil, fmt.Errorf("random field stayed disconnected after 10 placements: %w", err)
+			return nil, nil, fmt.Errorf(
+				"random field stayed disconnected after %d placements (%d nodes, side %g, radius %g — raise -field-radius or -field-nodes): %w",
+				maxPlacementAttempts, fieldNodes, fieldSide, fieldRadius, err)
 		}
 		// The node farthest from the sink becomes the source.
 		far := tempriv.NodeID(0)
@@ -269,6 +336,14 @@ func printReport(res *tempriv.Result, sources []tempriv.NodeID, perFlow map[temp
 	if busiest != nil {
 		fmt.Printf("busiest node: %v (%d hops from sink) avg occupancy %.2f, peak %.0f, mean hold %.1f\n",
 			busiest.ID, busiest.HopsToSink, busiest.AvgOccupancy, busiest.MaxOccupancy, busiest.MeanHeldDelay)
+	}
+	if res.LinkDrops > 0 || res.Retransmissions > 0 || res.DuplicatesSuppressed > 0 {
+		fmt.Printf("link layer: delivery ratio %.4f, %d retransmissions, %d link drops, %d duplicates suppressed\n",
+			res.DeliveryRatio(), res.Retransmissions, res.LinkDrops, res.DuplicatesSuppressed)
+	}
+	if res.LostToFailures > 0 || res.Reroutes > 0 {
+		fmt.Printf("failures: %d packets lost at dead nodes, %d parents rerouted\n",
+			res.LostToFailures, res.Reroutes)
 	}
 	if res.SealFailures > 0 {
 		fmt.Printf("WARNING: %d payload authentication failures\n", res.SealFailures)

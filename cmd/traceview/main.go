@@ -1,7 +1,7 @@
 // Command traceview analyses a packet-lifecycle trace written by
 // `rcadsim -trace` (JSON Lines, see package trace): per-node buffering
-// summaries, preemption hot-spots, and — with -flow/-seq — a single
-// packet's full journey.
+// summaries, preemption hot-spots, link-layer loss/retransmission activity,
+// route repairs, and — with -flow/-seq — a single packet's full journey.
 //
 // Examples:
 //
@@ -15,27 +15,31 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
 
-// event mirrors trace.Event's wire format.
+// event mirrors trace.Event's wire format. Dest is a pointer because the
+// field is omitted for events without a link destination, and node 0 (the
+// sink) is a legal destination.
 type event struct {
 	At   float64 `json:"at"`
 	Kind string  `json:"kind"`
 	Node uint16  `json:"node"`
+	Dest *uint16 `json:"dest"`
 	Flow uint16  `json:"flow"`
 	Seq  uint32  `json:"seq"`
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	var (
 		in   = fs.String("in", "", "trace file (JSON Lines) written by rcadsim -trace")
@@ -58,9 +62,9 @@ func run(args []string) error {
 	}
 
 	if *flow >= 0 && *seq >= 0 {
-		return showJourney(events, uint16(*flow), uint32(*seq))
+		return showJourney(out, events, uint16(*flow), uint32(*seq))
 	}
-	return showSummary(events)
+	return showSummary(out, events)
 }
 
 func load(path string) ([]event, error) {
@@ -88,12 +92,15 @@ func load(path string) ([]event, error) {
 	return events, nil
 }
 
-// nodeAgg accumulates per-node buffering behaviour.
+// nodeAgg accumulates per-node buffering and link-layer behaviour.
 type nodeAgg struct {
 	admitted   int
 	released   int
 	preempted  int
 	lost       int
+	linkLosses int
+	retransmit int
+	linkDrops  int
 	admitTimes map[uint64]float64 // (flow,seq) → admit time
 	holdSum    float64
 	holdCount  int
@@ -101,7 +108,7 @@ type nodeAgg struct {
 
 func key(flow uint16, seq uint32) uint64 { return uint64(flow)<<32 | uint64(seq) }
 
-func showSummary(events []event) error {
+func showSummary(out io.Writer, events []event) error {
 	nodes := make(map[uint16]*nodeAgg)
 	get := func(id uint16) *nodeAgg {
 		a, ok := nodes[id]
@@ -112,6 +119,8 @@ func showSummary(events []event) error {
 		return a
 	}
 	created, delivered, lost := 0, 0, 0
+	linkLoss, retransmits, linkDrops, duplicates := 0, 0, 0, 0
+	var reroutes []event
 	for _, e := range events {
 		switch e.Kind {
 		case "created":
@@ -137,17 +146,41 @@ func showSummary(events []event) error {
 				a.holdCount++
 				delete(a.admitTimes, key(e.Flow, e.Seq))
 			}
+		case "link-loss":
+			linkLoss++
+			get(e.Node).linkLosses++
+		case "retransmit":
+			retransmits++
+			get(e.Node).retransmit++
+		case "link-drop":
+			linkDrops++
+			get(e.Node).linkDrops++
+		case "rerouted":
+			reroutes = append(reroutes, e)
+		case "duplicate":
+			duplicates++
 		}
 	}
 
-	fmt.Printf("%d events: %d created, %d delivered, %d lost\n\n", len(events), created, delivered, lost)
+	fmt.Fprintf(out, "%d events: %d created, %d delivered, %d lost\n", len(events), created, delivered, lost)
+	hasLink := linkLoss+retransmits+linkDrops+duplicates > 0
+	if hasLink {
+		fmt.Fprintf(out, "link layer: %d frame/ACK losses, %d retransmissions, %d drops, %d duplicates suppressed\n",
+			linkLoss, retransmits, linkDrops, duplicates)
+	}
+	fmt.Fprintln(out)
+
 	ids := make([]uint16, 0, len(nodes))
 	for id := range nodes {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	fmt.Printf("%-6s %-9s %-9s %-10s %-13s %-10s\n",
+	fmt.Fprintf(out, "%-6s %-9s %-9s %-10s %-13s %-10s",
 		"node", "admitted", "released", "preempted", "preempt-rate", "mean-hold")
+	if hasLink {
+		fmt.Fprintf(out, " %-9s %-6s %-6s", "link-loss", "retx", "drops")
+	}
+	fmt.Fprintln(out)
 	for _, id := range ids {
 		a := nodes[id]
 		rate := 0.0
@@ -158,13 +191,33 @@ func showSummary(events []event) error {
 		if a.holdCount > 0 {
 			hold = a.holdSum / float64(a.holdCount)
 		}
-		fmt.Printf("n%-5d %-9d %-9d %-10d %-13.3f %-10.1f\n",
+		fmt.Fprintf(out, "n%-5d %-9d %-9d %-10d %-13.3f %-10.1f",
 			id, a.admitted, a.released, a.preempted, rate, hold)
+		if hasLink {
+			fmt.Fprintf(out, " %-9d %-6d %-6d", a.linkLosses, a.retransmit, a.linkDrops)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if len(reroutes) > 0 {
+		fmt.Fprintf(out, "\nroute repairs: %d\n", len(reroutes))
+		for _, e := range reroutes {
+			fmt.Fprintf(out, "  t=%-10.2f n%d → %s\n", e.At, e.Node, destLabel(e))
+		}
 	}
 	return nil
 }
 
-func showJourney(events []event, flow uint16, seq uint32) error {
+// destLabel renders an event's link destination ("n3"); an absent dest field
+// means the sink (node 0, elided on the wire).
+func destLabel(e event) string {
+	if e.Dest == nil {
+		return "n0"
+	}
+	return fmt.Sprintf("n%d", *e.Dest)
+}
+
+func showJourney(out io.Writer, events []event, flow uint16, seq uint32) error {
 	var journey []event
 	for _, e := range events {
 		if e.Flow == flow && e.Seq == seq {
@@ -175,12 +228,17 @@ func showJourney(events []event, flow uint16, seq uint32) error {
 		return fmt.Errorf("no events for flow %d seq %d", flow, seq)
 	}
 	sort.SliceStable(journey, func(i, j int) bool { return journey[i].At < journey[j].At })
-	fmt.Printf("packet flow=%d seq=%d — %d events\n", flow, seq, len(journey))
+	fmt.Fprintf(out, "packet flow=%d seq=%d — %d events\n", flow, seq, len(journey))
 	prev := journey[0].At
 	for _, e := range journey {
-		fmt.Printf("  t=%-10.2f +%-8.2f %-10s at n%d\n", e.At, e.At-prev, e.Kind, e.Node)
+		where := fmt.Sprintf("at n%d", e.Node)
+		switch e.Kind {
+		case "link-loss", "retransmit", "link-drop":
+			where = fmt.Sprintf("n%d → %s", e.Node, destLabel(e))
+		}
+		fmt.Fprintf(out, "  t=%-10.2f +%-8.2f %-10s %s\n", e.At, e.At-prev, e.Kind, where)
 		prev = e.At
 	}
-	fmt.Printf("total: %.2f time units from creation to final event\n", prev-journey[0].At)
+	fmt.Fprintf(out, "total: %.2f time units from creation to final event\n", prev-journey[0].At)
 	return nil
 }

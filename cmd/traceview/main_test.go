@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,28 +27,28 @@ func writeTrace(t *testing.T) string {
 }
 
 func TestSummary(t *testing.T) {
-	if err := run([]string{"-in", writeTrace(t)}); err != nil {
+	if err := run([]string{"-in", writeTrace(t)}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestJourney(t *testing.T) {
-	if err := run([]string{"-in", writeTrace(t), "-flow", "3", "-seq", "0"}); err != nil {
+	if err := run([]string{"-in", writeTrace(t), "-flow", "3", "-seq", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestJourneyUnknownPacket(t *testing.T) {
-	if err := run([]string{"-in", writeTrace(t), "-flow", "9", "-seq", "4"}); err == nil {
+	if err := run([]string{"-in", writeTrace(t), "-flow", "9", "-seq", "4"}, io.Discard); err == nil {
 		t.Fatal("unknown packet accepted")
 	}
 }
 
 func TestMissingInput(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Fatal("missing -in accepted")
 	}
-	if err := run([]string{"-in", "/nonexistent/trace.jsonl"}); err == nil {
+	if err := run([]string{"-in", "/nonexistent/trace.jsonl"}, io.Discard); err == nil {
 		t.Fatal("unreadable file accepted")
 	}
 }
@@ -56,7 +58,7 @@ func TestRejectsMalformedLine(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", path}); err == nil {
+	if err := run([]string{"-in", path}, io.Discard); err == nil {
 		t.Fatal("malformed trace accepted")
 	}
 }
@@ -66,7 +68,40 @@ func TestEmptyTrace(t *testing.T) {
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", path}); err == nil {
+	if err := run([]string{"-in", path}, io.Discard); err == nil {
 		t.Fatal("empty trace accepted")
 	}
+}
+
+// golden compares run's output for args against testdata/<name>.golden.
+// Regenerate with -update after an intentional format change.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func golden(t *testing.T, name string, args []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestSummaryGoldenLinkLayer(t *testing.T) {
+	golden(t, "summary_linklayer", []string{"-in", filepath.Join("testdata", "linklayer.jsonl")})
+}
+
+func TestJourneyGoldenLinkLayer(t *testing.T) {
+	golden(t, "journey_linklayer", []string{"-in", filepath.Join("testdata", "linklayer.jsonl"), "-flow", "5", "-seq", "0"})
 }

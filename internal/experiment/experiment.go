@@ -133,6 +133,7 @@ func All() []Experiment {
 		{ID: "abl-mix", Title: "RCAD vs mix-network mechanisms (SG-mix, pool mix, timed mix)", Paper: "§6 related work", Run: AblMix},
 		{ID: "abl-lattice", Title: "Lattice adversary vs delay budget (periodic sources leak their grid)", Paper: "§5.2 extension", Run: AblLattice},
 		{ID: "sort-reorder", Title: "Arrival reordering under independent delays (sorted-process premise)", Paper: "§3.2", Run: SortReorder},
+		{ID: "abl-linkloss", Title: "Delivery, ARQ work, and privacy under lossy links", Paper: "robustness extension", Run: AblLinkLoss},
 	}
 }
 

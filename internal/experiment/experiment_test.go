@@ -38,8 +38,8 @@ func mustRun(t *testing.T, id string, p Params) *report.Table {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -511,5 +511,43 @@ func TestSortReorderShape(t *testing.T) {
 	last := tab.Rows[len(tab.Rows)-1]
 	if last.Values[sim] < 0.45 {
 		t.Fatalf("swap probability at longest delay = %v, want → 0.5", last.Values[sim])
+	}
+}
+
+func TestAblLinkLossShape(t *testing.T) {
+	tab := mustRun(t, "abl-linkloss", testParams())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 loss points", len(tab.Rows))
+	}
+	ratio := columnIndex(t, tab, "delivery-ratio")
+	retx := columnIndex(t, tab, "retx/packet")
+	mse := columnIndex(t, tab, "adversary-MSE")
+
+	// p = 0: perfect delivery, zero ARQ work.
+	if r := tab.Rows[0]; r.Values[ratio] != 1 || r.Values[retx] != 0 {
+		t.Fatalf("lossless row = %v", r.Values)
+	}
+	// Monotone sanity across the sweep: retransmissions grow with p, and
+	// delivery never improves as the channel worsens.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i].Values[retx] <= tab.Rows[i-1].Values[retx] {
+			t.Fatalf("retx/packet not increasing at row %d: %v vs %v",
+				i, tab.Rows[i].Values[retx], tab.Rows[i-1].Values[retx])
+		}
+		if tab.Rows[i].Values[ratio] > tab.Rows[i-1].Values[ratio]+1e-9 {
+			t.Fatalf("delivery ratio rose with loss at row %d", i)
+		}
+	}
+	// ARQ with 3 retries absorbs 20% loss almost entirely.
+	if last := tab.Rows[len(tab.Rows)-1]; last.Values[ratio] < 0.95 {
+		t.Fatalf("delivery ratio at p=0.2 = %v, want ≥ 0.95", last.Values[ratio])
+	}
+	// Privacy must not lean on a reliable channel: MSE stays positive and
+	// within 3× of the lossless point across the sweep.
+	base := tab.Rows[0].Values[mse]
+	for _, r := range tab.Rows {
+		if r.Values[mse] <= 0 || r.Values[mse] > 3*base || r.Values[mse] < base/3 {
+			t.Fatalf("MSE %v at p=%s far from lossless %v", r.Values[mse], r.Label, base)
+		}
 	}
 }

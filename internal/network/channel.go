@@ -1,0 +1,195 @@
+package network
+
+import (
+	"fmt"
+
+	"tempriv/internal/rng"
+)
+
+// ChannelConfig models unreliable wireless links. Every directed link (a
+// node toward its current parent) owns an independent channel state drawn
+// from that node's deterministic random substream, so lossy runs stay
+// reproducible in (Config, Seed).
+//
+// All probabilities are per data-frame transmission attempt. The default
+// model is Bernoulli: each frame is lost independently with probability
+// LossP. Setting Burst enables the two-state Gilbert–Elliott model: the
+// link alternates between a good state (loss LossP) and a bad state (loss
+// BurstLossP), with geometric state residence times — the standard model
+// for the correlated fading bursts real radios exhibit.
+type ChannelConfig struct {
+	// LossP is the frame-loss probability, in [0, 1]. Under the
+	// Gilbert–Elliott model it is the good-state loss probability.
+	LossP float64
+	// Burst enables the Gilbert–Elliott two-state model.
+	Burst bool
+	// BurstLossP is the bad-state frame-loss probability, in [0, 1].
+	BurstLossP float64
+	// MeanGoodRun is the mean number of transmissions the link stays in the
+	// good state (>= 1). Zero defaults to DefaultMeanGoodRun.
+	MeanGoodRun float64
+	// MeanBurstLen is the mean number of transmissions a bad-state burst
+	// lasts (>= 1). Zero defaults to DefaultMeanBurstLen.
+	MeanBurstLen float64
+	// AckLossP is the probability a link-layer acknowledgement is lost, in
+	// [0, 1]. A lost ACK makes the sender retransmit a frame that was in
+	// fact delivered, creating the duplicates the sink must suppress. It
+	// requires ARQ: without retransmissions an ACK has no effect.
+	AckLossP float64
+}
+
+// Default Gilbert–Elliott residence times, in transmissions.
+const (
+	DefaultMeanGoodRun  = 50.0
+	DefaultMeanBurstLen = 5.0
+)
+
+// validate checks ranges and fills residence-time defaults.
+func (c *ChannelConfig) validate(hasARQ bool) (ChannelConfig, error) {
+	out := *c
+	if out.LossP < 0 || out.LossP > 1 {
+		return out, fmt.Errorf("network: channel loss probability %v outside [0, 1]", out.LossP)
+	}
+	if out.AckLossP < 0 || out.AckLossP > 1 {
+		return out, fmt.Errorf("network: ACK loss probability %v outside [0, 1]", out.AckLossP)
+	}
+	if out.AckLossP > 0 && !hasARQ {
+		return out, fmt.Errorf("network: AckLossP %v requires ARQ (without retransmissions an ACK changes nothing)", out.AckLossP)
+	}
+	if out.Burst {
+		if out.BurstLossP < 0 || out.BurstLossP > 1 {
+			return out, fmt.Errorf("network: burst loss probability %v outside [0, 1]", out.BurstLossP)
+		}
+		if out.MeanGoodRun == 0 {
+			out.MeanGoodRun = DefaultMeanGoodRun
+		}
+		if out.MeanBurstLen == 0 {
+			out.MeanBurstLen = DefaultMeanBurstLen
+		}
+		if out.MeanGoodRun < 1 || out.MeanBurstLen < 1 {
+			return out, fmt.Errorf("network: Gilbert–Elliott residence times must be >= 1 transmission (good %v, burst %v)",
+				out.MeanGoodRun, out.MeanBurstLen)
+		}
+	}
+	return out, nil
+}
+
+// ARQConfig enables link-layer automatic repeat request: each hop
+// acknowledges received frames, and the sender retransmits after a timeout
+// with capped exponential backoff until the retry budget is spent, after
+// which the packet counts as a link drop (Result.LinkDrops).
+//
+// A dead receiver never acknowledges, so with ARQ enabled a packet sent
+// toward a just-failed node is retried rather than silently destroyed —
+// and a retry re-reads the sender's parent, so packets survive a node
+// failure whenever route repair re-parents the sender in time.
+type ARQConfig struct {
+	// MaxRetries is the per-hop retransmission budget after the first
+	// attempt. Zero means a single attempt: losses are detected and counted
+	// but never retried.
+	MaxRetries int
+	// Timeout is the ACK wait before the first retransmission, in simulated
+	// time units from loss detection. Zero defaults to 3τ.
+	Timeout float64
+	// Backoff multiplies the timeout after each further failed attempt.
+	// Zero defaults to 2; values below 1 are rejected.
+	Backoff float64
+	// MaxTimeout caps the backed-off timeout. Zero defaults to 10× the
+	// resolved Timeout.
+	MaxTimeout float64
+}
+
+// DefaultARQ returns the ARQ configuration used by the CLIs and the
+// abl-linkloss experiment: 3 retries, timeout 3τ, backoff ×2.
+func DefaultARQ() *ARQConfig {
+	return &ARQConfig{MaxRetries: 3}
+}
+
+// validate checks ranges and resolves defaults against the run's τ.
+func (a *ARQConfig) validate(tau float64) (ARQConfig, error) {
+	out := *a
+	if out.MaxRetries < 0 {
+		return out, fmt.Errorf("network: negative ARQ retry budget %d", out.MaxRetries)
+	}
+	if out.Timeout < 0 {
+		return out, fmt.Errorf("network: negative ARQ timeout %v", out.Timeout)
+	}
+	if out.Timeout == 0 {
+		out.Timeout = 3 * tau
+	}
+	if out.Backoff == 0 {
+		out.Backoff = 2
+	}
+	if out.Backoff < 1 {
+		return out, fmt.Errorf("network: ARQ backoff %v must be >= 1", out.Backoff)
+	}
+	if out.MaxTimeout < 0 {
+		return out, fmt.Errorf("network: negative ARQ timeout cap %v", out.MaxTimeout)
+	}
+	if out.MaxTimeout == 0 {
+		out.MaxTimeout = 10 * out.Timeout
+	}
+	return out, nil
+}
+
+// wait returns the backed-off retransmission timeout before attempt number
+// try+1 (try counts completed attempts, 0-based).
+func (a *ARQConfig) wait(try int) float64 {
+	t := a.Timeout
+	for i := 0; i < try; i++ {
+		t *= a.Backoff
+		if t >= a.MaxTimeout {
+			return a.MaxTimeout
+		}
+	}
+	return t
+}
+
+// linkChannel is the per-link channel state: the Gilbert–Elliott good/bad
+// flag and the link's private random substream. A nil *linkChannel (reliable
+// link) never loses anything.
+type linkChannel struct {
+	cfg ChannelConfig
+	src *rng.Source
+	bad bool
+}
+
+// newLinkChannel builds the channel state for one directed link.
+func newLinkChannel(cfg ChannelConfig, src *rng.Source) *linkChannel {
+	return &linkChannel{cfg: cfg, src: src}
+}
+
+// frameLost draws whether the current data frame is destroyed, advancing
+// the Gilbert–Elliott state when the burst model is on.
+func (l *linkChannel) frameLost() bool {
+	if l == nil {
+		return false
+	}
+	p := l.cfg.LossP
+	if l.cfg.Burst && l.bad {
+		p = l.cfg.BurstLossP
+	}
+	lost := l.src.Bernoulli(p)
+	if l.cfg.Burst {
+		// Geometric residence: leave the current state with probability
+		// 1/mean-residence per transmission.
+		if l.bad {
+			if l.src.Bernoulli(1 / l.cfg.MeanBurstLen) {
+				l.bad = false
+			}
+		} else {
+			if l.src.Bernoulli(1 / l.cfg.MeanGoodRun) {
+				l.bad = true
+			}
+		}
+	}
+	return lost
+}
+
+// ackLost draws whether the acknowledgement for a delivered frame is lost.
+func (l *linkChannel) ackLost() bool {
+	if l == nil {
+		return false
+	}
+	return l.src.Bernoulli(l.cfg.AckLossP)
+}

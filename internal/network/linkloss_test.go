@@ -1,0 +1,429 @@
+package network
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tempriv/internal/packet"
+	"tempriv/internal/topology"
+	"tempriv/internal/trace"
+)
+
+// gridConfig builds a w×h grid with the far corner as the only source —
+// unlike a line, a grid offers the path diversity route repair needs.
+func gridConfig(t *testing.T, w, h int, policy PolicyKind, interarrival float64, count int) Config {
+	t.Helper()
+	cfg := lineConfig(t, 3, policy, interarrival, count) // reuse policy/delay wiring
+	topo, err := topology.Grid(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := topology.GridID(w, w-1, h-1)
+	if err := topo.MarkSource(far); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Topology = topo
+	cfg.Sources[0].Node = far
+	return cfg
+}
+
+func TestReliablePathBitIdentical(t *testing.T) {
+	// Acceptance gate: with link loss p = 0 and ARQ enabled, a run must be
+	// bit-identical to the pre-link-layer baseline — deliveries, event
+	// counts, and the full lifecycle trace.
+	for _, policy := range []PolicyKind{PolicyForward, PolicyUnlimited, PolicyRCAD} {
+		var baseMem, linkMem trace.Memory
+
+		base := lineConfig(t, 5, policy, 4, 200)
+		base.Tracer = &baseMem
+		baseRes, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		link := lineConfig(t, 5, policy, 4, 200)
+		link.Tracer = &linkMem
+		link.Channel = &ChannelConfig{LossP: 0}
+		link.ARQ = DefaultARQ()
+		linkRes, err := Run(link)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(baseRes.Deliveries, linkRes.Deliveries) {
+			t.Fatalf("policy %v: deliveries differ with lossless channel + ARQ", policy)
+		}
+		if baseRes.Events != linkRes.Events || baseRes.Duration != linkRes.Duration {
+			t.Fatalf("policy %v: events/duration differ: %d/%v vs %d/%v", policy,
+				baseRes.Events, baseRes.Duration, linkRes.Events, linkRes.Duration)
+		}
+		if !reflect.DeepEqual(baseMem.Events(), linkMem.Events()) {
+			t.Fatalf("policy %v: lifecycle traces differ with lossless channel + ARQ", policy)
+		}
+		if linkRes.LinkDrops != 0 || linkRes.Retransmissions != 0 || linkRes.DuplicatesSuppressed != 0 {
+			t.Fatalf("policy %v: lossless run counted link events: %d drops, %d retx, %d dups",
+				policy, linkRes.LinkDrops, linkRes.Retransmissions, linkRes.DuplicatesSuppressed)
+		}
+	}
+}
+
+func TestLossyLinksDropWithoutARQ(t *testing.T) {
+	cfg := lineConfig(t, 5, PolicyForward, 2, 500)
+	cfg.Channel = &ChannelConfig{LossP: 0.2}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Flows[packet.NodeID(5)]
+	if res.LinkDrops == 0 {
+		t.Fatal("no link drops on a 20%-loss channel")
+	}
+	if res.Retransmissions != 0 {
+		t.Fatalf("%d retransmissions without ARQ", res.Retransmissions)
+	}
+	// Conservation under pure forwarding: every packet is delivered or
+	// link-dropped.
+	if fs.Delivered+res.LinkDrops != fs.Created {
+		t.Fatalf("conservation: created %d != delivered %d + link drops %d",
+			fs.Created, fs.Delivered, res.LinkDrops)
+	}
+	if r := res.DeliveryRatio(); r >= 1 || r <= 0 {
+		t.Fatalf("delivery ratio = %v, want in (0, 1)", r)
+	}
+	// Per-hop survival (1-p)^5 ≈ 0.33; allow wide statistical slack.
+	if r := res.DeliveryRatio(); r < 0.15 || r > 0.55 {
+		t.Fatalf("delivery ratio = %v, want ≈ 0.33", r)
+	}
+}
+
+func TestARQRecoversLosses(t *testing.T) {
+	lossy := lineConfig(t, 5, PolicyForward, 2, 500)
+	lossy.Channel = &ChannelConfig{LossP: 0.2}
+	bare, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arq := lineConfig(t, 5, PolicyForward, 2, 500)
+	arq.Channel = &ChannelConfig{LossP: 0.2}
+	arq.ARQ = &ARQConfig{MaxRetries: 5}
+	rec, err := Run(arq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.Retransmissions == 0 {
+		t.Fatal("ARQ never retransmitted on a lossy channel")
+	}
+	if rec.DeliveryRatio() <= bare.DeliveryRatio() {
+		t.Fatalf("ARQ did not improve delivery: %v vs %v without",
+			rec.DeliveryRatio(), bare.DeliveryRatio())
+	}
+	// With 5 retries per hop at p = 0.2, per-hop failure is 0.2^6 ≈ 6e-5.
+	if r := rec.DeliveryRatio(); r < 0.99 {
+		t.Fatalf("delivery ratio with ARQ = %v, want > 0.99", r)
+	}
+}
+
+func TestGilbertElliottBurstsAreLossier(t *testing.T) {
+	// Same marginal good-state loss, but the bad state wipes out frames:
+	// the burst model must lose more than plain Bernoulli at the good rate.
+	bern := lineConfig(t, 5, PolicyForward, 2, 500)
+	bern.Channel = &ChannelConfig{LossP: 0.05}
+	bres, err := Run(bern)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	burst := lineConfig(t, 5, PolicyForward, 2, 500)
+	burst.Channel = &ChannelConfig{
+		LossP: 0.05, Burst: true, BurstLossP: 0.9,
+		MeanGoodRun: 40, MeanBurstLen: 10,
+	}
+	gres, err := Run(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.LinkDrops <= bres.LinkDrops {
+		t.Fatalf("burst channel dropped %d, Bernoulli %d; want more under bursts",
+			gres.LinkDrops, bres.LinkDrops)
+	}
+
+	// Determinism: the burst channel replays exactly under the same seed.
+	again, err := Run(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gres.Deliveries, again.Deliveries) || gres.LinkDrops != again.LinkDrops {
+		t.Fatal("Gilbert–Elliott run is not reproducible under the same seed")
+	}
+}
+
+func TestAckLossDuplicatesSuppressed(t *testing.T) {
+	// Data frames never fail, only ACKs: every original arrives on its
+	// baseline schedule and every retransmission is a duplicate the sink
+	// must swallow without inflating Delivered or shifting the adversary's
+	// view.
+	base := lineConfig(t, 5, PolicyForward, 2, 300)
+	baseRes, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := lineConfig(t, 5, PolicyForward, 2, 300)
+	cfg.Channel = &ChannelConfig{LossP: 0, AckLossP: 0.3}
+	cfg.ARQ = DefaultARQ()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.DuplicatesSuppressed == 0 {
+		t.Fatal("30% ACK loss produced no duplicates")
+	}
+	fs := res.Flows[packet.NodeID(5)]
+	if fs.Delivered != fs.Created {
+		t.Fatalf("delivered %d of %d: duplicates inflated or deflated the count", fs.Delivered, fs.Created)
+	}
+	seen := make(map[uint32]bool)
+	for _, d := range res.Deliveries {
+		if seen[d.Truth.Seq] {
+			t.Fatalf("packet seq %d delivered twice", d.Truth.Seq)
+		}
+		seen[d.Truth.Seq] = true
+	}
+	// Under pure forwarding duplicates never perturb other packets, so the
+	// deduplicated deliveries — and therefore any adversary score computed
+	// from them — are identical to the reliable baseline.
+	if !reflect.DeepEqual(baseRes.Deliveries, res.Deliveries) {
+		t.Fatal("ACK-loss duplicates shifted the sink's delivery record")
+	}
+}
+
+func TestRouteRepairRecoversDeliveryRatio(t *testing.T) {
+	// Kill the source's next hop mid-run on a 4×4 grid. Without repair the
+	// flow stays cut off; with repair the source re-parents and delivery
+	// resumes — strictly better on the same seed.
+	const w, h = 4, 4
+	far := topology.GridID(w, w-1, h-1)
+
+	cut := gridConfig(t, w, h, PolicyForward, 10, 50)
+	cut.NodeFailures = []NodeFailure{{Node: 11, At: 250}} // n11 = (3,2), S's parent
+	cutRes, err := Run(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repaired := gridConfig(t, w, h, PolicyForward, 10, 50)
+	repaired.NodeFailures = []NodeFailure{{Node: 11, At: 250}}
+	repaired.RouteRepair = true
+	repRes, err := Run(repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repRes.Reroutes == 0 {
+		t.Fatal("route repair reassigned no parents")
+	}
+	if repRes.DeliveryRatio() <= cutRes.DeliveryRatio() {
+		t.Fatalf("repair did not improve delivery: %v vs %v without",
+			repRes.DeliveryRatio(), cutRes.DeliveryRatio())
+	}
+	if got := repRes.Flows[far].Delivered; got != repRes.Flows[far].Created {
+		t.Fatalf("repaired run still lost packets: delivered %d of %d",
+			got, repRes.Flows[far].Created)
+	}
+}
+
+func TestRouteRepairRehomesBufferedPackets(t *testing.T) {
+	// A delaying victim holds packets at failure time. Without repair they
+	// are destroyed; with repair they are handed to the successor and still
+	// delivered.
+	cut := gridConfig(t, 4, 4, PolicyRCAD, 2, 100)
+	cut.NodeFailures = []NodeFailure{{Node: 11, At: 150}}
+	cutRes, err := Run(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cutRes.LostToFailures == 0 {
+		t.Fatal("baseline failure lost nothing; test setup is too gentle")
+	}
+
+	rep := gridConfig(t, 4, 4, PolicyRCAD, 2, 100)
+	rep.NodeFailures = []NodeFailure{{Node: 11, At: 150}}
+	rep.RouteRepair = true
+	repRes, err := Run(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repRes.LostToFailures >= cutRes.LostToFailures {
+		t.Fatalf("repair lost %d to the failure, no-repair lost %d",
+			repRes.LostToFailures, cutRes.LostToFailures)
+	}
+	if repRes.DeliveryRatio() <= cutRes.DeliveryRatio() {
+		t.Fatalf("repair delivery ratio %v not above no-repair %v",
+			repRes.DeliveryRatio(), cutRes.DeliveryRatio())
+	}
+}
+
+func TestRouteRepairDeterministicTrace(t *testing.T) {
+	// Same seed + same failure schedule ⇒ byte-identical JSONL trace, with
+	// every robustness feature enabled at once.
+	run := func() []byte {
+		var buf bytes.Buffer
+		rec, err := trace.NewJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := gridConfig(t, 4, 4, PolicyRCAD, 2, 150)
+		cfg.Channel = &ChannelConfig{LossP: 0.1, AckLossP: 0.05}
+		cfg.ARQ = DefaultARQ()
+		cfg.RouteRepair = true
+		cfg.NodeFailures = []NodeFailure{{Node: 11, At: 100}, {Node: 14, At: 200}}
+		cfg.Tracer = rec
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("route-repair run is not byte-identical under the same seed and failure schedule")
+	}
+}
+
+func TestRepairedTreesAvoidDeadNodes(t *testing.T) {
+	// After repair, no surviving node's parent may be dead, and traced
+	// reroutes must point at live nodes.
+	var mem trace.Memory
+	cfg := gridConfig(t, 5, 5, PolicyForward, 5, 100)
+	dead := []packet.NodeID{7, 11, 17}
+	cfg.NodeFailures = []NodeFailure{{Node: dead[0], At: 50}, {Node: dead[1], At: 120}, {Node: dead[2], At: 180}}
+	cfg.RouteRepair = true
+	cfg.Tracer = &mem
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	failAt := map[packet.NodeID]float64{7: 50, 11: 120, 17: 180}
+	for _, e := range mem.Events() {
+		if e.Kind != trace.Rerouted {
+			continue
+		}
+		// The new parent must be alive at reroute time (it may die later and
+		// trigger a further repair — that is fine).
+		if at, dies := failAt[e.Dest]; dies && e.At >= at {
+			t.Fatalf("node %v rerouted onto dead parent %v at t=%v (died at %v)", e.Node, e.Dest, e.At, at)
+		}
+	}
+	// No packet may be admitted at a dead node after its failure time.
+	for _, e := range mem.Events() {
+		if e.Kind == trace.Admitted {
+			if at, isDead := failAt[e.Node]; isDead && e.At > at {
+				t.Fatalf("packet admitted at dead node %v at t=%v (died at %v)", e.Node, e.At, at)
+			}
+		}
+	}
+}
+
+func TestARQPlusRepairSavesInFlightPackets(t *testing.T) {
+	// With ARQ, a frame sent toward a node that dies mid-flight is retried;
+	// once repair re-parents the sender, the retry succeeds. Delivery must
+	// beat repair-only on the same seed and loss process.
+	base := gridConfig(t, 4, 4, PolicyForward, 1, 300)
+	base.NodeFailures = []NodeFailure{{Node: 11, At: 150}}
+	base.RouteRepair = true
+	bres, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arq := gridConfig(t, 4, 4, PolicyForward, 1, 300)
+	arq.NodeFailures = []NodeFailure{{Node: 11, At: 150}}
+	arq.RouteRepair = true
+	arq.ARQ = DefaultARQ()
+	ares, err := Run(arq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.DeliveryRatio() < bres.DeliveryRatio() {
+		t.Fatalf("ARQ+repair delivery %v below repair-only %v",
+			ares.DeliveryRatio(), bres.DeliveryRatio())
+	}
+}
+
+func TestChannelAndARQValidation(t *testing.T) {
+	good := lineConfig(t, 3, PolicyForward, 10, 5)
+
+	bad := good
+	bad.Channel = &ChannelConfig{LossP: 1.5}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("loss probability > 1 accepted")
+	}
+
+	bad = good
+	bad.Channel = &ChannelConfig{LossP: -0.1}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative loss probability accepted")
+	}
+
+	bad = good
+	bad.Channel = &ChannelConfig{AckLossP: 0.1} // no ARQ configured
+	if _, err := Run(bad); err == nil {
+		t.Fatal("ACK loss without ARQ accepted")
+	}
+
+	bad = good
+	bad.Channel = &ChannelConfig{Burst: true, BurstLossP: 2}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("burst loss probability > 1 accepted")
+	}
+
+	bad = good
+	bad.Channel = &ChannelConfig{Burst: true, BurstLossP: 0.5, MeanBurstLen: 0.2}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("sub-transmission burst length accepted")
+	}
+
+	bad = good
+	bad.ARQ = &ARQConfig{MaxRetries: -1}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative retry budget accepted")
+	}
+
+	bad = good
+	bad.ARQ = &ARQConfig{Backoff: 0.5}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("shrinking backoff accepted")
+	}
+
+	bad = good
+	bad.ARQ = &ARQConfig{Timeout: -1}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+}
+
+func TestARQWaitBacksOffAndCaps(t *testing.T) {
+	a, err := (&ARQConfig{MaxRetries: 8, Timeout: 2, Backoff: 2, MaxTimeout: 10}).validate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{2, 4, 8, 10, 10}
+	for try, want := range wants {
+		if got := a.wait(try); got != want {
+			t.Fatalf("wait(%d) = %v, want %v", try, got, want)
+		}
+	}
+	// Defaults: timeout 3τ, backoff ×2, cap 10× timeout.
+	d, err := DefaultARQ().validate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Timeout != 6 || d.Backoff != 2 || d.MaxTimeout != 60 {
+		t.Fatalf("resolved defaults = %+v", d)
+	}
+}

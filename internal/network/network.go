@@ -9,6 +9,15 @@
 // arrivals. Payload sealing (AES-CTR + HMAC) can be enabled to run the §2
 // confidentiality assumption end-to-end.
 //
+// Beyond the paper's perfectly reliable links, the simulator models a fault
+// -tolerant delivery layer: per-link frame loss (Bernoulli or Gilbert–
+// Elliott bursts, Config.Channel), link-layer ARQ with capped exponential
+// backoff (Config.ARQ), duplicate suppression at the sink, and route repair
+// around injected node failures (Config.RouteRepair). All of it draws from
+// dedicated per-link random substreams, so the reliable path of a run is
+// bit-identical whether or not these features are compiled into the config
+// with zero loss.
+//
 // A Run is fully deterministic in (Config, Seed): every node draws from its
 // own labelled substream of the master seed.
 package network
@@ -136,6 +145,18 @@ type Config struct {
 	// Seed drives all randomness. Runs with equal configs and seeds are
 	// identical.
 	Seed uint64
+	// Channel models unreliable links; nil means perfectly reliable links
+	// (the paper's assumption). See ChannelConfig.
+	Channel *ChannelConfig
+	// ARQ enables per-hop acknowledge/retransmit recovery of lost frames;
+	// nil disables it, making every lost frame a lost packet. See ARQConfig.
+	ARQ *ARQConfig
+	// RouteRepair rebuilds the routing tree around dead nodes when a
+	// NodeFailure fires: survivors re-parent onto live routes and the dead
+	// node's buffered packets are handed to its successor instead of being
+	// destroyed. Without it, routing is static and flows through a dead
+	// node stay cut off forever.
+	RouteRepair bool
 	// NodeFailures schedules permanent node deaths (failure injection).
 	NodeFailures []NodeFailure
 	// Tracer optionally receives per-packet lifecycle events (creation,
@@ -147,10 +168,12 @@ type Config struct {
 	Seal bool
 }
 
-// NodeFailure schedules a permanent node death: at time At the node's
-// buffered packets are lost and every packet subsequently reaching it is
-// lost. Routing is static (the paper's tree), so flows through a dead node
-// are cut off — modelling sensor exhaustion or destruction.
+// NodeFailure schedules a permanent node death — modelling sensor
+// exhaustion or destruction. By default routing is static (the paper's
+// tree): the node's buffered packets are lost at time At and every packet
+// subsequently reaching it is lost, so flows through a dead node are cut
+// off. With Config.RouteRepair the tree is rebuilt around the dead node,
+// survivors re-parent, and the victim's buffer is handed to its successor.
 type NodeFailure struct {
 	// Node is the failing node; it must exist and must not be the sink.
 	Node packet.NodeID
@@ -223,8 +246,39 @@ type Result struct {
 	SealFailures uint64
 	// LostToFailures counts packets destroyed by injected node failures:
 	// buffer contents at failure time plus packets that later reached a
-	// dead node.
+	// dead node. With RouteRepair the failed node's buffer is re-homed
+	// rather than destroyed, so only packets with no surviving route count
+	// here.
 	LostToFailures uint64
+	// LinkDrops counts packets abandoned by the link layer: frames the
+	// channel destroyed with no ARQ to recover them, or packets whose ARQ
+	// retry budget ran out.
+	LinkDrops uint64
+	// Retransmissions counts link-layer data-frame retransmissions (ARQ
+	// retries after a lost frame, a silent dead receiver, or a lost ACK).
+	Retransmissions uint64
+	// DuplicatesSuppressed counts sink arrivals discarded because a copy of
+	// the same (origin, seq) packet had already been delivered — the
+	// ARQ-induced duplicates that must not inflate delivery counts or
+	// adversary scores.
+	DuplicatesSuppressed uint64
+	// Reroutes counts parent reassignments applied by route repair across
+	// all injected failures.
+	Reroutes uint64
+}
+
+// DeliveryRatio returns the fraction of created packets that reached the
+// sink, across all flows. It is 1 for a run that created nothing.
+func (r *Result) DeliveryRatio() float64 {
+	var created, delivered uint64
+	for _, f := range r.Flows {
+		created += f.Created
+		delivered += f.Delivered
+	}
+	if created == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(created)
 }
 
 // Observations converts the deliveries into the adversary's view, in arrival
@@ -254,6 +308,7 @@ type node struct {
 	rcad   *core.RCAD    // non-nil only when rate control is enabled
 	dist   delay.Distribution
 	src    *rng.Source
+	link   *linkChannel // nil when Config.Channel is nil (reliable link)
 	dead   bool
 }
 
@@ -271,6 +326,12 @@ type runner struct {
 	nodes   map[packet.NodeID]*node
 	keyring *seal.Keyring
 	result  *Result
+	// dead collects failed nodes so each route repair excludes every death
+	// so far, not just the latest.
+	dead map[packet.NodeID]bool
+	// dedup is the sink's (origin, seq) duplicate filter, allocated only
+	// when ARQ can produce duplicates.
+	dedup map[uint64]struct{}
 }
 
 // Run validates cfg, executes the simulation to completion, and returns the
@@ -376,16 +437,36 @@ func newRunner(cfg Config) (*runner, error) {
 	if cfg.Victim == nil {
 		cfg.Victim = buffer.ShortestRemaining{}
 	}
+	if cfg.ARQ != nil {
+		resolved, err := cfg.ARQ.validate(cfg.TransmissionDelay)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ARQ = &resolved
+	}
+	if cfg.Channel != nil {
+		resolved, err := cfg.Channel.validate(cfg.ARQ != nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Channel = &resolved
+	}
 
 	r := &runner{
 		cfg:    cfg,
 		sched:  sim.NewScheduler(),
 		routes: routes,
 		nodes:  make(map[packet.NodeID]*node),
+		dead:   make(map[packet.NodeID]bool),
 		result: &Result{
 			Flows: make(map[packet.NodeID]*FlowStats),
 			Nodes: make(map[packet.NodeID]*NodeStats),
 		},
+	}
+	if cfg.ARQ != nil {
+		// Duplicates exist only when a delivered frame can be retransmitted,
+		// i.e. under ARQ; a reliable or ARQ-less run needs no filter.
+		r.dedup = make(map[uint64]struct{})
 	}
 	if cfg.Seal {
 		r.keyring = seal.NewKeyring([]byte(fmt.Sprintf("tempriv/network/%d", cfg.Seed)))
@@ -408,6 +489,9 @@ func newRunner(cfg Config) (*runner, error) {
 		}
 		if d, ok := cfg.PerNodeDelay[id]; ok {
 			n.dist = d
+		}
+		if cfg.Channel != nil {
+			n.link = newLinkChannel(*cfg.Channel, n.src.Split("link"))
 		}
 		if err := r.attachPolicy(n); err != nil {
 			return nil, err
@@ -505,30 +589,139 @@ func (r *runner) record(kind trace.Kind, node packet.NodeID, p *packet.Packet) {
 	})
 }
 
+// recordLink emits a link-layer event naming the far end of the link.
+func (r *runner) recordLink(kind trace.Kind, node, dest packet.NodeID, p *packet.Packet) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	r.cfg.Tracer.Record(trace.Event{
+		At:   r.sched.Now(),
+		Kind: kind,
+		Node: node,
+		Flow: p.Truth.Flow,
+		Seq:  p.Truth.Seq,
+		Dest: dest,
+	})
+}
+
 // scheduleFailures arms the injected node deaths.
 func (r *runner) scheduleFailures() {
 	for _, f := range r.cfg.NodeFailures {
 		n := r.nodes[f.Node]
-		r.sched.At(f.At, func() {
-			n.dead = true
-			var holder evacuator
-			switch {
-			case n.rcad != nil:
-				holder = n.rcad
-			case n.policy != nil:
-				if ev, ok := n.policy.(evacuator); ok {
-					holder = ev
-				}
+		r.sched.At(f.At, func() { r.failNode(n) })
+	}
+}
+
+// failNode kills n: its buffered packets are evacuated and, depending on
+// Config.RouteRepair, either destroyed (the static-routing model) or
+// re-homed onto the repaired tree.
+func (r *runner) failNode(n *node) {
+	n.dead = true
+	r.dead[n.id] = true
+	var evacuated []*packet.Packet
+	var holder evacuator
+	switch {
+	case n.rcad != nil:
+		holder = n.rcad
+	case n.policy != nil:
+		if ev, ok := n.policy.(evacuator); ok {
+			holder = ev
+		}
+	}
+	if holder != nil {
+		evacuated = holder.Evacuate()
+	}
+	if !r.cfg.RouteRepair {
+		r.loseToFailure(n.id, evacuated)
+		return
+	}
+	r.repairRoutes(n, evacuated)
+}
+
+// loseToFailure counts and traces packets destroyed by a node death.
+func (r *runner) loseToFailure(at packet.NodeID, packets []*packet.Packet) {
+	r.result.LostToFailures += uint64(len(packets))
+	for _, p := range packets {
+		r.record(trace.Lost, at, p)
+	}
+}
+
+// repairRoutes rebuilds the routing tree without the dead nodes, re-parents
+// every survivor whose parent changed, and hands the failed node's buffered
+// packets to its successor instead of destroying them. Survivors are visited
+// in ID order and the rebuild tie-breaks exactly like the original BFS, so
+// repair is deterministic in (Config, Seed).
+func (r *runner) repairRoutes(failed *node, evacuated []*packet.Packet) {
+	rebuilt := routing.BuildTreeAvoiding(r.cfg.Topology, r.dead)
+
+	ids := make([]packet.NodeID, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := r.nodes[id]
+		if n.dead {
+			continue
+		}
+		parent, ok := rebuilt.NextHop(id)
+		if !ok || parent == n.parent {
+			// A survivor the failure orphaned keeps its stale parent: its
+			// traffic dies at the dead node exactly as without repair.
+			continue
+		}
+		n.parent = parent
+		r.result.Reroutes++
+		if r.cfg.Tracer != nil {
+			r.cfg.Tracer.Record(trace.Event{
+				At: r.sched.Now(), Kind: trace.Rerouted, Node: id, Dest: parent,
+			})
+		}
+	}
+
+	if len(evacuated) == 0 {
+		return
+	}
+	succ, ok := r.successor(failed, rebuilt)
+	if !ok {
+		// No surviving routed neighbor: the buffer is unreachable and lost.
+		r.loseToFailure(failed.id, evacuated)
+		return
+	}
+	// Hand each buffered packet to the successor, one transmission delay
+	// away — the failure-time offload of route-maintenance protocols.
+	for _, p := range evacuated {
+		p := p
+		p.Forward(failed.id)
+		r.sched.After(r.cfg.TransmissionDelay, func() {
+			if succ == topology.Sink {
+				r.arriveAtSink(p)
+				return
 			}
-			if holder != nil {
-				evacuated := holder.Evacuate()
-				r.result.LostToFailures += uint64(len(evacuated))
-				for _, p := range evacuated {
-					r.record(trace.Lost, n.id, p)
-				}
-			}
+			r.deliver(r.nodes[succ], p)
 		})
 	}
+}
+
+// successor picks the failed node's handoff target: its alive neighbor
+// closest to the sink in the rebuilt tree, ties toward the smaller ID — the
+// parent the node itself would have received had it survived.
+func (r *runner) successor(failed *node, rebuilt *routing.Table) (packet.NodeID, bool) {
+	var best packet.NodeID
+	bestHops := -1
+	for _, m := range r.cfg.Topology.Neighbors(failed.id) {
+		if r.dead[m] {
+			continue
+		}
+		h, ok := rebuilt.HopCount(m)
+		if !ok {
+			continue
+		}
+		if bestHops == -1 || h < bestHops || (h == bestHops && m < best) {
+			best, bestHops = m, h
+		}
+	}
+	return best, bestHops >= 0
 }
 
 // armCreation schedules the next packet creation for source s, having
@@ -589,23 +782,97 @@ func (r *runner) deliver(n *node, p *packet.Packet) {
 	}
 }
 
-// transmit moves a packet one hop from n toward the sink, applying the
-// transmission delay τ and updating the cleartext header.
+// transmit moves a packet one hop from n toward the sink through the link
+// layer: the frame crosses the (possibly lossy) channel in τ time units and,
+// with ARQ enabled, lost frames are retransmitted with capped exponential
+// backoff until the per-hop retry budget runs out.
 func (r *runner) transmit(n *node, p *packet.Packet) {
 	p.Forward(n.id)
+	r.attempt(n, p, 0)
+}
+
+// attempt performs one transmission of p from n — attempt number try, where
+// 0 is the original send. The destination is re-read from n.parent on every
+// attempt, so a retransmission after a route repair follows the new parent.
+func (r *runner) attempt(n *node, p *packet.Packet, try int) {
 	dest := n.parent
+	if try > 0 {
+		r.result.Retransmissions++
+		r.recordLink(trace.Retransmit, n.id, dest, p)
+	}
+	if n.link.frameLost() {
+		r.recordLink(trace.LinkLoss, n.id, dest, p)
+		r.retryOrDrop(n, dest, p, try)
+		return
+	}
 	r.sched.After(r.cfg.TransmissionDelay, func() {
 		if dest == topology.Sink {
+			// The duplicate check must clone before delivery mutates the
+			// header, so it runs first in both branches.
+			r.maybeDuplicate(n, dest, p, try)
 			r.arriveAtSink(p)
 			return
 		}
-		r.deliver(r.nodes[dest], p)
+		dn := r.nodes[dest]
+		if dn.dead {
+			if r.cfg.ARQ != nil {
+				// A dead receiver never acknowledges: the sender times out
+				// and retries — by then possibly toward a repaired route.
+				r.recordLink(trace.LinkLoss, n.id, dest, p)
+				r.retryOrDrop(n, dest, p, try)
+			} else {
+				r.result.LostToFailures++
+				r.record(trace.Lost, dest, p)
+			}
+			return
+		}
+		r.maybeDuplicate(n, dest, p, try)
+		r.deliver(dn, p)
 	})
 }
 
-// arriveAtSink records a delivery and its ground truth.
+// retryOrDrop schedules the next ARQ attempt after the backed-off timeout,
+// or abandons the packet once the retry budget is spent.
+func (r *runner) retryOrDrop(n *node, dest packet.NodeID, p *packet.Packet, try int) {
+	arq := r.cfg.ARQ
+	if arq == nil || try >= arq.MaxRetries {
+		r.result.LinkDrops++
+		r.recordLink(trace.LinkDrop, n.id, dest, p)
+		return
+	}
+	r.sched.After(arq.wait(try), func() { r.attempt(n, p, try+1) })
+}
+
+// maybeDuplicate models the acknowledgement of a delivered frame: when the
+// ACK is lost the sender cannot distinguish the outcome from a lost frame
+// and retransmits an independent copy — the duplicate the sink's
+// (origin, seq) filter later suppresses. It must run before the delivered
+// copy's header advances further.
+func (r *runner) maybeDuplicate(n *node, dest packet.NodeID, p *packet.Packet, try int) {
+	if r.cfg.ARQ == nil || !n.link.ackLost() {
+		return
+	}
+	r.recordLink(trace.LinkLoss, n.id, dest, p)
+	if try >= r.cfg.ARQ.MaxRetries {
+		return // the sender gives up; the frame was in fact delivered
+	}
+	dup := p.Clone()
+	r.sched.After(r.cfg.ARQ.wait(try), func() { r.attempt(n, dup, try+1) })
+}
+
+// arriveAtSink records a delivery and its ground truth, discarding
+// ARQ-induced duplicates of already delivered packets.
 func (r *runner) arriveAtSink(p *packet.Packet) {
 	now := r.sched.Now()
+	if r.dedup != nil {
+		key := uint64(p.Header.Origin)<<32 | uint64(p.Header.RoutingSeq)
+		if _, dup := r.dedup[key]; dup {
+			r.result.DuplicatesSuppressed++
+			r.record(trace.Duplicate, topology.Sink, p)
+			return
+		}
+		r.dedup[key] = struct{}{}
+	}
 	if r.keyring != nil {
 		reading, err := p.OpenReading(r.keyring)
 		if err != nil || reading.CreatedAt != p.Truth.CreatedAt {

@@ -182,6 +182,16 @@ func (p *Packet) OpenReading(k *seal.Keyring) (Reading, error) {
 	return r, nil
 }
 
+// Clone returns an independent copy of the packet. The link layer uses it
+// when a lost acknowledgement forces a retransmission of a frame that was in
+// fact delivered: the duplicate must advance its own header without
+// corrupting the delivered copy's. The sealed payload, immutable once
+// written, is shared.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	return &c
+}
+
 // Forward updates the cleartext header as node from transmits the packet on
 // its next hop: the previous-hop field becomes from and the hop count
 // increments. Hop counts saturate at 255 rather than wrapping; paths that

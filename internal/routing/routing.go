@@ -4,7 +4,9 @@
 // every node forwards toward the sink along a min-hop parent. BuildTree runs
 // a breadth-first search from the sink with deterministic tie-breaking
 // (smallest node ID wins), so a given topology always yields the same tree —
-// a requirement for reproducible experiments.
+// a requirement for reproducible experiments. BuildTreeAvoiding is the same
+// search excluding a set of dead nodes; the network layer uses it to repair
+// routes after an injected node failure.
 //
 // The Table also exposes the load-propagation helper AggregateRates, which
 // implements §4's Poisson-superposition argument: the packet rate seen by a
@@ -37,6 +39,22 @@ type Table struct {
 // returns an error if any placed node cannot reach the sink, since a
 // disconnected deployment cannot deliver its readings.
 func BuildTree(topo *topology.Topology) (*Table, error) {
+	t := BuildTreeAvoiding(topo, nil)
+	if len(t.hops) != topo.NodeCount() {
+		return nil, fmt.Errorf("%w: %d of %d nodes unreachable",
+			ErrUnreachable, topo.NodeCount()-len(t.hops), topo.NodeCount())
+	}
+	return t, nil
+}
+
+// BuildTreeAvoiding computes the min-hop routing tree of topo by BFS from
+// the sink, skipping every node marked true in avoid — the route-repair
+// primitive: rebuilding the tree after a failure excludes the dead nodes.
+// Tie-breaking is the same as BuildTree (smaller node ID wins), so repair
+// is deterministic. Unlike BuildTree it tolerates unreachable survivors:
+// a node whose every path to the sink crosses an avoided node is simply
+// absent from the returned table (NextHop/HopCount report !ok for it).
+func BuildTreeAvoiding(topo *topology.Topology, avoid map[packet.NodeID]bool) *Table {
 	t := &Table{
 		parent: make(map[packet.NodeID]packet.NodeID),
 		hops:   map[packet.NodeID]int{topology.Sink: 0},
@@ -49,6 +67,9 @@ func BuildTree(topo *topology.Topology) (*Table, error) {
 		var next []packet.NodeID
 		for _, n := range frontier {
 			for _, m := range topo.Neighbors(n) {
+				if avoid[m] {
+					continue
+				}
 				if _, seen := t.hops[m]; seen {
 					continue
 				}
@@ -59,11 +80,7 @@ func BuildTree(topo *topology.Topology) (*Table, error) {
 		}
 		frontier = next
 	}
-	if len(t.hops) != topo.NodeCount() {
-		return nil, fmt.Errorf("%w: %d of %d nodes unreachable",
-			ErrUnreachable, topo.NodeCount()-len(t.hops), topo.NodeCount())
-	}
-	return t, nil
+	return t
 }
 
 // NextHop returns the parent of n on the path to the sink. ok is false for

@@ -308,3 +308,96 @@ func TestLinePathProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBuildTreeAvoidingGrid(t *testing.T) {
+	topo, err := topology.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoid := map[packet.NodeID]bool{
+		topology.GridID(4, 1, 0): true, // n1
+		topology.GridID(4, 1, 1): true, // n5
+	}
+	table := BuildTreeAvoiding(topo, avoid)
+
+	// Avoided nodes are absent from the tree.
+	for id := range avoid {
+		if _, ok := table.HopCount(id); ok {
+			t.Fatalf("avoided node %v present in tree", id)
+		}
+	}
+	// No surviving path may cross an avoided node.
+	for _, n := range table.Nodes() {
+		path, err := table.Path(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, hop := range path {
+			if avoid[hop] {
+				t.Fatalf("path of %v crosses avoided node %v: %v", n, hop, path)
+			}
+		}
+	}
+	// n2 = (2,0) lost its 2-hop Manhattan route through n1, and the row-1
+	// detour is blocked at n5, so the shortest live path crosses column 1
+	// at row 2: (2,0)→(2,1)→(2,2)→(1,2)→(0,2)→(0,1)→sink, 6 hops.
+	if h, ok := table.HopCount(topology.GridID(4, 2, 0)); !ok || h != 6 {
+		t.Fatalf("detour hop count = %d,%v, want 6", h, ok)
+	}
+}
+
+func TestBuildTreeAvoidingOrphans(t *testing.T) {
+	// On a line, killing the middle node orphans everything behind it —
+	// BuildTreeAvoiding must tolerate that, not error.
+	topo := mustLine(t, 4)
+	table := BuildTreeAvoiding(topo, map[packet.NodeID]bool{2: true})
+	if _, ok := table.HopCount(1); !ok {
+		t.Fatal("node 1 (still connected) missing from tree")
+	}
+	for _, orphan := range []packet.NodeID{2, 3, 4} {
+		if _, ok := table.HopCount(orphan); ok {
+			t.Fatalf("orphaned node %v present in tree", orphan)
+		}
+		if _, ok := table.NextHop(orphan); ok {
+			t.Fatalf("orphaned node %v has a next hop", orphan)
+		}
+	}
+}
+
+func TestBuildTreeAvoidingNilMatchesBuildTree(t *testing.T) {
+	topo, err := topology.Grid(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildTree(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoiding := BuildTreeAvoiding(topo, nil)
+	for _, n := range full.Nodes() {
+		fp, fok := full.NextHop(n)
+		ap, aok := avoiding.NextHop(n)
+		if fok != aok || fp != ap {
+			t.Fatalf("NextHop(%v): BuildTree %v,%v vs BuildTreeAvoiding %v,%v", n, fp, fok, ap, aok)
+		}
+	}
+}
+
+func TestBuildTreeAvoidingDeterministic(t *testing.T) {
+	topo, err := topology.Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avoid := map[packet.NodeID]bool{6: true, 12: true, 18: true}
+	first := BuildTreeAvoiding(topo, avoid)
+	for i := 0; i < 10; i++ {
+		again := BuildTreeAvoiding(topo, avoid)
+		for _, n := range first.Nodes() {
+			fp, _ := first.NextHop(n)
+			ap, aok := again.NextHop(n)
+			if n != topology.Sink && (!aok || fp != ap) {
+				t.Fatalf("run %d: NextHop(%v) = %v,%v, want %v", i, n, ap, aok, fp)
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Package trace records per-packet lifecycle events from a simulation run:
 // creation, admission to each hop's buffer, release (normal or preempted),
-// delivery at the sink, and loss to node failures. It is the simulator's
+// delivery at the sink, loss to node failures, and the link-layer events of
+// an unreliable channel (frame loss, ARQ retransmission, retry-budget
+// exhaustion, route repair, duplicate suppression). It is the simulator's
 // observability layer — useful both for debugging buffering policies and
 // for teaching: a single packet's journey through RCAD shows exactly where
 // its delay came from and which hop preempted it.
@@ -36,6 +38,21 @@ const (
 	Delivered
 	// Lost: the packet died at a failed node (in-buffer or on arrival).
 	Lost
+	// LinkLoss: the channel destroyed a data frame (or a dead receiver
+	// never acknowledged it) on the hop from Node toward Dest.
+	LinkLoss
+	// Retransmit: the link-layer ARQ resent the packet from Node toward
+	// Dest after a loss or a missing acknowledgement.
+	Retransmit
+	// LinkDrop: the link layer abandoned the packet at Node after
+	// exhausting its retransmission budget.
+	LinkDrop
+	// Rerouted: route repair gave Node the new parent Dest after a failure.
+	// The event carries no packet; Flow and Seq are zero.
+	Rerouted
+	// Duplicate: the sink discarded an ARQ-induced copy of an already
+	// delivered (origin, seq) packet.
+	Duplicate
 )
 
 // String returns the event kind's wire name.
@@ -53,6 +70,16 @@ func (k Kind) String() string {
 		return "delivered"
 	case Lost:
 		return "lost"
+	case LinkLoss:
+		return "link-loss"
+	case Retransmit:
+		return "retransmit"
+	case LinkDrop:
+		return "link-drop"
+	case Rerouted:
+		return "rerouted"
+	case Duplicate:
+		return "duplicate"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -73,6 +100,10 @@ type Event struct {
 	Flow packet.NodeID `json:"flow"`
 	// Seq is the packet's per-flow sequence number.
 	Seq uint32 `json:"seq"`
+	// Dest names the far end of the link for LinkLoss, Retransmit and
+	// LinkDrop, and the new parent for Rerouted. It is zero (and omitted
+	// from JSON) for the packet-lifecycle kinds that happen at one node.
+	Dest packet.NodeID `json:"dest,omitempty"`
 }
 
 // Recorder consumes lifecycle events. Implementations must tolerate being

@@ -9,13 +9,18 @@ import (
 
 func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
-		Created:   "created",
-		Admitted:  "admitted",
-		Released:  "released",
-		Preempted: "preempted",
-		Delivered: "delivered",
-		Lost:      "lost",
-		Kind(99):  "kind(99)",
+		Created:    "created",
+		Admitted:   "admitted",
+		Released:   "released",
+		Preempted:  "preempted",
+		Delivered:  "delivered",
+		Lost:       "lost",
+		LinkLoss:   "link-loss",
+		Retransmit: "retransmit",
+		LinkDrop:   "link-drop",
+		Rerouted:   "rerouted",
+		Duplicate:  "duplicate",
+		Kind(99):   "kind(99)",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -160,5 +165,47 @@ func TestMultiFansOut(t *testing.T) {
 	m.Record(Event{At: 1, Kind: Created})
 	if a.Len() != 1 || b.Len() != 1 {
 		t.Fatalf("fan-out lens = %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestJSONLLinkLayerEvents(t *testing.T) {
+	var b strings.Builder
+	j, err := NewJSONL(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(Event{At: 3, Kind: LinkLoss, Node: 4, Dest: 3, Flow: 5, Seq: 1})
+	j.Record(Event{At: 4, Kind: Retransmit, Node: 4, Dest: 3, Flow: 5, Seq: 1})
+	j.Record(Event{At: 9, Kind: LinkDrop, Node: 4, Dest: 3, Flow: 5, Seq: 1})
+	j.Record(Event{At: 10, Kind: Rerouted, Node: 4, Dest: 2})
+	j.Record(Event{At: 11, Kind: Duplicate, Node: 0, Flow: 5, Seq: 1})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []map[string]any
+	for scanner.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(scanner.Bytes(), &obj); err != nil {
+			t.Fatalf("invalid JSON line: %v", err)
+		}
+		lines = append(lines, obj)
+	}
+	wantKinds := []string{"link-loss", "retransmit", "link-drop", "rerouted", "duplicate"}
+	if len(lines) != len(wantKinds) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if lines[i]["kind"] != k {
+			t.Fatalf("line %d kind = %v, want %q", i, lines[i]["kind"], k)
+		}
+	}
+	if lines[0]["dest"] != 3.0 || lines[3]["dest"] != 2.0 {
+		t.Fatalf("dest fields wrong: %v / %v", lines[0]["dest"], lines[3]["dest"])
+	}
+	// A duplicate suppressed at the sink has no destination; the field is
+	// omitted rather than emitted as 0 (node 0 is the sink itself).
+	if _, present := lines[4]["dest"]; present {
+		t.Fatalf("sink event carries a dest: %v", lines[4])
 	}
 }

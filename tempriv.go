@@ -80,6 +80,12 @@ type (
 	RateControl = network.RateControl
 	// NodeFailure schedules a permanent node death (failure injection).
 	NodeFailure = network.NodeFailure
+	// ChannelConfig models unreliable links: Bernoulli or Gilbert–Elliott
+	// burst frame loss, plus ACK loss when ARQ is enabled.
+	ChannelConfig = network.ChannelConfig
+	// ARQConfig enables per-hop acknowledgement/retransmission with capped
+	// exponential backoff.
+	ARQConfig = network.ARQConfig
 	// PolicyKind selects the buffering behaviour (see the Policy*
 	// constants).
 	PolicyKind = network.PolicyKind
@@ -153,7 +159,21 @@ const (
 	TraceDelivered = trace.Delivered
 	// TraceLost: the packet died at a failed node.
 	TraceLost = trace.Lost
+	// TraceLinkLoss: the channel destroyed a frame (or its ACK) in flight.
+	TraceLinkLoss = trace.LinkLoss
+	// TraceRetransmit: ARQ re-sent a frame after a timeout.
+	TraceRetransmit = trace.Retransmit
+	// TraceLinkDrop: the ARQ retry budget ran out; the packet is gone.
+	TraceLinkDrop = trace.LinkDrop
+	// TraceRerouted: route repair gave the node a new parent after a failure.
+	TraceRerouted = trace.Rerouted
+	// TraceDuplicate: the sink suppressed an ARQ-induced duplicate arrival.
+	TraceDuplicate = trace.Duplicate
 )
+
+// DefaultARQ returns the ARQ configuration the CLIs and the abl-linkloss
+// experiment use: 3 retries per hop, timeout 3τ, backoff ×2 capped at 10×.
+func DefaultARQ() *ARQConfig { return network.DefaultARQ() }
 
 // NewJSONLTracer returns a TraceRecorder writing one JSON object per
 // lifecycle event to w; check its Err method after the run.
