@@ -145,6 +145,115 @@ func BenchmarkErlangLoss(b *testing.B) {
 	}
 }
 
+// benchSimulationConfig returns the telemetry-benchmark workload: the
+// Figure-1 topology under RCAD at peak load.
+func benchSimulationConfig(b *testing.B) Config {
+	b.Helper()
+	topo, sources, err := Figure1Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc, err := PeriodicTraffic(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := ExponentialDelay(30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Topology: topo,
+		Policy:   PolicyRCAD,
+		Delay:    dist,
+		Seed:     1,
+	}
+	for _, s := range sources {
+		cfg.Sources = append(cfg.Sources, Source{Node: s, Process: proc, Count: 150})
+	}
+	return cfg
+}
+
+// BenchmarkRunTelemetryDisabled is the baseline for the telemetry-overhead
+// pair: a full simulation with the telemetry hooks compiled in but disabled
+// (nil config, so every hook is a nil-guarded no-op).
+func BenchmarkRunTelemetryDisabled(b *testing.B) {
+	cfg := benchSimulationConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTelemetryEnabled is the same simulation with a live registry
+// and the sim-time sampler feeding an in-memory emitter; compare against
+// BenchmarkRunTelemetryDisabled to price the observability layer.
+func BenchmarkRunTelemetryEnabled(b *testing.B) {
+	cfg := benchSimulationConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Telemetry = &TelemetryConfig{
+			Registry:    NewTelemetryRegistry(),
+			SampleEvery: 1,
+			Emitter:     &MemoryEmitter{},
+		}
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryHotPathEnabled measures one live counter increment plus
+// one histogram observation — the per-event cost a running simulation pays.
+func BenchmarkTelemetryHotPathEnabled(b *testing.B) {
+	reg := NewTelemetryRegistry()
+	c := reg.Counter("bench_total")
+	h := reg.Histogram("bench_latency")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkTelemetryHotPathDisabled is the same pair of operations through
+// nil handles from a nil registry — the disabled path every hook takes when
+// Config.Telemetry is unset.
+func BenchmarkTelemetryHotPathDisabled(b *testing.B) {
+	var reg *TelemetryRegistry
+	c := reg.Counter("bench_total")
+	h := reg.Histogram("bench_latency")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(float64(i))
+	}
+}
+
+// TestTelemetryDisabledPathAllocationFree pins the disabled telemetry path
+// at zero allocations: a regression here would put garbage-collector
+// pressure on every simulation event even with telemetry off.
+func TestTelemetryDisabledPathAllocationFree(t *testing.T) {
+	var reg *TelemetryRegistry
+	c := reg.Counter("bench_total")
+	g := reg.Gauge("bench_gauge")
+	h := reg.Histogram("bench_latency")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(2.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkOccupancy regenerates the §4 occupancy time series (telemetry
+// sampler driven).
+func BenchmarkOccupancy(b *testing.B) { benchmarkExperiment(b, "occupancy") }
+
 // BenchmarkAblMix regenerates the §6 mix-mechanism comparison.
 func BenchmarkAblMix(b *testing.B) { benchmarkExperiment(b, "abl-mix") }
 

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"tempriv"
+)
+
+// debugServer serves the run's introspection endpoints for long simulations:
+// net/http/pprof profiles, expvar (including the live metric registry under
+// the "tempriv" var), and the registry's Prometheus text format at /metrics.
+type debugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startDebugServer listens on addr (pass port 0 for an ephemeral port) and
+// serves in the background until Close.
+func startDebugServer(addr string, reg *tempriv.TelemetryRegistry) (*debugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/metrics", reg)
+		publishExpvar(reg)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	d := &debugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }() // Serve returns when Close fires
+	return d, nil
+}
+
+// Addr returns the server's actual listen address (resolving port 0).
+func (d *debugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server and its listener down.
+func (d *debugServer) Close() error { return d.srv.Close() }
+
+// expvarReg backs the process-wide "tempriv" expvar with the most recent
+// registry. expvar.Publish panics on re-registration, so the var is
+// published once and re-pointed on later runs (tests run many).
+var expvarReg *tempriv.TelemetryRegistry
+
+func publishExpvar(reg *tempriv.TelemetryRegistry) {
+	expvarReg = reg
+	if expvar.Get("tempriv") == nil {
+		expvar.Publish("tempriv", expvar.Func(func() any { return expvarReg.Snapshot() }))
+	}
+}

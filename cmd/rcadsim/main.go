@@ -13,6 +13,8 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("rcadsim", flag.ContinueOnError)
 	var (
 		topoKind     = fs.String("topo", "figure1", "topology: figure1 | line | grid | random")
@@ -67,10 +69,26 @@ func run(args []string) error {
 		arqBackoff   = fs.Float64("arq-backoff", 0, "ARQ timeout backoff multiplier (0 = 2)")
 		failSpec     = fs.String("fail", "", "node failures as node@time[,node@time...] e.g. 11@500,14@800")
 		routeRepair  = fs.Bool("route-repair", false, "rebuild routes around failed nodes and re-home their buffers")
+		telemetryOut = fs.String("telemetry", "", "stream sim-time queue-state samples as JSON Lines to this file")
+		sampleEvery  = fs.Float64("sample-every", 1, "sim-time units between telemetry samples (with -telemetry/-prom)")
+		promOut      = fs.String("prom", "", "rewrite this file with a Prometheus text snapshot on every sample")
+		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
+		manifestOut  = fs.String("manifest", "", "write the run manifest as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Buffered outputs are flushed and closed on every exit path, error
+	// returns included; their errors surface rather than vanish. Cleanups
+	// run in reverse registration order, so a writer's flush always
+	// precedes its file's close.
+	var cleanups []func() error
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			err = errors.Join(err, cleanups[i]())
+		}
+	}()
 
 	topo, sources, err := buildTopology(*topoKind, *hops, *gridW, *gridH, *fieldNodes, *fieldSide, *fieldRadius, *seed)
 	if err != nil {
@@ -138,12 +156,56 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("creating trace file: %w", err)
 		}
-		defer func() { _ = f.Close() }()
-		tracer, err = tempriv.NewJSONLTracer(f)
+		bw := bufio.NewWriter(f)
+		cleanups = append(cleanups, f.Close, bw.Flush)
+		tracer, err = tempriv.NewJSONLTracer(bw)
 		if err != nil {
 			return err
 		}
 		cfg.Tracer = tracer
+	}
+
+	// Any telemetry flag turns on the live registry; the sampler needs an
+	// emitter too.
+	var reg *tempriv.TelemetryRegistry
+	if *telemetryOut != "" || *promOut != "" || *pprofAddr != "" {
+		reg = tempriv.NewTelemetryRegistry()
+	}
+	var emitters []tempriv.TelemetryEmitter
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			return fmt.Errorf("creating telemetry file: %w", err)
+		}
+		em, err := tempriv.NewJSONLEmitter(f)
+		if err != nil {
+			return err
+		}
+		cleanups = append(cleanups, f.Close, em.Close)
+		emitters = append(emitters, em)
+	}
+	if *promOut != "" {
+		em, err := tempriv.NewPromFileEmitter(reg, *promOut)
+		if err != nil {
+			return err
+		}
+		emitters = append(emitters, em)
+	}
+	if reg != nil {
+		tcfg := &tempriv.TelemetryConfig{Registry: reg, SampleHeap: true}
+		if len(emitters) > 0 {
+			tcfg.SampleEvery = *sampleEvery
+			tcfg.Emitter = tempriv.MultiTelemetryEmitter(emitters...)
+		}
+		cfg.Telemetry = tcfg
+	}
+	if *pprofAddr != "" {
+		srv, err := startDebugServer(*pprofAddr, reg)
+		if err != nil {
+			return err
+		}
+		cleanups = append(cleanups, srv.Close)
+		fmt.Printf("debug server listening on http://%s (pprof, /debug/vars, /metrics)\n", srv.Addr())
 	}
 
 	res, err := tempriv.Run(cfg)
@@ -167,6 +229,20 @@ func run(args []string) error {
 		}
 		fmt.Printf("\nlifecycle trace written to %s\n", *traceFile)
 	}
+	if *telemetryOut != "" {
+		fmt.Printf("telemetry time series written to %s\n", *telemetryOut)
+	}
+	if *manifestOut != "" {
+		if err := res.Manifest.WriteJSON(*manifestOut); err != nil {
+			return err
+		}
+	}
+	// Stdout stays byte-identical across identical-flag runs, so only the
+	// deterministic manifest fields are printed; wall-clock and heap live in
+	// the -manifest file.
+	m := res.Manifest
+	fmt.Printf("\nrun manifest: fingerprint=%s seed=%d events=%d deliveries=%d sim-duration=%g\n",
+		m.ConfigFingerprint, m.Seed, m.Events, m.Deliveries, m.SimDuration)
 	return nil
 }
 

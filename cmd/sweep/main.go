@@ -11,15 +11,30 @@
 // Reduced-size runs for quick iteration:
 //
 //	sweep -exp fig3 -packets 200 -interarrivals 2,10,20
+//
+// Replication across seeds, parallelised over 4 worker goroutines (the
+// output is byte-identical to the serial -j 1 form):
+//
+//	sweep -exp fig2b -replicate 8 -j 4
+//
+// With -out, every experiment also gets an <id>.manifest.json recording
+// its configuration fingerprint, seed and wall-clock, and the whole sweep
+// a summary.json aggregating them.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"tempriv"
 )
@@ -36,7 +51,7 @@ func run(args []string) error {
 	var (
 		exp           = fs.String("exp", "all", "experiment id to run, or \"all\"")
 		list          = fs.Bool("list", false, "list registered experiments and exit")
-		out           = fs.String("out", "", "directory to write <id>.txt and <id>.csv into (optional)")
+		out           = fs.String("out", "", "directory to write <id>.txt, <id>.csv and <id>.manifest.json into (optional)")
 		seed          = fs.Uint64("seed", 0, "random seed (0 = paper default)")
 		packets       = fs.Int("packets", 0, "packets per source (0 = paper default 1000)")
 		interarrivals = fs.String("interarrivals", "", "comma-separated 1/λ sweep (default 2..20)")
@@ -44,6 +59,7 @@ func run(args []string) error {
 		capacity      = fs.Int("capacity", 0, "buffer slots k (0 = paper default 10)")
 		workers       = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		replicate     = fs.Int("replicate", 1, "run each experiment under N consecutive seeds and report mean ± 95% CI")
+		repWorkers    = fs.Int("j", 1, "replication worker goroutines (with -replicate; output stays byte-identical to -j 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +70,9 @@ func run(args []string) error {
 			fmt.Printf("%-11s %-22s %s\n", e.ID, e.Paper, e.Title)
 		}
 		return nil
+	}
+	if *repWorkers < 1 {
+		return fmt.Errorf("-j must be >= 1, got %d", *repWorkers)
 	}
 
 	p := tempriv.DefaultParams()
@@ -99,15 +118,19 @@ func run(args []string) error {
 		}
 	}
 
+	var manifests []runManifest
+	sweepStart := time.Now()
 	for _, e := range selected {
 		fmt.Printf("== %s (%s) ==\n", e.ID, e.Paper)
+		start := time.Now()
 		var tab *tempriv.Table
 		var err error
 		if *replicate > 1 {
-			tab, err = tempriv.ReplicateExperiment(e, p, *replicate)
+			tab, err = tempriv.ReplicateExperimentParallel(e, p, *replicate, *repWorkers)
 		} else {
 			tab, err = e.Run(p)
 		}
+		wall := time.Since(start).Seconds()
 		if err != nil {
 			return fmt.Errorf("running %s: %w", e.ID, err)
 		}
@@ -119,30 +142,110 @@ func run(args []string) error {
 			if err := writeArtifacts(*out, e.ID, tab); err != nil {
 				return err
 			}
+			m, err := newRunManifest(e.ID, p, *replicate, wall)
+			if err != nil {
+				return fmt.Errorf("fingerprinting %s: %w", e.ID, err)
+			}
+			if err := writeJSON(filepath.Join(*out, e.ID+".manifest.json"), m); err != nil {
+				return fmt.Errorf("writing %s manifest: %w", e.ID, err)
+			}
+			manifests = append(manifests, m)
+		}
+	}
+
+	if *out != "" && len(manifests) > 0 {
+		summary := sweepSummary{
+			GoVersion:        runtime.Version(),
+			TotalWallSeconds: time.Since(sweepStart).Seconds(),
+			Runs:             manifests,
+		}
+		if err := writeJSON(filepath.Join(*out, "summary.json"), summary); err != nil {
+			return fmt.Errorf("writing sweep summary: %w", err)
 		}
 	}
 	return nil
 }
 
-func writeArtifacts(dir, id string, tab *tempriv.Table) error {
-	txt, err := os.Create(filepath.Join(dir, id+".txt"))
+// runManifest records one experiment run's provenance, mirroring the
+// per-simulation manifests network.Run produces: what configuration ran
+// (fingerprinted without the seed, which labels the replicate series) and
+// how long it took.
+type runManifest struct {
+	Experiment        string  `json:"experiment"`
+	ConfigFingerprint string  `json:"config_fingerprint"`
+	Seed              uint64  `json:"seed"`
+	Replicates        int     `json:"replicates,omitempty"`
+	GoVersion         string  `json:"go_version"`
+	WallSeconds       float64 `json:"wall_seconds"`
+}
+
+// sweepSummary aggregates a whole sweep's manifests into one artifact.
+type sweepSummary struct {
+	GoVersion        string        `json:"go_version"`
+	TotalWallSeconds float64       `json:"total_wall_seconds"`
+	Runs             []runManifest `json:"runs"`
+}
+
+func newRunManifest(id string, p tempriv.Params, replicates int, wall float64) (runManifest, error) {
+	// Seed and Workers are execution labels, not configuration: two runs
+	// differing only there fingerprint identically.
+	fp, err := tempriv.ConfigFingerprint(map[string]any{
+		"experiment":    id,
+		"packets":       p.Packets,
+		"interarrivals": p.Interarrivals,
+		"mean_delay":    p.MeanDelay,
+		"capacity":      p.Capacity,
+		"tau":           p.Tau,
+		"threshold":     p.Threshold,
+		"replicates":    replicates,
+	})
 	if err != nil {
-		return fmt.Errorf("creating %s.txt: %w", id, err)
+		return runManifest{}, err
 	}
-	defer func() { _ = txt.Close() }()
-	if err := tab.Render(txt); err != nil {
+	m := runManifest{
+		Experiment:        id,
+		ConfigFingerprint: fp,
+		Seed:              p.Seed,
+		GoVersion:         runtime.Version(),
+		WallSeconds:       wall,
+	}
+	if replicates > 1 {
+		m.Replicates = replicates
+	}
+	return m, nil
+}
+
+func writeArtifacts(dir, id string, tab *tempriv.Table) error {
+	if err := writeFile(filepath.Join(dir, id+".txt"), tab.Render); err != nil {
 		return fmt.Errorf("writing %s.txt: %w", id, err)
 	}
-
-	csv, err := os.Create(filepath.Join(dir, id+".csv"))
-	if err != nil {
-		return fmt.Errorf("creating %s.csv: %w", id, err)
-	}
-	defer func() { _ = csv.Close() }()
-	if err := tab.RenderCSV(csv); err != nil {
+	if err := writeFile(filepath.Join(dir, id+".csv"), tab.RenderCSV); err != nil {
 		return fmt.Errorf("writing %s.csv: %w", id, err)
 	}
 	return nil
+}
+
+// writeFile renders into a buffered writer and surfaces flush and close
+// errors — a plain deferred Close would silently drop a full disk.
+func writeFile(path string, render func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, f.Close()) }()
+	bw := bufio.NewWriter(f)
+	if err := render(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeJSON(path string, v any) (err error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -58,6 +59,95 @@ func TestReplicateFlag(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReplicateParallelFlag(t *testing.T) {
+	err := run([]string{
+		"-exp", "fig2b",
+		"-packets", "60",
+		"-interarrivals", "5",
+		"-replicate", "3",
+		"-j", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadWorkerCount(t *testing.T) {
+	if err := run([]string{"-exp", "fig2b", "-replicate", "2", "-j", "0"}); err == nil {
+		t.Fatal("-j 0 accepted")
+	}
+}
+
+func TestWritesManifestsAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-exp", "eq2-epi,eq4-bound",
+		"-packets", "80",
+		"-seed", "9",
+		"-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first runManifest
+	for i, id := range []string{"eq2-epi", "eq4-bound"} {
+		b, err := os.ReadFile(filepath.Join(dir, id+".manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m runManifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("%s manifest not parseable: %v", id, err)
+		}
+		if m.Experiment != id || m.ConfigFingerprint == "" || m.Seed != 9 || m.GoVersion == "" {
+			t.Fatalf("%s manifest incomplete: %+v", id, m)
+		}
+		if i == 0 {
+			first = m
+		} else if m.ConfigFingerprint == first.ConfigFingerprint {
+			t.Fatal("different experiments share a config fingerprint")
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s sweepSummary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Runs) != 2 || s.GoVersion == "" || s.TotalWallSeconds <= 0 {
+		t.Fatalf("summary incomplete: %+v", s)
+	}
+}
+
+func TestManifestFingerprintIgnoresSeed(t *testing.T) {
+	read := func(seed string) runManifest {
+		t.Helper()
+		dir := t.TempDir()
+		if err := run([]string{"-exp", "eq2-epi", "-packets", "50",
+			"-seed", seed, "-out", dir}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "eq2-epi.manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m runManifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := read("3"), read("4")
+	if a.ConfigFingerprint != b.ConfigFingerprint {
+		t.Fatal("seed change altered the config fingerprint")
+	}
+	if a.Seed == b.Seed {
+		t.Fatal("manifests lost the seed label")
 	}
 }
 

@@ -42,9 +42,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
 	var (
-		in   = fs.String("in", "", "trace file (JSON Lines) written by rcadsim -trace")
-		flow = fs.Int("flow", -1, "show one packet: its flow (origin node) id")
-		seq  = fs.Int("seq", -1, "show one packet: its per-flow sequence number")
+		in    = fs.String("in", "", "trace file (JSON Lines) written by rcadsim -trace")
+		flow  = fs.Int("flow", -1, "show one packet: its flow (origin node) id")
+		seq   = fs.Int("seq", -1, "show one packet: its per-flow sequence number")
+		stats = fs.Bool("stats", false, "print per-kind event counts and per-node occupancy peaks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,10 +62,71 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("trace %s contains no events", *in)
 	}
 
+	if *stats {
+		return showStats(out, events)
+	}
 	if *flow >= 0 && *seq >= 0 {
 		return showJourney(out, events, uint16(*flow), uint32(*seq))
 	}
 	return showSummary(out, events)
+}
+
+// showStats prints per-kind event counts and, for every node that buffers
+// packets, the peak number it held at once (reconstructed by replaying
+// admissions against releases, preemptions and in-buffer losses).
+func showStats(out io.Writer, events []event) error {
+	kinds := make(map[string]int)
+	type occ struct{ cur, peak int }
+	nodes := make(map[uint16]*occ)
+	for _, e := range events {
+		kinds[e.Kind]++
+		switch e.Kind {
+		case "admitted":
+			o, ok := nodes[e.Node]
+			if !ok {
+				o = &occ{}
+				nodes[e.Node] = o
+			}
+			o.cur++
+			if o.cur > o.peak {
+				o.peak = o.cur
+			}
+		case "released", "preempted":
+			if o, ok := nodes[e.Node]; ok && o.cur > 0 {
+				o.cur--
+			}
+		case "lost":
+			// A failure evacuation destroys packets the node still buffered.
+			if o, ok := nodes[e.Node]; ok && o.cur > 0 {
+				o.cur--
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "%d events\n\n", len(events))
+	fmt.Fprintf(out, "%-12s %s\n", "kind", "count")
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(out, "%-12s %d\n", k, kinds[k])
+	}
+
+	if len(nodes) == 0 {
+		return nil
+	}
+	ids := make([]uint16, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintf(out, "\n%-6s %s\n", "node", "peak-occupancy")
+	for _, id := range ids {
+		fmt.Fprintf(out, "n%-5d %d\n", id, nodes[id].peak)
+	}
+	return nil
 }
 
 func load(path string) ([]event, error) {

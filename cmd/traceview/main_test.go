@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -104,4 +105,22 @@ func TestSummaryGoldenLinkLayer(t *testing.T) {
 
 func TestJourneyGoldenLinkLayer(t *testing.T) {
 	golden(t, "journey_linklayer", []string{"-in", filepath.Join("testdata", "linklayer.jsonl"), "-flow", "5", "-seq", "0"})
+}
+
+func TestStatsGoldenLinkLayer(t *testing.T) {
+	golden(t, "stats_linklayer", []string{"-in", filepath.Join("testdata", "linklayer.jsonl"), "-stats"})
+}
+
+func TestStatsOccupancyPeaks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", writeTrace(t), "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Each node in the fixture holds at most one packet at a time.
+	for _, want := range []string{"8 events", "admitted     3", "n1     1", "n2     1", "n3     1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
 }

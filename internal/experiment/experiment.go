@@ -124,6 +124,7 @@ func All() []Experiment {
 		{ID: "eq2-epi", Title: "Entropy-power-inequality lower bound vs exact/empirical mutual information", Paper: "§3.1 eq. (2)", Run: Eq2EPI},
 		{ID: "eq4-bound", Title: "Anantharam–Verdú bound vs empirical I(Xj;Zj) for Poisson source, Exp delay", Paper: "§3.2 eq. (4)", Run: Eq4Bound},
 		{ID: "mm-inf", Title: "Buffer-occupancy distribution vs M/M/∞ and M/M/k/k analysis", Paper: "§4", Run: MMInf},
+		{ID: "occupancy", Title: "Trunk buffer-occupancy time series under RCAD (telemetry sampler)", Paper: "§4", Run: Occupancy},
 		{ID: "erlang", Title: "Simulated drop/preemption rate vs Erlang loss formula", Paper: "§4 eq. (5)", Run: Erlang},
 		{ID: "abl-victim", Title: "RCAD victim-selection ablation", Paper: "§5 design choice", Run: AblVictim},
 		{ID: "abl-dist", Title: "Delay-distribution ablation at equal mean", Paper: "§3.2 design choice", Run: AblDist},

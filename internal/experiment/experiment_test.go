@@ -38,8 +38,8 @@ func mustRun(t *testing.T, id string, p Params) *report.Table {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -402,6 +402,52 @@ func TestAblDecompTradeoff(t *testing.T) {
 	}
 	if heavy[occ] <= uniform[occ] {
 		t.Fatalf("sink-heavy occupancy %v not above uniform %v", heavy[occ], uniform[occ])
+	}
+}
+
+func TestOccupancyShape(t *testing.T) {
+	p := testParams()
+	tab := mustRun(t, "occupancy", p)
+	if len(tab.Rows) != 48 {
+		t.Fatalf("rows = %d, want 48 time points", len(tab.Rows))
+	}
+	wantCols := 8 + 3 // trunk nodes + buffered-total, in-flight, delivered
+	if len(tab.Columns) != wantCols {
+		t.Fatalf("columns = %v, want %d", tab.Columns, wantCols)
+	}
+	buffered := columnIndex(t, tab, "buffered-total")
+	delivered := columnIndex(t, tab, "delivered")
+
+	// At 1/λ=2 the trunk saturates: some sample should show a full k-slot
+	// buffer, and none may exceed capacity.
+	sawFull := false
+	prevDelivered := -1.0
+	for _, r := range tab.Rows {
+		trunkSum := 0.0
+		for c := 0; c < 8; c++ {
+			v := r.Values[c]
+			if v < 0 || v > float64(p.Capacity) {
+				t.Fatalf("trunk occupancy %v at t=%s outside [0, k=%d]", v, r.Label, p.Capacity)
+			}
+			if v == float64(p.Capacity) {
+				sawFull = true
+			}
+			trunkSum += v
+		}
+		if trunkSum > r.Values[buffered] {
+			t.Fatalf("trunk occupancy %v exceeds network total %v at t=%s", trunkSum, r.Values[buffered], r.Label)
+		}
+		if r.Values[delivered] < prevDelivered {
+			t.Fatalf("cumulative deliveries decreased at t=%s", r.Label)
+		}
+		prevDelivered = r.Values[delivered]
+	}
+	if !sawFull {
+		t.Fatal("no sample shows a saturated trunk buffer at peak load")
+	}
+	// Replication must work: the row labels (sample times) are seed-independent.
+	if _, err := Replicate(Experiment{ID: "occupancy", Title: "t", Paper: "p", Run: Occupancy}, p, 2); err != nil {
+		t.Fatalf("occupancy not replicable: %v", err)
 	}
 }
 

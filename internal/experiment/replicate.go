@@ -21,6 +21,16 @@ import (
 // (guaranteed for all registered experiments, whose row labels depend only
 // on parameters).
 func Replicate(e Experiment, p Params, n int) (*report.Table, error) {
+	return ReplicateParallel(e, p, n, 1)
+}
+
+// ReplicateParallel is Replicate with the n replications spread over up to
+// workers goroutines. Each replication's seed is derived from its index
+// (p.Seed+rep), not from scheduling, and the per-replication tables are
+// reduced in replication order via Welford.Merge — the same reduction the
+// serial path uses — so the output is byte-identical for every worker
+// count.
+func ReplicateParallel(e Experiment, p Params, n, workers int) (*report.Table, error) {
 	if e.Run == nil {
 		return nil, errors.New("experiment: replicate of experiment without Run")
 	}
@@ -32,37 +42,52 @@ func Replicate(e Experiment, p Params, n int) (*report.Table, error) {
 		return nil, err
 	}
 
-	var shape *report.Table
-	var cells [][]metrics.Welford
-	for rep := 0; rep < n; rep++ {
+	tabs := make([]*report.Table, n)
+	err = parallelFor(workers, n, func(rep int) error {
 		q := p
 		q.Seed = p.Seed + uint64(rep)
 		tab, err := e.Run(q)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: replication %d: %w", rep, err)
+			return fmt.Errorf("experiment: replication %d: %w", rep, err)
 		}
 		if err := tab.Validate(); err != nil {
-			return nil, fmt.Errorf("experiment: replication %d: %w", rep, err)
+			return fmt.Errorf("experiment: replication %d: %w", rep, err)
 		}
-		if shape == nil {
-			shape = tab
-			cells = make([][]metrics.Welford, len(tab.Rows))
-			for i, r := range tab.Rows {
-				cells[i] = make([]metrics.Welford, len(r.Values))
-			}
-		} else {
-			if len(tab.Rows) != len(shape.Rows) || len(tab.Columns) != len(shape.Columns) {
-				return nil, fmt.Errorf("experiment: replication %d changed table shape", rep)
-			}
+		tabs[rep] = tab
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reduceReplicates(tabs, p)
+}
+
+// reduceReplicates folds per-replication tables (in replication order) into
+// the aggregate mean ± CI table. Every cell is a one-observation Welford
+// accumulator merged into the running across-seed accumulator, so parallel
+// and serial replication share one arithmetic path.
+func reduceReplicates(tabs []*report.Table, p Params) (*report.Table, error) {
+	n := len(tabs)
+	shape := tabs[0]
+	cells := make([][]metrics.Welford, len(shape.Rows))
+	for i, r := range shape.Rows {
+		cells[i] = make([]metrics.Welford, len(r.Values))
+	}
+	for rep, tab := range tabs {
+		if len(tab.Rows) != len(shape.Rows) || len(tab.Columns) != len(shape.Columns) {
+			return nil, fmt.Errorf("experiment: replication %d changed table shape", rep)
 		}
 		for i, r := range tab.Rows {
 			if r.Label != shape.Rows[i].Label {
 				return nil, fmt.Errorf("experiment: replication %d changed row %d label to %q", rep, i, r.Label)
 			}
 			for j, v := range r.Values {
-				if !math.IsNaN(v) {
-					cells[i][j].Add(v)
+				if math.IsNaN(v) {
+					continue
 				}
+				var one metrics.Welford
+				one.Add(v)
+				cells[i][j].Merge(&one)
 			}
 		}
 	}

@@ -354,6 +354,38 @@ func TestMSEMatchesDirectProperty(t *testing.T) {
 	}
 }
 
+// Property: splitting a stream of (estimate, truth) pairs at any point and
+// merging the two accumulators equals the single-pass accumulator — the
+// invariant parallel sweep reduction relies on.
+func TestMSESplitMergeMatchesSinglePassProperty(t *testing.T) {
+	f := func(raw []int8, cut uint8) bool {
+		var pairs [][2]float64
+		for i := 0; i+1 < len(raw); i += 2 {
+			pairs = append(pairs, [2]float64{float64(raw[i]), float64(raw[i+1])})
+		}
+		var whole, left, right MSE
+		split := 0
+		if len(pairs) > 0 {
+			split = int(cut) % (len(pairs) + 1)
+		}
+		for i, p := range pairs {
+			whole.Add(p[0], p[1])
+			if i < split {
+				left.Add(p[0], p[1])
+			} else {
+				right.Add(p[0], p[1])
+			}
+		}
+		left.Merge(&right)
+		return left.Count() == whole.Count() &&
+			math.Abs(left.Value()-whole.Value()) < 1e-9 &&
+			math.Abs(left.Bias()-whole.Bias()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBatchMeansIIDCoverage(t *testing.T) {
 	// For i.i.d. normals the interval must contain the true mean the vast
 	// majority of the time.

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"tempriv/internal/adversary"
 	"tempriv/internal/buffer"
@@ -37,6 +38,7 @@ import (
 	"tempriv/internal/routing"
 	"tempriv/internal/seal"
 	"tempriv/internal/sim"
+	"tempriv/internal/telemetry"
 	"tempriv/internal/topology"
 	"tempriv/internal/trace"
 	"tempriv/internal/traffic"
@@ -162,6 +164,13 @@ type Config struct {
 	// Tracer optionally receives per-packet lifecycle events (creation,
 	// per-hop admission and release, delivery, loss). See package trace.
 	Tracer trace.Recorder
+	// Telemetry optionally attaches the run-observability layer: live
+	// metrics into Telemetry.Registry and, when Telemetry.SampleEvery and
+	// Telemetry.Emitter are set, a sim-time sampler streaming queue-state
+	// snapshots. Nil disables telemetry at near-zero cost. Telemetry never
+	// touches the RNG, so enabling it does not perturb the simulated
+	// outcome.
+	Telemetry *telemetry.Config
 	// Seal, when true, encrypts every payload with the network keyring and
 	// verifies it at the sink (slower; the privacy results do not depend
 	// on it, only the §2 threat model's realism).
@@ -265,6 +274,10 @@ type Result struct {
 	// Reroutes counts parent reassignments applied by route repair across
 	// all injected failures.
 	Reroutes uint64
+	// Manifest records the run's provenance: the canonical-config
+	// fingerprint, seed, Go version and wall-clock performance. Always
+	// populated.
+	Manifest *telemetry.Manifest
 }
 
 // DeliveryRatio returns the fraction of created packets that reached the
@@ -332,6 +345,9 @@ type runner struct {
 	// dedup is the sink's (origin, seq) duplicate filter, allocated only
 	// when ARQ can produce duplicates.
 	dedup map[uint64]struct{}
+	// tele is the telemetry attachment; nil when Config.Telemetry is nil,
+	// and every hook on a nil *telemetryState is a no-op.
+	tele *telemetryState
 }
 
 // Run validates cfg, executes the simulation to completion, and returns the
@@ -345,10 +361,21 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r.scheduleFailures()
+	r.attachSampler()
+	start := time.Now()
 	if err := r.sched.Run(); err != nil {
 		return nil, fmt.Errorf("network: simulation: %w", err)
 	}
+	wall := time.Since(start).Seconds()
+	if r.tele != nil && r.tele.err != nil {
+		return nil, fmt.Errorf("network: telemetry emitter: %w", r.tele.err)
+	}
 	r.finalize()
+	m, err := r.buildManifest(wall)
+	if err != nil {
+		return nil, err
+	}
+	r.result.Manifest = m
 	return r.result, nil
 }
 
@@ -380,6 +407,9 @@ func newRunner(cfg Config) (*runner, error) {
 	}
 	if cfg.Horizon < 0 {
 		return nil, fmt.Errorf("network: negative horizon %v", cfg.Horizon)
+	}
+	if err := cfg.Telemetry.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
 	}
 	seenSources := make(map[packet.NodeID]bool, len(cfg.Sources))
 	for i, s := range cfg.Sources {
@@ -463,6 +493,7 @@ func newRunner(cfg Config) (*runner, error) {
 			Nodes: make(map[packet.NodeID]*NodeStats),
 		},
 	}
+	r.tele = newTelemetryState(cfg.Telemetry)
 	if cfg.ARQ != nil {
 		// Duplicates exist only when a delivered frame can be retransmitted,
 		// i.e. under ARQ; a reliable or ARQ-less run needs no filter.
@@ -507,6 +538,7 @@ func (r *runner) attachPolicy(n *node) error {
 		kind := trace.Released
 		if preempted {
 			kind = trace.Preempted
+			r.tele.onPreempted()
 		}
 		r.record(kind, n.id, p)
 		r.transmit(n, p)
@@ -641,6 +673,7 @@ func (r *runner) failNode(n *node) {
 // loseToFailure counts and traces packets destroyed by a node death.
 func (r *runner) loseToFailure(at packet.NodeID, packets []*packet.Packet) {
 	r.result.LostToFailures += uint64(len(packets))
+	r.tele.onLost(uint64(len(packets)))
 	for _, p := range packets {
 		r.record(trace.Lost, at, p)
 	}
@@ -758,6 +791,7 @@ func (r *runner) createPacket(s Source, seq uint32) {
 		}
 	}
 	r.result.Flows[s.Node].Created++
+	r.tele.onCreated()
 	r.record(trace.Created, s.Node, p)
 	r.deliver(r.nodes[s.Node], p)
 }
@@ -767,6 +801,7 @@ func (r *runner) createPacket(s Source, seq uint32) {
 func (r *runner) deliver(n *node, p *packet.Packet) {
 	if n.dead {
 		r.result.LostToFailures++
+		r.tele.onLost(1)
 		r.record(trace.Lost, n.id, p)
 		return
 	}
@@ -798,6 +833,7 @@ func (r *runner) attempt(n *node, p *packet.Packet, try int) {
 	dest := n.parent
 	if try > 0 {
 		r.result.Retransmissions++
+		r.tele.onRetransmit()
 		r.recordLink(trace.Retransmit, n.id, dest, p)
 	}
 	if n.link.frameLost() {
@@ -822,6 +858,7 @@ func (r *runner) attempt(n *node, p *packet.Packet, try int) {
 				r.retryOrDrop(n, dest, p, try)
 			} else {
 				r.result.LostToFailures++
+				r.tele.onLost(1)
 				r.record(trace.Lost, dest, p)
 			}
 			return
@@ -837,6 +874,7 @@ func (r *runner) retryOrDrop(n *node, dest packet.NodeID, p *packet.Packet, try 
 	arq := r.cfg.ARQ
 	if arq == nil || try >= arq.MaxRetries {
 		r.result.LinkDrops++
+		r.tele.onLinkDrop()
 		r.recordLink(trace.LinkDrop, n.id, dest, p)
 		return
 	}
@@ -868,6 +906,7 @@ func (r *runner) arriveAtSink(p *packet.Packet) {
 		key := uint64(p.Header.Origin)<<32 | uint64(p.Header.RoutingSeq)
 		if _, dup := r.dedup[key]; dup {
 			r.result.DuplicatesSuppressed++
+			r.tele.onDuplicate()
 			r.record(trace.Duplicate, topology.Sink, p)
 			return
 		}
@@ -879,6 +918,7 @@ func (r *runner) arriveAtSink(p *packet.Packet) {
 			r.result.SealFailures++
 		}
 	}
+	r.tele.onDelivered(now - p.Truth.CreatedAt)
 	r.record(trace.Delivered, topology.Sink, p)
 	r.result.Deliveries = append(r.result.Deliveries, Delivery{
 		At:     now,

@@ -1,0 +1,303 @@
+package network
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"tempriv/internal/packet"
+	"tempriv/internal/sim"
+	"tempriv/internal/telemetry"
+	"tempriv/internal/topology"
+)
+
+// telemetryState is the runner's telemetry attachment. A nil *telemetryState
+// is the disabled state: every hook method is a nil-guarded no-op and the
+// metric handles inside are nil no-ops themselves, so the simulation hot
+// path calls hooks unconditionally.
+type telemetryState struct {
+	created     *telemetry.Counter
+	delivered   *telemetry.Counter
+	duplicates  *telemetry.Counter
+	retransmits *telemetry.Counter
+	linkDrops   *telemetry.Counter
+	lost        *telemetry.Counter
+	preempted   *telemetry.Counter
+	simTime     *telemetry.Gauge
+	latency     *telemetry.Histogram
+
+	emitter    telemetry.Emitter
+	sampleHeap bool
+	probe      *sim.Probe
+
+	lastAt        float64
+	lastDelivered uint64
+	peakHeap      uint64
+	err           error
+}
+
+// newTelemetryState builds the runner's telemetry attachment, or nil when
+// telemetry is disabled.
+func newTelemetryState(cfg *telemetry.Config) *telemetryState {
+	if cfg == nil {
+		return nil
+	}
+	reg := cfg.Registry
+	return &telemetryState{
+		created:     reg.Counter("tempriv_packets_created_total"),
+		delivered:   reg.Counter("tempriv_packets_delivered_total"),
+		duplicates:  reg.Counter("tempriv_duplicates_suppressed_total"),
+		retransmits: reg.Counter("tempriv_retransmissions_total"),
+		linkDrops:   reg.Counter("tempriv_link_drops_total"),
+		lost:        reg.Counter("tempriv_lost_to_failures_total"),
+		preempted:   reg.Counter("tempriv_preemptions_total"),
+		simTime:     reg.Gauge("tempriv_sim_time"),
+		latency:     reg.Histogram("tempriv_delivery_latency"),
+		emitter:     cfg.Emitter,
+		sampleHeap:  cfg.SampleHeap,
+	}
+}
+
+func (t *telemetryState) onCreated() {
+	if t == nil {
+		return
+	}
+	t.created.Inc()
+}
+
+func (t *telemetryState) onDelivered(latency float64) {
+	if t == nil {
+		return
+	}
+	t.delivered.Inc()
+	t.latency.Observe(latency)
+}
+
+func (t *telemetryState) onDuplicate() {
+	if t == nil {
+		return
+	}
+	t.duplicates.Inc()
+}
+
+func (t *telemetryState) onRetransmit() {
+	if t == nil {
+		return
+	}
+	t.retransmits.Inc()
+}
+
+func (t *telemetryState) onLinkDrop() {
+	if t == nil {
+		return
+	}
+	t.linkDrops.Inc()
+}
+
+func (t *telemetryState) onLost(n uint64) {
+	if t == nil {
+		return
+	}
+	t.lost.Add(n)
+}
+
+func (t *telemetryState) onPreempted() {
+	if t == nil {
+		return
+	}
+	t.preempted.Inc()
+}
+
+// attachSampler arms the sim-time sampler on the runner's scheduler. Probes
+// never outlive the simulation's real events (see sim.Every), so sampling
+// cannot extend a run.
+func (r *runner) attachSampler() {
+	tcfg := r.cfg.Telemetry
+	if !tcfg.Sampling() {
+		return
+	}
+	r.tele.probe = r.sched.Every(tcfg.SampleEvery, r.sample)
+}
+
+// sample emits one queue-state snapshot. On the first emitter error the
+// probe stops and the error is surfaced from Run.
+func (r *runner) sample(now float64) {
+	t := r.tele
+	if t.err != nil {
+		return
+	}
+	s := r.buildSample(now)
+	t.simTime.Set(now)
+	if t.sampleHeap {
+		s.HeapAllocBytes = telemetry.HeapAlloc()
+		if s.HeapAllocBytes > t.peakHeap {
+			t.peakHeap = s.HeapAllocBytes
+		}
+	}
+	if err := t.emitter.Emit(s); err != nil {
+		t.err = err
+		t.probe.Stop()
+	}
+	t.lastAt, t.lastDelivered = now, s.Delivered
+}
+
+// buildSample snapshots the live simulation state at sim time now.
+func (r *runner) buildSample(now float64) telemetry.Sample {
+	res := r.result
+	var created uint64
+	for _, f := range res.Flows {
+		created += f.Created
+	}
+	var bufferDrops uint64
+	occ := make(map[packet.NodeID]int, len(r.nodes))
+	buffered := 0
+	for id, n := range r.nodes {
+		var ln int
+		switch {
+		case n.rcad != nil:
+			ln = n.rcad.Len()
+			bufferDrops += n.rcad.Stats().Drops
+		case n.policy != nil:
+			ln = n.policy.Len()
+			bufferDrops += n.policy.Stats().Drops
+		default:
+			continue // PolicyForward holds nothing
+		}
+		occ[id] = ln
+		buffered += ln
+	}
+	delivered := uint64(len(res.Deliveries))
+	dropped := bufferDrops + res.LostToFailures + res.LinkDrops + res.DuplicatesSuppressed
+	inFlight := int(created) - int(delivered) - int(dropped)
+	if inFlight < 0 {
+		inFlight = 0
+	}
+	t := r.tele
+	rate := 0.0
+	if dt := now - t.lastAt; dt > 0 {
+		rate = float64(delivered-t.lastDelivered) / dt
+	}
+	return telemetry.Sample{
+		At:          now,
+		Created:     created,
+		Delivered:   delivered,
+		Dropped:     dropped,
+		Retransmits: res.Retransmissions,
+		Buffered:    buffered,
+		InFlight:    inFlight,
+		ArrivalRate: rate,
+		Occupancy:   occ,
+	}
+}
+
+// buildManifest assembles the run manifest after finalize.
+func (r *runner) buildManifest(wallSeconds float64) (*telemetry.Manifest, error) {
+	fp, err := telemetry.Fingerprint(canonicalConfig(&r.cfg))
+	if err != nil {
+		return nil, err
+	}
+	peak := uint64(0)
+	if r.tele != nil {
+		peak = r.tele.peakHeap
+	}
+	if final := telemetry.HeapAlloc(); final > peak {
+		peak = final
+	}
+	m := &telemetry.Manifest{
+		ConfigFingerprint: fp,
+		Seed:              int64(r.cfg.Seed),
+		GoVersion:         runtime.Version(),
+		SimDuration:       r.result.Duration,
+		Events:            int(r.result.Events),
+		Deliveries:        len(r.result.Deliveries),
+		WallSeconds:       wallSeconds,
+		PeakHeapBytes:     peak,
+	}
+	if wallSeconds > 0 {
+		m.EventsPerSec = float64(m.Events) / wallSeconds
+	}
+	return m, nil
+}
+
+// canonicalConfig flattens a validated Config into the plain value whose
+// JSON encoding is fingerprinted. Everything that shapes the simulated
+// outcome is included; observers (Tracer, Telemetry) and the seed (a
+// replicate label, recorded separately in the manifest) are not.
+// encoding/json sorts map keys, so the encoding is canonical.
+func canonicalConfig(cfg *Config) map[string]any {
+	topo := map[string]any{
+		"nodes": len(cfg.Topology.Nodes()),
+		"edges": sortedEdges(cfg.Topology),
+	}
+	sources := make([]map[string]any, len(cfg.Sources))
+	for i, s := range cfg.Sources {
+		sources[i] = map[string]any{
+			"node":    int(s.Node),
+			"process": s.Process.Name(),
+			"rate":    s.Process.Rate(),
+			"count":   s.Count,
+		}
+	}
+	c := map[string]any{
+		"topology":           topo,
+		"sources":            sources,
+		"policy":             cfg.Policy.String(),
+		"capacity":           cfg.Capacity,
+		"victim":             cfg.Victim.Name(),
+		"transmission_delay": cfg.TransmissionDelay,
+		"horizon":            cfg.Horizon,
+		"route_repair":       cfg.RouteRepair,
+		"seal":               cfg.Seal,
+		"custom_policy":      cfg.CustomPolicy != nil,
+	}
+	if cfg.Delay != nil {
+		c["delay"] = map[string]any{"name": cfg.Delay.Name(), "mean": cfg.Delay.Mean()}
+	}
+	if len(cfg.PerNodeDelay) > 0 {
+		per := make(map[string]any, len(cfg.PerNodeDelay))
+		for id, d := range cfg.PerNodeDelay {
+			per[fmt.Sprint(int(id))] = map[string]any{"name": d.Name(), "mean": d.Mean()}
+		}
+		c["per_node_delay"] = per
+	}
+	if cfg.RateControl != nil {
+		c["rate_control"] = map[string]any{
+			"target_loss": cfg.RateControl.TargetLoss,
+			"smoothing":   cfg.RateControl.Smoothing,
+		}
+	}
+	if cfg.Channel != nil {
+		c["channel"] = *cfg.Channel
+	}
+	if cfg.ARQ != nil {
+		c["arq"] = *cfg.ARQ
+	}
+	if len(cfg.NodeFailures) > 0 {
+		fails := make([]map[string]any, len(cfg.NodeFailures))
+		for i, f := range cfg.NodeFailures {
+			fails[i] = map[string]any{"node": int(f.Node), "at": f.At}
+		}
+		c["node_failures"] = fails
+	}
+	return c
+}
+
+// sortedEdges lists the topology's undirected edges as sorted [a, b] pairs
+// with a < b, in lexicographic order.
+func sortedEdges(t *topology.Topology) [][2]int {
+	var edges [][2]int
+	for _, id := range t.Nodes() {
+		for _, m := range t.Neighbors(id) {
+			if m > id {
+				edges = append(edges, [2]int{int(id), int(m)})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}

@@ -1,0 +1,223 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"tempriv/internal/telemetry"
+)
+
+func TestManifestAlwaysPopulated(t *testing.T) {
+	res, err := Run(lineConfig(t, 3, PolicyRCAD, 5, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest
+	if m == nil {
+		t.Fatal("run without telemetry must still produce a manifest")
+	}
+	if len(m.ConfigFingerprint) != 64 {
+		t.Fatalf("fingerprint %q is not 64 hex chars", m.ConfigFingerprint)
+	}
+	if m.Seed != 42 {
+		t.Fatalf("manifest seed = %d, want 42", m.Seed)
+	}
+	if m.GoVersion == "" || m.Events == 0 || m.Deliveries == 0 {
+		t.Fatalf("manifest missing fields: %+v", m)
+	}
+	if m.SimDuration != res.Duration || m.Events != int(res.Events) {
+		t.Fatalf("manifest disagrees with result: %+v vs duration %v events %d",
+			m, res.Duration, res.Events)
+	}
+	if m.PeakHeapBytes == 0 {
+		t.Fatal("manifest peak heap must be non-zero")
+	}
+}
+
+func TestConfigFingerprintStableAcrossRuns(t *testing.T) {
+	a, err := Run(lineConfig(t, 3, PolicyRCAD, 5, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(lineConfig(t, 3, PolicyRCAD, 5, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Manifest.ConfigFingerprint != b.Manifest.ConfigFingerprint {
+		t.Fatalf("identical configs fingerprinted differently:\n%s\n%s",
+			a.Manifest.ConfigFingerprint, b.Manifest.ConfigFingerprint)
+	}
+	// The seed is a replicate label, not part of the experiment identity.
+	cfg := lineConfig(t, 3, PolicyRCAD, 5, 40)
+	cfg.Seed = 43
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Manifest.ConfigFingerprint != a.Manifest.ConfigFingerprint {
+		t.Fatal("changing only the seed must not change the config fingerprint")
+	}
+	// Changing the experiment does change the fingerprint.
+	d, err := Run(lineConfig(t, 3, PolicyDropTail, 5, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Manifest.ConfigFingerprint == a.Manifest.ConfigFingerprint {
+		t.Fatal("different policies fingerprinted identically")
+	}
+}
+
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	plain, err := Run(lineConfig(t, 4, PolicyRCAD, 2, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lineConfig(t, 4, PolicyRCAD, 2, 200)
+	cfg.Telemetry = &telemetry.Config{
+		Registry:    telemetry.NewRegistry(),
+		SampleEvery: 1.0,
+		Emitter:     &telemetry.Memory{},
+	}
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Deliveries, instrumented.Deliveries) {
+		t.Fatal("telemetry changed the delivery sequence")
+	}
+	if plain.Duration != instrumented.Duration {
+		t.Fatalf("telemetry changed the run duration: %v vs %v",
+			plain.Duration, instrumented.Duration)
+	}
+}
+
+func TestRegistryCountersMatchResult(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := lineConfig(t, 3, PolicyRCAD, 2, 100)
+	cfg.Telemetry = &telemetry.Config{Registry: reg}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created uint64
+	for _, f := range res.Flows {
+		created += f.Created
+	}
+	if got := reg.Counter("tempriv_packets_created_total").Value(); got != created {
+		t.Fatalf("created counter = %d, want %d", got, created)
+	}
+	if got := reg.Counter("tempriv_packets_delivered_total").Value(); got != uint64(len(res.Deliveries)) {
+		t.Fatalf("delivered counter = %d, want %d", got, len(res.Deliveries))
+	}
+	h := reg.Histogram("tempriv_delivery_latency")
+	if h.Count() != uint64(len(res.Deliveries)) {
+		t.Fatalf("latency observations = %d, want %d", h.Count(), len(res.Deliveries))
+	}
+	var sum float64
+	for _, d := range res.Deliveries {
+		sum += d.At - d.Truth.CreatedAt
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9*math.Max(1, sum) {
+		t.Fatalf("latency sum = %g, want %g", h.Sum(), sum)
+	}
+}
+
+func TestSamplerEmitsConsistentTimeSeries(t *testing.T) {
+	mem := &telemetry.Memory{}
+	cfg := lineConfig(t, 4, PolicyRCAD, 2, 150)
+	cfg.Telemetry = &telemetry.Config{SampleEvery: 1.0, Emitter: mem}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := mem.Samples()
+	if len(samples) == 0 {
+		t.Fatal("sampler produced no samples")
+	}
+	prev := 0.0
+	for i, s := range samples {
+		if s.At <= prev && i > 0 {
+			t.Fatalf("sample times not increasing at %d: %v then %v", i, prev, s.At)
+		}
+		prev = s.At
+		if s.At > res.Duration {
+			t.Fatalf("sample at %v beyond run duration %v (probes extended the run)",
+				s.At, res.Duration)
+		}
+		if s.Created < s.Delivered {
+			t.Fatalf("sample %d delivered %d exceeds created %d", i, s.Delivered, s.Created)
+		}
+		buffered := 0
+		for _, n := range s.Occupancy {
+			buffered += n
+		}
+		if buffered != s.Buffered {
+			t.Fatalf("sample %d buffered %d disagrees with occupancy sum %d",
+				i, s.Buffered, buffered)
+		}
+		if s.InFlight < s.Buffered {
+			t.Fatalf("sample %d in-flight %d below buffered %d", i, s.InFlight, s.Buffered)
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.Created != 150 {
+		t.Fatalf("final sample created = %d, want 150", last.Created)
+	}
+	// Cumulative counters are monotone across the series.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Delivered < samples[i-1].Delivered ||
+			samples[i].Created < samples[i-1].Created {
+			t.Fatalf("cumulative counters regressed at sample %d", i)
+		}
+	}
+}
+
+type failingEmitter struct{ err error }
+
+func (f failingEmitter) Emit(telemetry.Sample) error { return f.err }
+
+func TestSamplerEmitterErrorSurfaces(t *testing.T) {
+	boom := errors.New("emitter broke")
+	cfg := lineConfig(t, 3, PolicyRCAD, 2, 50)
+	cfg.Telemetry = &telemetry.Config{SampleEvery: 1.0, Emitter: failingEmitter{boom}}
+	if _, err := Run(cfg); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestTelemetryConfigValidation(t *testing.T) {
+	cfg := lineConfig(t, 2, PolicyRCAD, 5, 10)
+	cfg.Telemetry = &telemetry.Config{SampleEvery: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative sample period accepted")
+	}
+	cfg.Telemetry = &telemetry.Config{SampleEvery: 1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("sampler without emitter accepted")
+	}
+}
+
+func TestSampledHeapFeedsManifestPeak(t *testing.T) {
+	mem := &telemetry.Memory{}
+	cfg := lineConfig(t, 3, PolicyRCAD, 2, 100)
+	cfg.Telemetry = &telemetry.Config{SampleEvery: 5.0, Emitter: mem, SampleHeap: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak uint64
+	for _, s := range mem.Samples() {
+		if s.HeapAllocBytes == 0 {
+			t.Fatal("SampleHeap set but a sample has no heap reading")
+		}
+		if s.HeapAllocBytes > peak {
+			peak = s.HeapAllocBytes
+		}
+	}
+	if res.Manifest.PeakHeapBytes < peak {
+		t.Fatalf("manifest peak heap %d below sampled peak %d",
+			res.Manifest.PeakHeapBytes, peak)
+	}
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProbeFiresEveryInterval(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	s.Every(1.0, func(now float64) { fired = append(fired, now) })
+	s.At(5.5, func() {}) // a real event keeps the simulation alive to 5.5
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("probe fired at %v, want %v", fired, want)
+	}
+	for i, at := range want {
+		if fired[i] != at {
+			t.Fatalf("probe fired at %v, want %v", fired, want)
+		}
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock ended at %v, want 5.5 (probes must not extend the run)", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still queued after Run", s.Pending())
+	}
+}
+
+func TestProbeAloneDoesNotRunForever(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	p := s.Every(1.0, func(float64) { count++ })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("probe with no real events fired %d times, want 0", count)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock moved to %v on a probe-only run", s.Now())
+	}
+	if p.Active() {
+		t.Fatal("probe still active after drain")
+	}
+}
+
+func TestMultipleProbesDrainTogether(t *testing.T) {
+	s := NewScheduler()
+	var a, b int
+	s.Every(1.0, func(float64) { a++ })
+	s.Every(2.0, func(float64) { b++ })
+	s.At(4, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != 4 || b != 2 {
+		t.Fatalf("probes fired a=%d b=%d, want 4 and 2", a, b)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still queued", s.Pending())
+	}
+}
+
+func TestProbeStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var p *Probe
+	p = s.Every(1.0, func(now float64) {
+		count++
+		if now >= 2 {
+			p.Stop()
+		}
+	})
+	s.At(10, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("stopped probe fired %d times, want 2", count)
+	}
+	if p.Stop() {
+		t.Fatal("second Stop reported the probe as still running")
+	}
+	if p.Active() {
+		t.Fatal("stopped probe reports active")
+	}
+}
+
+func TestProbeSeesStateBetweenEvents(t *testing.T) {
+	// A probe samples state mutated by ordinary events: the firing at t=1.5
+	// happens between the mutations at t=1 and t=2.
+	s := NewScheduler()
+	state := 0
+	s.At(1, func() { state = 1 })
+	s.At(2, func() { state = 2 })
+	var seen []int
+	s.Every(1.5, func(float64) { seen = append(seen, state) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Fatalf("probe saw %v, want [1]", seen)
+	}
+}
+
+func TestProbeCountsTowardFired(t *testing.T) {
+	s := NewScheduler()
+	s.Every(1.0, func(float64) {})
+	s.At(2.5, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Fired(); got != 3 { // probe at 1, 2 + the real event
+		t.Fatalf("Fired() = %d, want 3", got)
+	}
+}
+
+func TestProbeSurvivesRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	s.Every(1.0, func(now float64) { fired = append(fired, now) })
+	s.At(3.5, func() {})
+	s.At(8.5, func() {})
+	if err := s.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("probe fired at %v before horizon, want 5 firings", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock at %v, want horizon 5", s.Now())
+	}
+	// The real event beyond the horizon is still pending; resuming fires it.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 8.5 {
+		t.Fatalf("clock at %v after resume, want 8.5", s.Now())
+	}
+}
+
+func TestEveryPanicsOnBadArguments(t *testing.T) {
+	s := NewScheduler()
+	for _, interval := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Every(%v) did not panic", interval)
+				}
+			}()
+			s.Every(interval, func(float64) {})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Every with nil fn did not panic")
+			}
+		}()
+		s.Every(1, nil)
+	}()
+}

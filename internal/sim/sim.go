@@ -32,6 +32,7 @@ type Timer struct {
 	index     int // heap index, -1 when not queued
 	cancelled bool
 	fired     bool
+	periodic  bool // owned by a Probe; cannot keep the simulation alive
 }
 
 // When returns the simulated time at which the timer is (or was) scheduled
@@ -89,6 +90,11 @@ type Scheduler struct {
 	stopped bool
 	fired   uint64
 	host    *processHost // lazily created by Spawn
+
+	// periodicPending counts queued periodic timers. When it equals the
+	// queue length, only probes remain and the simulation is over: Step
+	// drains them instead of letting them tick forever.
+	periodicPending int
 }
 
 // NewScheduler returns a Scheduler with the clock at time 0 and an empty
@@ -144,6 +150,9 @@ func (s *Scheduler) Cancel(t *Timer) bool {
 	t.cancelled = true
 	if t.index >= 0 {
 		heap.Remove(&s.queue, t.index)
+		if t.periodic {
+			s.periodicPending--
+		}
 	}
 	return true
 }
@@ -174,9 +183,20 @@ func (s *Scheduler) Step() bool {
 		return false
 	}
 	for len(s.queue) > 0 {
+		if s.periodicPending == len(s.queue) && s.queue[0].when > s.now {
+			// Only periodic probes remain, none due at the current instant:
+			// the simulation proper has drained, so retire them rather than
+			// ticking forever. Probes due exactly now still fire first, so
+			// the final instant of a run gets sampled.
+			s.drainPeriodic()
+			return false
+		}
 		t, ok := heap.Pop(&s.queue).(*Timer)
 		if !ok {
 			panic("sim: event queue held a non-Timer element")
+		}
+		if t.periodic {
+			s.periodicPending--
 		}
 		if t.cancelled {
 			continue // defensive: cancelled timers are removed eagerly
@@ -222,6 +242,70 @@ func (s *Scheduler) RunUntil(horizon float64) error {
 	}
 	return nil
 }
+
+// drainPeriodic retires every queued timer. It is only called when all
+// remaining timers are periodic (periodicPending == len(queue)).
+func (s *Scheduler) drainPeriodic() {
+	for _, t := range s.queue {
+		t.cancelled = true
+		t.index = -1
+	}
+	s.queue = s.queue[:0]
+	s.periodicPending = 0
+}
+
+// Probe is a handle to a periodic callback created by Every. Probes are
+// second-class events: they fire every interval while ordinary events are
+// still pending, but once only probes remain in the queue the scheduler
+// retires them, so a probe never extends a simulation beyond its last real
+// event. Stop cancels the probe early.
+type Probe struct {
+	s        *Scheduler
+	interval float64
+	fn       func(now float64)
+	timer    *Timer
+	stopped  bool
+}
+
+// Every schedules fn to run every interval time units, first at Now +
+// interval. It panics on a nil fn or a non-positive, NaN or infinite
+// interval. The callback receives the firing time.
+func (s *Scheduler) Every(interval float64, fn func(now float64)) *Probe {
+	if fn == nil {
+		panic("sim: Every called with nil fn")
+	}
+	if !(interval > 0) || math.IsInf(interval, 1) {
+		panic(fmt.Sprintf("sim: Every called with invalid interval %v", interval))
+	}
+	p := &Probe{s: s, interval: interval, fn: fn}
+	p.arm()
+	return p
+}
+
+func (p *Probe) arm() {
+	p.timer = p.s.At(p.s.now+p.interval, p.fire)
+	p.timer.periodic = true
+	p.s.periodicPending++
+}
+
+func (p *Probe) fire() {
+	p.fn(p.s.now)
+	if !p.stopped && !p.s.stopped {
+		p.arm()
+	}
+}
+
+// Stop cancels the probe; it reports whether the probe was still running.
+func (p *Probe) Stop() bool {
+	if p.stopped {
+		return false
+	}
+	p.stopped = true
+	return p.s.Cancel(p.timer)
+}
+
+// Active reports whether the probe is still scheduled to fire.
+func (p *Probe) Active() bool { return !p.stopped && p.timer.Active() }
 
 // Stop halts the simulation: subsequent Step calls are no-ops and a running
 // Run/RunUntil loop returns ErrStopped after the current event completes.

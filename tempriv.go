@@ -51,6 +51,7 @@ import (
 	"tempriv/internal/rng"
 	"tempriv/internal/routing"
 	"tempriv/internal/sim"
+	"tempriv/internal/telemetry"
 	"tempriv/internal/topology"
 	"tempriv/internal/trace"
 	"tempriv/internal/tracking"
@@ -143,6 +144,27 @@ type (
 	MemoryTracer = trace.Memory
 	// JSONLTracer streams lifecycle events as JSON Lines.
 	JSONLTracer = trace.JSONL
+	// TelemetryConfig attaches the run-observability layer to a Config:
+	// a live metric registry and/or a sim-time queue-state sampler. See
+	// Config.Telemetry.
+	TelemetryConfig = telemetry.Config
+	// TelemetryRegistry is a thread-safe collection of live counters,
+	// gauges and log-bucketed histograms. It serves the Prometheus text
+	// format over HTTP (it implements http.Handler).
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySample is one sim-time snapshot of queue state: per-node
+	// occupancy, in-flight count, cumulative delivery/drop counters and
+	// the adversary-observable sink arrival rate.
+	TelemetrySample = telemetry.Sample
+	// TelemetryEmitter consumes the sampler's time series.
+	TelemetryEmitter = telemetry.Emitter
+	// MemoryEmitter retains samples in-process.
+	MemoryEmitter = telemetry.Memory
+	// JSONLEmitter streams samples as JSON Lines; Close it to flush.
+	JSONLEmitter = telemetry.JSONL
+	// RunManifest records a run's provenance: config fingerprint, seed,
+	// Go version and wall-clock performance. Every Result carries one.
+	RunManifest = telemetry.Manifest
 )
 
 // Trace event kinds recorded by Config.Tracer.
@@ -178,6 +200,33 @@ func DefaultARQ() *ARQConfig { return network.DefaultARQ() }
 // NewJSONLTracer returns a TraceRecorder writing one JSON object per
 // lifecycle event to w; check its Err method after the run.
 func NewJSONLTracer(w io.Writer) (*JSONLTracer, error) { return trace.NewJSONL(w) }
+
+// NewTelemetryRegistry returns an empty live-metric registry for
+// TelemetryConfig.Registry. A nil registry disables live metrics at
+// near-zero cost.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewJSONLEmitter returns a TelemetryEmitter streaming one JSON object per
+// sample to w through an internal buffer; Close it after the run and check
+// the error.
+func NewJSONLEmitter(w io.Writer) (*JSONLEmitter, error) { return telemetry.NewJSONL(w) }
+
+// NewPromFileEmitter returns a TelemetryEmitter that rewrites path with the
+// registry's Prometheus text snapshot on every sample (the textfile-
+// collector pattern for watching long runs without HTTP).
+func NewPromFileEmitter(reg *TelemetryRegistry, path string) (TelemetryEmitter, error) {
+	return telemetry.NewPromFile(reg, path)
+}
+
+// MultiTelemetryEmitter fans samples out to several emitters; closing it
+// closes every wrapped emitter that buffers output.
+func MultiTelemetryEmitter(emitters ...TelemetryEmitter) TelemetryEmitter {
+	return telemetry.MultiEmitter(emitters...)
+}
+
+// ConfigFingerprint returns the hex SHA-256 of v's canonical JSON form —
+// the same fingerprinting run manifests use to identify configurations.
+func ConfigFingerprint(v any) (string, error) { return telemetry.Fingerprint(v) }
 
 // Sink is the node ID of the network sink in every topology.
 const Sink = topology.Sink
@@ -551,4 +600,12 @@ func DefaultParams() Params { return experiment.Defaults() }
 // replication the paper's single-run evaluation lacks.
 func ReplicateExperiment(e Experiment, p Params, n int) (*Table, error) {
 	return experiment.Replicate(e, p, n)
+}
+
+// ReplicateExperimentParallel is ReplicateExperiment with replications
+// spread over up to workers goroutines. Seeds derive from the replication
+// index, and reduction order is fixed, so the table is byte-identical to
+// the serial form for every worker count.
+func ReplicateExperimentParallel(e Experiment, p Params, n, workers int) (*Table, error) {
+	return experiment.ReplicateParallel(e, p, n, workers)
 }
