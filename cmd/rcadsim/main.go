@@ -79,6 +79,23 @@ func run(args []string) (err error) {
 		return err
 	}
 
+	// Flag validation happens before any output or side effect: bad flags
+	// produce one stderr diagnostic and a non-zero exit, never a partial
+	// stdout report or a half-created artifact file.
+	if err := validateFlags(flagValues{
+		policy: *policyName, interarrival: *interarrival, packets: *packets,
+		meanDelay: *meanDelay, capacity: *capacity, tau: *tau,
+		threshold: *threshold, targetLoss: *targetLoss,
+		hops: *hops, gridW: *gridW, gridH: *gridH,
+		fieldNodes: *fieldNodes, fieldSide: *fieldSide, fieldRadius: *fieldRadius,
+		linkLoss: *linkLoss, burstLoss: *burstLoss, ackLoss: *ackLoss,
+		burstLen: *burstLen, goodRun: *goodRun,
+		arq: *arq, arqRetries: *arqRetries, arqTimeout: *arqTimeout, arqBackoff: *arqBackoff,
+		sampleEvery: *sampleEvery,
+	}); err != nil {
+		return err
+	}
+
 	// Buffered outputs are flushed and closed on every exit path, error
 	// returns included; their errors surface rather than vanish. Cleanups
 	// run in reverse registration order, so a writer's flush always
@@ -249,6 +266,87 @@ func run(args []string) (err error) {
 // maxPlacementAttempts bounds how many consecutive seeds the random-topology
 // builder tries before concluding the requested density is unworkable.
 const maxPlacementAttempts = 10
+
+// flagValues carries the numeric flags through validation.
+type flagValues struct {
+	policy                              string
+	interarrival                        float64
+	packets, capacity                   int
+	meanDelay, tau, threshold           float64
+	targetLoss                          float64
+	hops, gridW, gridH, fieldNodes      int
+	fieldSide, fieldRadius              float64
+	linkLoss, burstLoss, ackLoss        float64
+	burstLen, goodRun                   float64
+	arq                                 bool
+	arqRetries                          int
+	arqTimeout, arqBackoff, sampleEvery float64
+}
+
+// validateFlags range-checks every numeric flag up front, so misuse fails
+// before the simulator, the trace file or the debug server produce any
+// output.
+func validateFlags(v flagValues) error {
+	if !(v.interarrival > 0) {
+		return fmt.Errorf("-interarrival must be > 0, got %v", v.interarrival)
+	}
+	if v.packets < 1 {
+		return fmt.Errorf("-packets must be >= 1, got %d", v.packets)
+	}
+	if v.policy != "no-delay" && !(v.meanDelay > 0) {
+		return fmt.Errorf("-mean-delay must be > 0 for policy %q, got %v", v.policy, v.meanDelay)
+	}
+	if v.capacity < 1 {
+		return fmt.Errorf("-capacity must be >= 1, got %d", v.capacity)
+	}
+	if !(v.tau > 0) {
+		return fmt.Errorf("-tau must be > 0, got %v", v.tau)
+	}
+	if !(v.threshold > 0) || v.threshold >= 1 {
+		return fmt.Errorf("-threshold must be in (0, 1), got %v", v.threshold)
+	}
+	if !(v.targetLoss > 0) || v.targetLoss >= 1 {
+		return fmt.Errorf("-target-loss must be in (0, 1), got %v", v.targetLoss)
+	}
+	if v.hops < 1 {
+		return fmt.Errorf("-hops must be >= 1, got %d", v.hops)
+	}
+	if v.gridW < 2 || v.gridH < 2 {
+		return fmt.Errorf("-grid-w and -grid-h must be >= 2, got %dx%d", v.gridW, v.gridH)
+	}
+	if v.fieldNodes < 2 {
+		return fmt.Errorf("-field-nodes must be >= 2, got %d", v.fieldNodes)
+	}
+	if !(v.fieldSide > 0) || !(v.fieldRadius > 0) {
+		return fmt.Errorf("-field-side and -field-radius must be > 0, got %v and %v", v.fieldSide, v.fieldRadius)
+	}
+	for name, p := range map[string]float64{
+		"-link-loss": v.linkLoss, "-burst-loss": v.burstLoss, "-ack-loss": v.ackLoss,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("%s must be in [0, 1], got %v", name, p)
+		}
+	}
+	if v.ackLoss > 0 && !v.arq {
+		return fmt.Errorf("-ack-loss requires -arq (ACKs only exist with ARQ)")
+	}
+	if v.burstLen < 0 || v.goodRun < 0 {
+		return fmt.Errorf("-burst-len and -good-run must be >= 0, got %v and %v", v.burstLen, v.goodRun)
+	}
+	if v.arqRetries < 0 {
+		return fmt.Errorf("-arq-retries must be >= 0, got %d", v.arqRetries)
+	}
+	if v.arqTimeout < 0 {
+		return fmt.Errorf("-arq-timeout must be >= 0, got %v", v.arqTimeout)
+	}
+	if v.arqBackoff != 0 && v.arqBackoff < 1 {
+		return fmt.Errorf("-arq-backoff must be 0 (default) or >= 1, got %v", v.arqBackoff)
+	}
+	if !(v.sampleEvery > 0) {
+		return fmt.Errorf("-sample-every must be > 0, got %v", v.sampleEvery)
+	}
+	return nil
+}
 
 // parseFailures parses -fail's node@time list into failure injections.
 func parseFailures(spec string) ([]tempriv.NodeFailure, error) {

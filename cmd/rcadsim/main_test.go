@@ -106,3 +106,31 @@ func TestRandomTopologyRun(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRejectsInvalidFlagValues(t *testing.T) {
+	cases := map[string][]string{
+		"zero interarrival":    {"-interarrival", "0"},
+		"zero packets":         {"-packets", "0"},
+		"negative mean delay":  {"-mean-delay", "-3"},
+		"zero capacity":        {"-capacity", "0"},
+		"zero tau":             {"-tau", "0"},
+		"threshold at one":     {"-threshold", "1"},
+		"threshold above one":  {"-threshold", "1.5"},
+		"bad target loss":      {"-policy", "rcad-adaptive", "-target-loss", "0"},
+		"zero hops":            {"-topo", "line", "-hops", "0"},
+		"tiny grid":            {"-topo", "grid", "-grid-w", "1"},
+		"one field node":       {"-topo", "random", "-field-nodes", "1"},
+		"zero field radius":    {"-topo", "random", "-field-radius", "0"},
+		"loss above one":       {"-link-loss", "1.5"},
+		"negative loss":        {"-link-loss", "-0.1"},
+		"ack loss without arq": {"-link-loss", "0.1", "-ack-loss", "0.1"},
+		"negative arq retries": {"-arq", "-arq-retries", "-1"},
+		"bad arq backoff":      {"-arq", "-arq-backoff", "0.5"},
+		"zero sample every":    {"-sample-every", "0"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: args %v accepted", name, args)
+		}
+	}
+}

@@ -17,18 +17,22 @@
 //
 //	sweep -exp fig2b -replicate 8 -j 4
 //
+// Result caching — repeated sweeps of identical scenarios reuse the
+// fingerprint-keyed result cache (the same engine and cache cmd/temprivd
+// serves over HTTP) instead of re-simulating:
+//
+//	sweep -exp all -cache ~/.cache/tempriv
+//
 // With -out, every experiment also gets an <id>.manifest.json recording
 // its configuration fingerprint, seed and wall-clock, and the whole sweep
-// a summary.json aggregating them.
+// a summary.json aggregating them (cache hit/miss counts included).
 package main
 
 import (
-	"bufio"
+	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,6 +41,8 @@ import (
 	"time"
 
 	"tempriv"
+	"tempriv/internal/resultcache"
+	"tempriv/internal/scenario"
 )
 
 func main() {
@@ -52,6 +58,7 @@ func run(args []string) error {
 		exp           = fs.String("exp", "all", "experiment id to run, or \"all\"")
 		list          = fs.Bool("list", false, "list registered experiments and exit")
 		out           = fs.String("out", "", "directory to write <id>.txt, <id>.csv and <id>.manifest.json into (optional)")
+		cacheDir      = fs.String("cache", "", "result-cache directory: identical scenarios replay cached tables instead of re-simulating")
 		seed          = fs.Uint64("seed", 0, "random seed (0 = paper default)")
 		packets       = fs.Int("packets", 0, "packets per source (0 = paper default 1000)")
 		interarrivals = fs.String("interarrivals", "", "comma-separated 1/λ sweep (default 2..20)")
@@ -71,32 +78,34 @@ func run(args []string) error {
 		}
 		return nil
 	}
+
+	// Everything below validates before the first byte of stdout: bad flags
+	// produce one stderr diagnostic and a non-zero exit, never a partial
+	// table.
 	if *repWorkers < 1 {
 		return fmt.Errorf("-j must be >= 1, got %d", *repWorkers)
 	}
-
-	p := tempriv.DefaultParams()
-	if *seed != 0 {
-		p.Seed = *seed
+	if *replicate < 1 {
+		return fmt.Errorf("-replicate must be >= 1, got %d", *replicate)
 	}
-	if *packets != 0 {
-		p.Packets = *packets
+	if *packets < 0 {
+		return fmt.Errorf("-packets must be >= 0, got %d", *packets)
 	}
-	if *meanDelay != 0 {
-		p.MeanDelay = *meanDelay
+	if *meanDelay < 0 {
+		return fmt.Errorf("-mean-delay must be >= 0, got %v", *meanDelay)
 	}
-	if *capacity != 0 {
-		p.Capacity = *capacity
+	if *capacity < 0 {
+		return fmt.Errorf("-capacity must be >= 0, got %d", *capacity)
 	}
-	if *workers != 0 {
-		p.Workers = *workers
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	var ias []float64
 	if *interarrivals != "" {
-		values, err := parseFloats(*interarrivals)
-		if err != nil {
+		var err error
+		if ias, err = parseFloats(*interarrivals); err != nil {
 			return fmt.Errorf("parsing -interarrivals: %w", err)
 		}
-		p.Interarrivals = values
 	}
 
 	var selected []tempriv.Experiment
@@ -112,40 +121,118 @@ func run(args []string) error {
 		}
 	}
 
+	// Each experiment becomes a scenario spec — the same document the
+	// temprivd server accepts — validated up front and executed through the
+	// shared scenario engine, so CLI results and served results are
+	// interchangeable cache citizens.
+	specs := make([]scenario.Spec, len(selected))
+	for i, e := range selected {
+		spec := scenario.Spec{
+			Version: scenario.CurrentVersion,
+			Experiment: &scenario.ExperimentSpec{
+				ID:            e.ID,
+				Seed:          *seed,
+				Packets:       *packets,
+				Interarrivals: ias,
+				MeanDelay:     *meanDelay,
+				Capacity:      *capacity,
+				Replicates:    *replicate,
+			},
+		}
+		normalized, err := spec.Normalize()
+		if err != nil {
+			return fmt.Errorf("scenario for %s: %w", e.ID, err)
+		}
+		specs[i] = normalized
+	}
+
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = resultcache.Open(*cacheDir, 0); err != nil {
+			return err
+		}
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return fmt.Errorf("creating output directory: %w", err)
 		}
 	}
 
+	// p mirrors the normalized scenario parameters for the legacy
+	// (seed-free) config fingerprint the per-run manifests record.
+	p := tempriv.DefaultParams()
+	first := specs[0].Experiment
+	p.Seed = first.Seed
+	p.Packets = first.Packets
+	p.Interarrivals = first.Interarrivals
+	p.MeanDelay = first.MeanDelay
+	p.Capacity = first.Capacity
+
 	var manifests []runManifest
+	var hits, misses int
 	sweepStart := time.Now()
-	for _, e := range selected {
+	for i, e := range selected {
+		spec := specs[i]
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			return fmt.Errorf("fingerprinting %s: %w", e.ID, err)
+		}
 		fmt.Printf("== %s (%s) ==\n", e.ID, e.Paper)
 		start := time.Now()
-		var tab *tempriv.Table
-		var err error
-		if *replicate > 1 {
-			tab, err = tempriv.ReplicateExperimentParallel(e, p, *replicate, *repWorkers)
-		} else {
-			tab, err = e.Run(p)
+		var text, csv, scenarioManifest []byte
+		cacheState := ""
+		if cache != nil {
+			entry, ok, err := cache.Get(fp)
+			if err != nil {
+				return fmt.Errorf("result cache get %s: %w", e.ID, err)
+			}
+			if ok {
+				text, csv, scenarioManifest = entry.TableText, entry.TableCSV, entry.Manifest
+				cacheState = "hit"
+				hits++
+			} else {
+				cacheState = "miss"
+				misses++
+			}
+		}
+		if text == nil {
+			outcome, err := scenario.Run(context.Background(), spec, scenario.Options{
+				ReplicateWorkers: *repWorkers,
+				SweepWorkers:     *workers,
+			})
+			if err != nil {
+				return fmt.Errorf("running %s: %w", e.ID, err)
+			}
+			text, csv = outcome.TableText, outcome.TableCSV
+			if scenarioManifest, err = outcome.ManifestJSON(); err != nil {
+				return err
+			}
+			if cache != nil {
+				if err := cache.Put(&resultcache.Entry{
+					Fingerprint: fp, TableText: text, TableCSV: csv, Manifest: scenarioManifest,
+				}); err != nil {
+					// A failed store costs the next sweep a re-run, nothing
+					// more; warn and keep sweeping.
+					fmt.Fprintf(os.Stderr, "sweep: caching %s: %v\n", e.ID, err)
+				}
+			}
 		}
 		wall := time.Since(start).Seconds()
-		if err != nil {
-			return fmt.Errorf("running %s: %w", e.ID, err)
-		}
-		if err := tab.Render(os.Stdout); err != nil {
+		if _, err := os.Stdout.Write(text); err != nil {
 			return fmt.Errorf("rendering %s: %w", e.ID, err)
 		}
 		fmt.Println()
 		if *out != "" {
-			if err := writeArtifacts(*out, e.ID, tab); err != nil {
+			if err := writeArtifacts(*out, e.ID, text, csv); err != nil {
 				return err
 			}
 			m, err := newRunManifest(e.ID, p, *replicate, wall)
 			if err != nil {
 				return fmt.Errorf("fingerprinting %s: %w", e.ID, err)
 			}
+			m.SpecFingerprint = fp
+			m.Cache = cacheState
 			if err := writeJSON(filepath.Join(*out, e.ID+".manifest.json"), m); err != nil {
 				return fmt.Errorf("writing %s manifest: %w", e.ID, err)
 			}
@@ -153,10 +240,15 @@ func run(args []string) error {
 		}
 	}
 
+	if cache != nil {
+		fmt.Printf("result cache: %d hit(s), %d miss(es)\n", hits, misses)
+	}
 	if *out != "" && len(manifests) > 0 {
 		summary := sweepSummary{
 			GoVersion:        runtime.Version(),
 			TotalWallSeconds: time.Since(sweepStart).Seconds(),
+			CacheHits:        hits,
+			CacheMisses:      misses,
 			Runs:             manifests,
 		}
 		if err := writeJSON(filepath.Join(*out, "summary.json"), summary); err != nil {
@@ -168,11 +260,14 @@ func run(args []string) error {
 
 // runManifest records one experiment run's provenance, mirroring the
 // per-simulation manifests network.Run produces: what configuration ran
-// (fingerprinted without the seed, which labels the replicate series) and
-// how long it took.
+// (fingerprinted without the seed, which labels the replicate series), the
+// seed-inclusive scenario fingerprint the result cache is keyed by, and how
+// long it took.
 type runManifest struct {
 	Experiment        string  `json:"experiment"`
 	ConfigFingerprint string  `json:"config_fingerprint"`
+	SpecFingerprint   string  `json:"spec_fingerprint,omitempty"`
+	Cache             string  `json:"cache,omitempty"`
 	Seed              uint64  `json:"seed"`
 	Replicates        int     `json:"replicates,omitempty"`
 	GoVersion         string  `json:"go_version"`
@@ -183,6 +278,8 @@ type runManifest struct {
 type sweepSummary struct {
 	GoVersion        string        `json:"go_version"`
 	TotalWallSeconds float64       `json:"total_wall_seconds"`
+	CacheHits        int           `json:"cache_hits"`
+	CacheMisses      int           `json:"cache_misses"`
 	Runs             []runManifest `json:"runs"`
 }
 
@@ -215,29 +312,14 @@ func newRunManifest(id string, p tempriv.Params, replicates int, wall float64) (
 	return m, nil
 }
 
-func writeArtifacts(dir, id string, tab *tempriv.Table) error {
-	if err := writeFile(filepath.Join(dir, id+".txt"), tab.Render); err != nil {
+func writeArtifacts(dir, id string, text, csv []byte) error {
+	if err := os.WriteFile(filepath.Join(dir, id+".txt"), text, 0o644); err != nil {
 		return fmt.Errorf("writing %s.txt: %w", id, err)
 	}
-	if err := writeFile(filepath.Join(dir, id+".csv"), tab.RenderCSV); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, id+".csv"), csv, 0o644); err != nil {
 		return fmt.Errorf("writing %s.csv: %w", id, err)
 	}
 	return nil
-}
-
-// writeFile renders into a buffered writer and surfaces flush and close
-// errors — a plain deferred Close would silently drop a full disk.
-func writeFile(path string, render func(io.Writer) error) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, f.Close()) }()
-	bw := bufio.NewWriter(f)
-	if err := render(bw); err != nil {
-		return err
-	}
-	return bw.Flush()
 }
 
 func writeJSON(path string, v any) (err error) {

@@ -178,3 +178,101 @@ func TestParseFloats(t *testing.T) {
 		}
 	}
 }
+
+func TestRejectsBadFlagValues(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "fig2a", "-replicate", "0"},
+		{"-exp", "fig2a", "-packets", "-5"},
+		{"-exp", "fig2a", "-mean-delay", "-1"},
+		{"-exp", "fig2a", "-capacity", "-2"},
+		{"-exp", "fig2a", "-workers", "-1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestCacheHitsSecondSweep(t *testing.T) {
+	cacheDir := t.TempDir()
+	args := func(out string) []string {
+		return []string{
+			"-exp", "eq2-epi,eq4-bound",
+			"-packets", "60",
+			"-interarrivals", "4,8",
+			"-cache", cacheDir,
+			"-out", out,
+		}
+	}
+	out1, out2 := t.TempDir(), t.TempDir()
+	if err := run(args(out1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args(out2)); err != nil {
+		t.Fatal(err)
+	}
+
+	readSummary := func(dir string) sweepSummary {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, "summary.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s sweepSummary
+		if err := json.Unmarshal(b, &s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1, s2 := readSummary(out1), readSummary(out2)
+	if s1.CacheHits != 0 || s1.CacheMisses != 2 {
+		t.Fatalf("first sweep cache counts: %+v", s1)
+	}
+	if s2.CacheHits != 2 || s2.CacheMisses != 0 {
+		t.Fatalf("second sweep not fully cached: %+v", s2)
+	}
+	for _, m := range s2.Runs {
+		if m.Cache != "hit" || m.SpecFingerprint == "" {
+			t.Fatalf("run manifest missing cache provenance: %+v", m)
+		}
+	}
+
+	// The cached replay is byte-identical to the fresh artifacts.
+	for _, name := range []string{"eq2-epi.txt", "eq2-epi.csv", "eq4-bound.txt", "eq4-bound.csv"} {
+		a, err := os.ReadFile(filepath.Join(out1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(out2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("cached artifact %s differs from fresh run", name)
+		}
+	}
+}
+
+func TestCacheSeedChangeMisses(t *testing.T) {
+	cacheDir := t.TempDir()
+	base := []string{"-exp", "eq2-epi", "-packets", "50", "-cache", cacheDir}
+	if err := run(append(base, "-seed", "1", "-out", t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	if err := run(append(base, "-seed", "2", "-out", out)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(out, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s sweepSummary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheHits != 0 || s.CacheMisses != 1 {
+		t.Fatalf("changed seed should miss: %+v", s)
+	}
+}

@@ -1,0 +1,139 @@
+// Command temprivd serves the simulator as a long-running service: clients
+// POST versioned scenario specs to /v1/jobs, a bounded worker pool executes
+// them, and a fingerprint-keyed on-disk result cache answers repeated
+// scenarios without re-simulating (byte-identical to a fresh run — every
+// scenario is seed-deterministic).
+//
+//	temprivd -addr localhost:7077 -cache ./cache
+//
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, /result, /events
+// (JSONL progress stream), DELETE /v1/jobs/{id}, GET /v1/cache, /healthz,
+// /metrics (Prometheus text), /debug/pprof. SIGTERM/SIGINT drains
+// gracefully: no new submissions, in-flight jobs finish (up to
+// -drain-timeout, then they are canceled), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tempriv/internal/jobs"
+	"tempriv/internal/resultcache"
+	"tempriv/internal/server"
+	"tempriv/internal/telemetry"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "temprivd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is canceled and the drain
+// completes. When ready is non-nil it receives the resolved listen address
+// once the server is accepting (tests listen on port 0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("temprivd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "localhost:7077", "listen address (port 0 picks an ephemeral port)")
+		cacheDir     = fs.String("cache", "", "result-cache directory (empty = caching disabled)")
+		cacheMaxMB   = fs.Int64("cache-max-mb", 256, "result-cache size bound in MiB (-1 = unbounded)")
+		workers      = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue-depth", 64, "max queued jobs before 429")
+		retries      = fs.Int("retries", 2, "transient-failure retries per job")
+		repWorkers   = fs.Int("j", 1, "replication worker goroutines per job")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *workers < 1 || *queueDepth < 1 || *repWorkers < 1 {
+		return fmt.Errorf("-workers, -queue-depth and -j must be >= 1")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+
+	var cache *resultcache.Cache
+	if *cacheDir != "" {
+		maxBytes := *cacheMaxMB
+		if maxBytes > 0 {
+			maxBytes <<= 20
+		}
+		var err error
+		if cache, err = resultcache.Open(*cacheDir, maxBytes); err != nil {
+			return err
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	queue := jobs.New(server.NewRunner(cache, reg, *repWorkers), jobs.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		MaxRetries: *retries,
+	})
+	api := server.New(queue, cache, reg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: api}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("temprivd listening on http://%s (workers=%d, cache=%s)\n",
+		ln.Addr(), *workers, cacheLabel(*cacheDir))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight jobs finish (bounded),
+	// then close the HTTP side so /v1/jobs/{id} stays queryable during the
+	// drain window.
+	fmt.Println("temprivd draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := queue.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		drainErr = errors.Join(drainErr, err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return fmt.Errorf("draining: %w", drainErr)
+	}
+	fmt.Println("temprivd stopped")
+	return nil
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "disabled"
+	}
+	return dir
+}

@@ -1,0 +1,453 @@
+// Package jobs is the serving subsystem's execution queue: a bounded
+// worker pool that runs scenario specs (internal/scenario) through a
+// pluggable Runner, with per-job context cancellation, automatic retry of
+// transient failures, ordered progress events that clients can stream, and
+// graceful draining for shutdown.
+//
+// The queue knows nothing about HTTP or caching — the Runner closure wires
+// those in (see internal/server) — which keeps cancellation, retry and
+// drain logic testable with a stub runner.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tempriv/internal/scenario"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the scenario.
+	StateRunning State = "running"
+	// StateDone: finished successfully; Result is set.
+	StateDone State = "done"
+	// StateFailed: finished with a permanent error (after any retries).
+	StateFailed State = "failed"
+	// StateCanceled: canceled before or during execution.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ErrTransient marks an error worth retrying (wrap it with fmt.Errorf and
+// %w). Anything else — scenario errors are deterministic — fails the job
+// permanently.
+var ErrTransient = errors.New("transient failure")
+
+// ErrQueueFull is returned by Submit when the pending queue is at capacity.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrDraining is returned by Submit after Drain has begun.
+var ErrDraining = errors.New("jobs: queue draining")
+
+// Result is what a Runner produces for a completed job.
+type Result struct {
+	// Fingerprint is the scenario's content address.
+	Fingerprint string `json:"fingerprint"`
+	// CacheHit records whether the result came from the result cache.
+	CacheHit bool `json:"cache_hit"`
+	// TableText, TableCSV and Manifest are the scenario's artifacts —
+	// byte-identical between a cache hit and a fresh run.
+	TableText []byte `json:"-"`
+	TableCSV  []byte `json:"-"`
+	Manifest  []byte `json:"-"`
+}
+
+// Runner executes one job. It must honor ctx (return promptly once
+// canceled) and report coarse progress through progress(stage, message).
+type Runner func(ctx context.Context, job *Job, progress func(stage, message string)) (*Result, error)
+
+// Event is one progress record. Events are totally ordered per job by Seq,
+// so a client can replay history and then follow the live stream without
+// gaps or duplicates.
+type Event struct {
+	Seq     int    `json:"seq"`
+	State   State  `json:"state"`
+	Stage   string `json:"stage,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// Job is one submitted scenario. All mutable fields are guarded by the
+// owning Queue's lock; callers outside this package only see Snapshots.
+type Job struct {
+	// ID is the queue-assigned identifier ("job-000001", …).
+	ID string
+	// Spec is the normalized scenario.
+	Spec scenario.Spec
+	// Fingerprint is Spec.Fingerprint(), computed at submission.
+	Fingerprint string
+
+	state     State
+	attempts  int
+	err       error
+	result    *Result
+	events    []Event
+	watchers  []chan Event
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+	canceled  bool
+}
+
+// Snapshot is a consistent, copyable view of a job for status endpoints.
+type Snapshot struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name,omitempty"`
+	Fingerprint string    `json:"fingerprint"`
+	State       State     `json:"state"`
+	Attempts    int       `json:"attempts"`
+	Error       string    `json:"error,omitempty"`
+	CacheHit    bool      `json:"cache_hit"`
+	Submitted   time.Time `json:"submitted"`
+	Started     time.Time `json:"started"`
+	Finished    time.Time `json:"finished"`
+}
+
+// Options configure a Queue.
+type Options struct {
+	// Workers is the worker-pool size (default 1).
+	Workers int
+	// QueueDepth bounds pending submissions (default 64); Submit returns
+	// ErrQueueFull beyond it.
+	QueueDepth int
+	// MaxRetries is how many times a transient failure re-runs before the
+	// job fails (default 2).
+	MaxRetries int
+	// RetryDelay sleeps between attempts (default 100ms; tests use 0).
+	RetryDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 64
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryDelay == 0 {
+		o.RetryDelay = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Queue is the bounded worker-pool job queue.
+type Queue struct {
+	opts    Options
+	runner  Runner
+	pending chan *Job
+	wg      sync.WaitGroup
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+}
+
+// New starts a queue with the given runner and options.
+func New(runner Runner, opts Options) *Queue {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		opts:      opts,
+		runner:    runner,
+		pending:   make(chan *Job, opts.QueueDepth),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit validates nothing — the caller passes an already-normalized spec —
+// and enqueues it, returning the job's initial snapshot.
+func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return Snapshot{}, ErrDraining
+	}
+	q.nextID++
+	jctx, jcancel := context.WithCancel(q.baseCtx)
+	j := &Job{
+		ID:          fmt.Sprintf("job-%06d", q.nextID),
+		Spec:        spec,
+		Fingerprint: fp,
+		state:       StateQueued,
+		submitted:   time.Now(),
+		ctx:         jctx,
+		cancel:      jcancel,
+	}
+	// The enqueue happens under the lock so it cannot race Drain's
+	// close(q.pending); the channel is buffered, so the send never blocks.
+	select {
+	case q.pending <- j:
+	default:
+		jcancel()
+		q.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.appendEventLocked(j, Event{State: StateQueued, Stage: "queued"})
+	snap := q.snapshotLocked(j)
+	q.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns a job's snapshot.
+func (q *Queue) Get(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return q.snapshotLocked(j), true
+}
+
+// Result returns a done job's result.
+func (q *Queue) Result(id string) (*Result, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.result == nil {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// List returns all jobs in submission order.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Snapshot, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.snapshotLocked(q.jobs[id]))
+	}
+	return out
+}
+
+// Cancel requests a job stop. Queued jobs cancel immediately; running jobs
+// get their context canceled and finish as canceled once the runner
+// returns. Canceling a terminal job is a no-op.
+func (q *Queue) Cancel(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	if !j.state.Terminal() {
+		j.canceled = true
+		j.cancel()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			q.appendEventLocked(j, Event{State: StateCanceled, Stage: "canceled", Message: "canceled while queued"})
+			q.finishLocked(j)
+		} else {
+			q.appendEventLocked(j, Event{State: j.state, Stage: "cancel-requested"})
+		}
+	}
+	return q.snapshotLocked(j), true
+}
+
+// Watch returns the job's event history so far and a channel delivering
+// subsequent events; the channel closes when the job reaches a terminal
+// state. Call stop to unsubscribe early.
+func (q *Queue) Watch(id string) (history []Event, live <-chan Event, stop func(), ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, okk := q.jobs[id]
+	if !okk {
+		return nil, nil, nil, false
+	}
+	history = append([]Event(nil), j.events...)
+	if j.state.Terminal() {
+		ch := make(chan Event)
+		close(ch)
+		return history, ch, func() {}, true
+	}
+	ch := make(chan Event, 64)
+	j.watchers = append(j.watchers, ch)
+	stop = func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		for i, w := range j.watchers {
+			if w == ch {
+				j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+				close(ch)
+				return
+			}
+		}
+	}
+	return history, ch, stop, true
+}
+
+// Drain stops accepting submissions and waits for in-flight jobs to finish.
+// If ctx expires first, every remaining job's context is canceled and Drain
+// waits (briefly) for the workers to acknowledge. Queue resources —
+// including the worker goroutines — are fully released when Drain returns.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	already := q.draining
+	q.draining = true
+	q.mu.Unlock()
+	if !already {
+		close(q.pending)
+	}
+
+	done := make(chan struct{})
+	go func() { q.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		q.cancelAll()
+		return nil
+	case <-ctx.Done():
+		// Hard drain: abort everything and wait for the workers, which by
+		// contract return promptly once their job contexts cancel.
+		q.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.pending {
+		q.runOne(j)
+	}
+}
+
+func (q *Queue) runOne(j *Job) {
+	q.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		q.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	q.appendEventLocked(j, Event{State: StateRunning, Stage: "started"})
+	ctx := j.ctx
+	q.mu.Unlock()
+
+	progress := func(stage, message string) {
+		q.mu.Lock()
+		q.appendEventLocked(j, Event{State: StateRunning, Stage: stage, Message: message})
+		q.mu.Unlock()
+	}
+
+	var res *Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		q.mu.Lock()
+		j.attempts = attempt + 1
+		q.mu.Unlock()
+		res, err = q.runner(ctx, j, progress)
+		if err == nil || ctx.Err() != nil || !errors.Is(err, ErrTransient) || attempt >= q.opts.MaxRetries {
+			break
+		}
+		progress("retry", fmt.Sprintf("attempt %d failed transiently: %v", attempt+1, err))
+		select {
+		case <-ctx.Done():
+		case <-time.After(q.opts.RetryDelay):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case ctx.Err() != nil && j.canceled:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		q.appendEventLocked(j, Event{State: StateCanceled, Stage: "canceled", Message: "canceled while running"})
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+		q.appendEventLocked(j, Event{State: StateFailed, Stage: "failed", Message: err.Error()})
+	default:
+		j.state = StateDone
+		j.result = res
+		msg := "fresh run"
+		if res.CacheHit {
+			msg = "result cache hit"
+		}
+		q.appendEventLocked(j, Event{State: StateDone, Stage: "done", Message: msg})
+	}
+	q.finishLocked(j)
+}
+
+// appendEventLocked records an event and fans it out to watchers. A watcher
+// that has fallen 64 events behind loses intermediate events rather than
+// blocking the worker (the history replay on reconnect fills gaps).
+func (q *Queue) appendEventLocked(j *Job, ev Event) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for _, w := range j.watchers {
+		select {
+		case w <- ev:
+		default:
+		}
+	}
+}
+
+// finishLocked releases a terminal job's resources: its context and its
+// watcher channels.
+func (q *Queue) finishLocked(j *Job) {
+	j.cancel()
+	for _, w := range j.watchers {
+		close(w)
+	}
+	j.watchers = nil
+}
+
+func (q *Queue) snapshotLocked(j *Job) Snapshot {
+	s := Snapshot{
+		ID:          j.ID,
+		Name:        j.Spec.Name,
+		Fingerprint: j.Fingerprint,
+		State:       j.state,
+		Attempts:    j.attempts,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	if j.result != nil {
+		s.CacheHit = j.result.CacheHit
+	}
+	return s
+}

@@ -1,0 +1,502 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tempriv/internal/scenario"
+)
+
+func testSpec(t *testing.T, seed uint64) scenario.Spec {
+	t.Helper()
+	doc := fmt.Sprintf(`{"version":1,"experiment":{"id":"fig2a","packets":10,"interarrivals":[4],"seed":%d}}`, seed)
+	spec, err := scenario.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func okRunner(res *Result) Runner {
+	return func(ctx context.Context, job *Job, progress func(stage, message string)) (*Result, error) {
+		progress("run", "working")
+		out := *res
+		out.Fingerprint = job.Fingerprint
+		return &out, nil
+	}
+}
+
+func waitTerminal(t *testing.T, q *Queue, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s unknown", id)
+		}
+		if s.State.Terminal() {
+			return s
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Snapshot{}
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	q := New(okRunner(&Result{TableText: []byte("table")}), Options{Workers: 2})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint == "" {
+		t.Fatal("snapshot missing fingerprint")
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateDone {
+		t.Fatalf("state = %q, want done (error %q)", final.State, final.Error)
+	}
+	got, ok := q.Result(s.ID)
+	if !ok {
+		t.Fatal("no result for done job")
+	}
+	if string(got.TableText) != "table" || got.Fingerprint != s.Fingerprint {
+		t.Fatalf("result = %+v", got)
+	}
+	history, _, stop, ok := q.Watch(s.ID)
+	if !ok {
+		t.Fatal("watch failed")
+	}
+	stop()
+	if len(history) == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestTransientErrorRetries(t *testing.T) {
+	var attempts atomic.Int32
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		if attempts.Add(1) < 3 {
+			return nil, fmt.Errorf("%w: flaky backend", ErrTransient)
+		}
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryDelay: time.Millisecond})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateDone {
+		t.Fatalf("state = %q after retries, want done (error %q)", final.State, final.Error)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("runner ran %d times, want 3", n)
+	}
+	if final.Attempts != 3 {
+		t.Fatalf("snapshot attempts = %d, want 3", final.Attempts)
+	}
+}
+
+func TestTransientErrorExhaustsRetries(t *testing.T) {
+	var attempts atomic.Int32
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		attempts.Add(1)
+		return nil, fmt.Errorf("%w: always down", ErrTransient)
+	}
+	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryDelay: time.Millisecond})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if n := attempts.Load(); n != 3 { // initial + 2 retries
+		t.Fatalf("runner ran %d times, want 3", n)
+	}
+	if _, ok := q.Result(s.ID); ok {
+		t.Fatal("Result succeeded for a failed job")
+	}
+}
+
+func TestPermanentErrorDoesNotRetry(t *testing.T) {
+	var attempts atomic.Int32
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		attempts.Add(1)
+		return nil, errors.New("bad scenario")
+	}
+	q := New(runner, Options{Workers: 1, MaxRetries: 5, RetryDelay: time.Millisecond})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("permanent error retried: %d attempts", n)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	q := New(runner, Options{Workers: 1})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok := q.Cancel(s.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", final.State)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1})
+	defer func() {
+		close(block)
+		q.Drain(context.Background())
+	}()
+
+	// First job occupies the only worker; second stays queued.
+	if _, err := q.Submit(testSpec(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := q.Submit(testSpec(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := q.Cancel(queued.ID)
+	if !ok {
+		t.Fatal("cancel failed")
+	}
+	if snap.State != StateCanceled {
+		t.Fatalf("queued job canceled lazily: state %q", snap.State)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return &Result{}, nil
+	}
+	q := New(runner, Options{Workers: 1, QueueDepth: 1})
+	defer func() {
+		close(block)
+		q.Drain(context.Background())
+	}()
+
+	if _, err := q.Submit(testSpec(t, 8)); err != nil { // running
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := q.Submit(testSpec(t, 9)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(testSpec(t, 10)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestDrainWaitsForInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return &Result{Fingerprint: job.Fingerprint}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	q := New(runner, Options{Workers: 1})
+
+	s, err := q.Submit(testSpec(t, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- q.Drain(context.Background()) }()
+
+	// Submissions are refused once the drain begins.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := q.Submit(testSpec(t, 12)); errors.Is(err, ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Submit never started returning ErrDraining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The drain must not finish while the job is still running.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned (%v) before the in-flight job finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The in-flight job completed rather than being aborted.
+	final, ok := q.Get(s.ID)
+	if !ok {
+		t.Fatal("job lost")
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %q after graceful drain, want done", final.State)
+	}
+}
+
+func TestDrainTimeoutCancelsJobs(t *testing.T) {
+	started := make(chan struct{})
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		close(started)
+		<-ctx.Done() // never finishes voluntarily
+		return nil, ctx.Err()
+	}
+	q := New(runner, Options{Workers: 1})
+
+	s, err := q.Submit(testSpec(t, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v, want deadline exceeded", err)
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateCanceled && final.State != StateFailed {
+		t.Fatalf("state = %q after forced drain, want canceled or failed", final.State)
+	}
+}
+
+func TestWatchReplaysOrderedHistory(t *testing.T) {
+	q := New(okRunner(&Result{}), Options{Workers: 1})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q, s.ID)
+
+	// Watching a terminal job replays its full history; the live channel is
+	// already closed.
+	history, live, stop, ok := q.Watch(s.ID)
+	if !ok {
+		t.Fatal("watch failed")
+	}
+	defer stop()
+	for range live {
+		t.Fatal("terminal job delivered live events")
+	}
+	if len(history) == 0 {
+		t.Fatal("watch replayed no events")
+	}
+	for i := 1; i < len(history); i++ {
+		if history[i].Seq <= history[i-1].Seq {
+			t.Fatalf("events out of order: %+v", history)
+		}
+	}
+	last := history[len(history)-1]
+	if last.State != StateDone {
+		t.Fatalf("last event state = %q, want done", last.State)
+	}
+}
+
+func TestWatchStreamsLiveEvents(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		close(started)
+		<-release
+		progress("run", "almost done")
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	_, live, stop, ok := q.Watch(s.ID)
+	if !ok {
+		t.Fatal("watch failed")
+	}
+	defer stop()
+	close(release)
+
+	sawDone := false
+	timeout := time.After(5 * time.Second)
+	for !sawDone {
+		select {
+		case ev, open := <-live:
+			if !open {
+				if !sawDone {
+					t.Fatal("live channel closed without a done event")
+				}
+			} else if ev.State == StateDone {
+				sawDone = true
+			}
+		case <-timeout:
+			t.Fatal("no done event streamed")
+		}
+	}
+}
+
+func TestGetUnknownJob(t *testing.T) {
+	q := New(okRunner(&Result{}), Options{})
+	defer q.Drain(context.Background())
+	if _, ok := q.Get("job-999999"); ok {
+		t.Fatal("Get of unknown job succeeded")
+	}
+	if _, ok := q.Cancel("job-999999"); ok {
+		t.Fatal("Cancel of unknown job succeeded")
+	}
+	if _, _, _, ok := q.Watch("job-999999"); ok {
+		t.Fatal("Watch of unknown job succeeded")
+	}
+}
+
+func TestListOrdering(t *testing.T) {
+	q := New(okRunner(&Result{}), Options{Workers: 1})
+	defer q.Drain(context.Background())
+	var ids []string
+	for i := 0; i < 3; i++ {
+		s, err := q.Submit(testSpec(t, uint64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+	for _, id := range ids {
+		waitTerminal(t, q, id)
+	}
+	list := q.List()
+	if len(list) != 3 {
+		t.Fatalf("list has %d jobs, want 3", len(list))
+	}
+	for i, s := range list {
+		if s.ID != ids[i] {
+			t.Fatalf("list order %v, want %v", list, ids)
+		}
+	}
+}
+
+// TestDrainLeavesNoGoroutines is the leak check from the issue: after a
+// graceful drain every worker goroutine has exited and watcher channels are
+// closed.
+func TestDrainLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	q := New(okRunner(&Result{}), Options{Workers: 4})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		s, err := q.Submit(testSpec(t, uint64(30+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+	// Hold a live watcher over the drain to prove it gets closed out too.
+	_, live, stop, ok := q.Watch(ids[len(ids)-1])
+	if !ok {
+		t.Fatal("watch failed")
+	}
+	drainedWatcher := make(chan struct{})
+	go func() {
+		defer close(drainedWatcher)
+		for range live {
+		}
+	}()
+	defer stop()
+
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		s := waitTerminal(t, q, id)
+		if s.State != StateDone {
+			t.Fatalf("job %s state %q after drain", id, s.State)
+		}
+	}
+	select {
+	case <-drainedWatcher:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher channel never closed")
+	}
+
+	// Goroutine counts are noisy; poll until we're back at (or below) the
+	// baseline plus slack for runtime helpers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,252 @@
+// Package resultcache is a content-addressed on-disk cache for executed
+// scenarios, keyed by the canonical-spec SHA-256 fingerprint
+// (scenario.Spec.Fingerprint — the same hashing run manifests use). A hit
+// returns the stored result bytes without re-simulating; because every run
+// is seed-deterministic, cached bytes are identical to what a fresh run
+// would produce, so hits are safe at any layer (CLI sweep or HTTP server).
+//
+// Layout (one directory per entry, one file per artifact):
+//
+//	<root>/v1/<fingerprint>/table.txt
+//	<root>/v1/<fingerprint>/table.csv
+//	<root>/v1/<fingerprint>/manifest.json
+//
+// Writes are atomic: the entry is staged under <root>/tmp and renamed into
+// place, so readers never observe a partial entry and concurrent writers of
+// the same fingerprint converge on one complete copy. The v1 path segment
+// versions the entry format — a future incompatible layout bumps it and
+// old entries are simply never hit again.
+//
+// The cache is size-bounded: after every Put, least-recently-used entries
+// (by directory mtime, refreshed on every hit) are evicted until the total
+// payload fits the budget.
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// formatVersion names the on-disk entry layout.
+const formatVersion = "v1"
+
+// DefaultMaxBytes bounds the cache payload when Open is given no budget.
+const DefaultMaxBytes = 256 << 20
+
+// entryFiles are the artifacts every complete entry holds.
+var entryFiles = []string{"table.txt", "table.csv", "manifest.json"}
+
+// Entry is one cached scenario result.
+type Entry struct {
+	// Fingerprint is the scenario's content address (hex SHA-256).
+	Fingerprint string
+	// TableText and TableCSV are the rendered result tables.
+	TableText []byte
+	TableCSV  []byte
+	// Manifest is the provenance record (scenario.Manifest JSON).
+	Manifest []byte
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes since Open.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries removed by the size bound since Open.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe the current on-disk population.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Cache is a fingerprint-keyed result store. Safe for concurrent use by
+// multiple goroutines; concurrent processes sharing one root are safe too
+// (writes are rename-atomic), though their LRU accounting is independent.
+type Cache struct {
+	root     string
+	maxBytes int64
+
+	mu        sync.Mutex
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// Open prepares a cache rooted at dir, creating it if needed. maxBytes
+// bounds the total stored payload; 0 means DefaultMaxBytes, negative means
+// unbounded.
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("resultcache: empty cache directory")
+	}
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	for _, sub := range []string{formatVersion, "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: preparing %s: %w", dir, err)
+		}
+	}
+	return &Cache{root: dir, maxBytes: maxBytes}, nil
+}
+
+// Get looks the fingerprint up. A complete entry returns (entry, true);
+// absence returns (nil, false) with no error. Hits refresh the entry's
+// recency so hot scenarios survive eviction.
+func (c *Cache) Get(fingerprint string) (*Entry, bool, error) {
+	dir, err := c.entryDir(fingerprint)
+	if err != nil {
+		return nil, false, err
+	}
+	e := &Entry{Fingerprint: fingerprint}
+	dests := []*[]byte{&e.TableText, &e.TableCSV, &e.Manifest}
+	for i, name := range entryFiles {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if errors.Is(err, os.ErrNotExist) {
+			c.count(&c.misses)
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("resultcache: reading %s/%s: %w", fingerprint, name, err)
+		}
+		*dests[i] = b
+	}
+	now := time.Now()
+	// Recency refresh is advisory: a failed Chtimes (e.g. read-only FS)
+	// only weakens LRU ordering, never correctness.
+	_ = os.Chtimes(dir, now, now)
+	c.count(&c.hits)
+	return e, true, nil
+}
+
+// Put stores the entry atomically, then enforces the size bound. Storing a
+// fingerprint that already exists is a no-op (content addressing: equal
+// keys mean equal bytes).
+func (c *Cache) Put(e *Entry) error {
+	dir, err := c.entryDir(e.Fingerprint)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		return nil
+	}
+	stage, err := os.MkdirTemp(filepath.Join(c.root, "tmp"), e.Fingerprint[:8]+"-")
+	if err != nil {
+		return fmt.Errorf("resultcache: staging entry: %w", err)
+	}
+	defer os.RemoveAll(stage) // no-op after a successful rename
+	payloads := [][]byte{e.TableText, e.TableCSV, e.Manifest}
+	for i, name := range entryFiles {
+		if err := os.WriteFile(filepath.Join(stage, name), payloads[i], 0o644); err != nil {
+			return fmt.Errorf("resultcache: writing %s: %w", name, err)
+		}
+	}
+	if err := os.Rename(stage, dir); err != nil {
+		// A concurrent writer may have landed the same fingerprint first;
+		// content addressing makes that a success, not a conflict.
+		if _, statErr := os.Stat(dir); statErr == nil {
+			return nil
+		}
+		return fmt.Errorf("resultcache: publishing %s: %w", e.Fingerprint, err)
+	}
+	return c.evict()
+}
+
+// Stats returns the effectiveness counters and the current population.
+func (c *Cache) Stats() Stats {
+	entries, bytes, _ := c.scan()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(entries), Bytes: bytes,
+	}
+}
+
+func (c *Cache) count(field *uint64) {
+	c.mu.Lock()
+	*field++
+	c.mu.Unlock()
+}
+
+// entryDir validates the fingerprint (it becomes a path segment, so it must
+// be exactly a 64-char lowercase hex string — anything else is rejected to
+// make traversal impossible) and returns the entry directory.
+func (c *Cache) entryDir(fingerprint string) (string, error) {
+	if len(fingerprint) != 64 {
+		return "", fmt.Errorf("resultcache: fingerprint %q is not a sha256 hex digest", fingerprint)
+	}
+	for _, r := range fingerprint {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			return "", fmt.Errorf("resultcache: fingerprint %q is not a sha256 hex digest", fingerprint)
+		}
+	}
+	return filepath.Join(c.root, formatVersion, fingerprint), nil
+}
+
+type scanned struct {
+	dir   string
+	mtime time.Time
+	bytes int64
+}
+
+// scan walks the entry population, returning per-entry sizes and the total.
+func (c *Cache) scan() ([]scanned, int64, error) {
+	versionDir := filepath.Join(c.root, formatVersion)
+	dirs, err := os.ReadDir(versionDir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("resultcache: scanning: %w", err)
+	}
+	var out []scanned
+	var total int64
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		entry := scanned{dir: filepath.Join(versionDir, d.Name())}
+		if info, err := d.Info(); err == nil {
+			entry.mtime = info.ModTime()
+		}
+		for _, name := range entryFiles {
+			if fi, err := os.Stat(filepath.Join(entry.dir, name)); err == nil {
+				entry.bytes += fi.Size()
+			}
+		}
+		total += entry.bytes
+		out = append(out, entry)
+	}
+	return out, total, nil
+}
+
+// evict removes least-recently-used entries until the payload fits
+// maxBytes. At least one entry always survives, so a single oversized
+// result cannot wedge the cache into rewriting itself forever.
+func (c *Cache) evict() error {
+	if c.maxBytes < 0 {
+		return nil
+	}
+	entries, total, err := c.scan()
+	if err != nil {
+		return err
+	}
+	if total <= c.maxBytes || len(entries) <= 1 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries[:len(entries)-1] {
+		if total <= c.maxBytes {
+			break
+		}
+		if err := os.RemoveAll(e.dir); err != nil {
+			return fmt.Errorf("resultcache: evicting %s: %w", e.dir, err)
+		}
+		total -= e.bytes
+		c.count(&c.evictions)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse drives the scenario parser with arbitrary bytes. The contract
+// under fuzz: never panic; every accepted document normalizes, fingerprints
+// and round-trips through its canonical form; every rejection is tagged
+// ErrInvalid (fail closed — malformed JSON, out-of-range λ/µ and unknown
+// versions are errors, not best-effort interpretations).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"version":1,"experiment":{"id":"fig2a"}}`))
+	f.Add([]byte(`{"version":1,"experiment":{"id":"eq2-epi","packets":50,"replicates":4,"seed":9}}`))
+	f.Add([]byte(`{"version":1,"simulation":{"topology":{"kind":"line","hops":3},"packets":30}}`))
+	f.Add([]byte(`{"version":1,"simulation":{"topology":{"kind":"grid","width":4,"height":4},
+		"traffic":{"kind":"poisson","rate":0.5},"policy":"delay-droptail",
+		"delay":{"dist":"pareto","mean":20,"shape":2.5},
+		"channel":{"loss_p":0.1,"burst":true,"burst_loss_p":0.5},
+		"arq":{"max_retries":3},"adversary":"adaptive"}}`))
+	f.Add([]byte(`{"version":2,"experiment":{"id":"fig2a"}}`))
+	f.Add([]byte(`{"version":1,"experiment":{"id":"fig2a","packets":-1}}`))
+	f.Add([]byte(`{"version":1,"experiment":{"id":"fig2a","mean_delay":1e308}}`))
+	f.Add([]byte(`{"version":1,"simulation":{"topology":{"kind":"line","hops":99999}}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"version":1,"experiment":{"id":"fig2a"},"simulation":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("rejection not tagged ErrInvalid: %v", err)
+			}
+			return
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("accepted spec does not fingerprint: %v", err)
+		}
+		if len(fp) != 64 {
+			t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+		}
+		canon, err := spec.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted spec does not canonicalize: %v", err)
+		}
+		reparsed, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		fp2, err := reparsed.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp2 != fp {
+			t.Fatalf("canonical round trip changed fingerprint: %s -> %s", fp, fp2)
+		}
+	})
+}

@@ -1,0 +1,400 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"tempriv/internal/adversary"
+	"tempriv/internal/buffer"
+	"tempriv/internal/delay"
+	"tempriv/internal/experiment"
+	"tempriv/internal/metrics"
+	"tempriv/internal/network"
+	"tempriv/internal/packet"
+	"tempriv/internal/report"
+	"tempriv/internal/routing"
+	"tempriv/internal/topology"
+	"tempriv/internal/traffic"
+)
+
+// Options tune how a scenario executes without affecting its result bytes.
+type Options struct {
+	// Progress, when set, receives coarse stage updates ("running",
+	// "replicate 3/8", "rendering"). It may be called from worker
+	// goroutines and must be safe for concurrent use.
+	Progress func(stage, message string)
+	// ReplicateWorkers bounds replication parallelism (default 1,
+	// sequential). The reduction is order-fixed, so the output is
+	// byte-identical for every worker count.
+	ReplicateWorkers int
+	// SweepWorkers bounds each run's internal sweep parallelism
+	// (0 = GOMAXPROCS). Execution-only: it never affects result bytes and
+	// never enters the fingerprint.
+	SweepWorkers int
+}
+
+func (o Options) progress(stage, message string) {
+	if o.Progress != nil {
+		o.Progress(stage, message)
+	}
+}
+
+// Manifest is the deterministic provenance record stored (and served)
+// alongside a scenario's result tables. Every field is a pure function of
+// the spec and the producing toolchain, so cache hits replay it
+// byte-identically.
+type Manifest struct {
+	// SpecFingerprint is the scenario's content address (Spec.Fingerprint).
+	SpecFingerprint string `json:"spec_fingerprint"`
+	// Kind is "experiment" or "simulation".
+	Kind string `json:"kind"`
+	// Label is the experiment ID or topology/policy summary.
+	Label string `json:"label"`
+	// Seed is the base RNG seed (replicates use seed..seed+n-1).
+	Seed uint64 `json:"seed"`
+	// Replicates is the across-seed averaging count (1 = single run).
+	Replicates int `json:"replicates"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Outcome is one executed scenario: the result table plus its two rendered
+// byte forms (exactly what the result cache stores and the HTTP result
+// endpoint serves) and the provenance manifest.
+type Outcome struct {
+	// Table is the in-memory result.
+	Table *report.Table
+	// TableText is Table rendered as aligned ASCII.
+	TableText []byte
+	// TableCSV is Table rendered as CSV.
+	TableCSV []byte
+	// Manifest records provenance; ManifestJSON is its stable encoding.
+	Manifest Manifest
+}
+
+// ManifestJSON returns the manifest as deterministic indented JSON.
+func (o *Outcome) ManifestJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(o.Manifest, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Run executes a scenario to completion. The spec is normalized first, so
+// callers may pass raw parsed specs. ctx cancels between replicates (a
+// single replicate, once started, runs to completion); a canceled run
+// returns ctx's error. Equal specs produce byte-identical outcomes — the
+// property the result cache's correctness rests on.
+func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+
+	var e experiment.Experiment
+	var seed uint64
+	var replicates int
+	switch spec.Kind() {
+	case "experiment":
+		reg, err := experiment.ByID(spec.Experiment.ID)
+		if err != nil {
+			return nil, invalidf("%v", err)
+		}
+		e = reg
+		seed = spec.Experiment.Seed
+		replicates = spec.Experiment.Replicates
+	default:
+		e = simExperiment(spec.Simulation)
+		seed = spec.Simulation.Seed
+		replicates = spec.Simulation.Replicates
+	}
+
+	p := paramsFor(spec)
+	if opts.SweepWorkers > 0 {
+		p.Workers = opts.SweepWorkers
+	}
+	opts.progress("running", fmt.Sprintf("%s (%d replicate(s), seed %d)", spec.Label(), replicates, seed))
+
+	// Wrap the experiment so each replicate checks for cancellation before
+	// starting and reports progress as it completes.
+	var done atomic.Int64
+	inner := e.Run
+	e.Run = func(q experiment.Params) (*report.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tab, err := inner(q)
+		if err == nil && replicates > 1 {
+			opts.progress("replicate", fmt.Sprintf("%d/%d", done.Add(1), replicates))
+		}
+		return tab, err
+	}
+
+	var tab *report.Table
+	if replicates > 1 {
+		workers := opts.ReplicateWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		tab, err = experiment.ReplicateParallel(e, p, replicates, workers)
+	} else {
+		tab, err = e.Run(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	opts.progress("rendering", "result tables")
+	var text, csv bytes.Buffer
+	if err := tab.Render(&text); err != nil {
+		return nil, fmt.Errorf("scenario: rendering table: %w", err)
+	}
+	if err := tab.RenderCSV(&csv); err != nil {
+		return nil, fmt.Errorf("scenario: rendering CSV: %w", err)
+	}
+	return &Outcome{
+		Table:     tab,
+		TableText: text.Bytes(),
+		TableCSV:  csv.Bytes(),
+		Manifest: Manifest{
+			SpecFingerprint: fp,
+			Kind:            spec.Kind(),
+			Label:           spec.Label(),
+			Seed:            seed,
+			Replicates:      replicates,
+			GoVersion:       runtime.Version(),
+		},
+	}, nil
+}
+
+// paramsFor maps a normalized spec onto experiment.Params. For simulation
+// scenarios only the seed matters (everything else lives in the spec); for
+// experiment scenarios the spec's knobs are the Params.
+func paramsFor(spec Spec) experiment.Params {
+	p := experiment.Defaults()
+	if e := spec.Experiment; e != nil {
+		p.Seed = e.Seed
+		p.Packets = e.Packets
+		p.Interarrivals = append([]float64(nil), e.Interarrivals...)
+		p.MeanDelay = e.MeanDelay
+		p.Capacity = e.Capacity
+		p.Tau = e.Tau
+		p.Threshold = e.Threshold
+	} else {
+		p.Seed = spec.Simulation.Seed
+	}
+	return p
+}
+
+// simExperiment adapts a SimulationSpec into an ad-hoc Experiment whose
+// table shape depends only on the spec — the contract replication needs.
+// Each row is one source flow; the columns mirror rcadsim's report.
+func simExperiment(m *SimulationSpec) experiment.Experiment {
+	title := fmt.Sprintf("Scenario: %s topology, %s buffering, %s traffic, %s adversary",
+		m.Topology.Kind, m.Policy, m.Traffic.Kind, m.Adversary)
+	return experiment.Experiment{
+		ID:    "scenario-sim",
+		Title: title,
+		Paper: "scenario",
+		Run: func(p experiment.Params) (*report.Table, error) {
+			return runSimulation(m, p.Seed, title)
+		},
+	}
+}
+
+// runSimulation executes one seed of a simulation scenario and tabulates
+// per-flow delivery, latency and adversary-MSE results.
+func runSimulation(m *SimulationSpec, seed uint64, title string) (*report.Table, error) {
+	topo, sources, err := buildTopology(m.Topology)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := buildTraffic(m.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.Config{
+		Topology:          topo,
+		Capacity:          m.Capacity,
+		TransmissionDelay: m.Tau,
+		Seed:              seed,
+		Seal:              m.Seal,
+	}
+	switch m.Policy {
+	case "no-delay":
+		cfg.Policy = network.PolicyForward
+	case "delay-unlimited":
+		cfg.Policy = network.PolicyUnlimited
+	case "delay-droptail":
+		cfg.Policy = network.PolicyDropTail
+	case "rcad":
+		cfg.Policy = network.PolicyRCAD
+	default:
+		return nil, invalidf("simulation.policy %q unknown", m.Policy)
+	}
+	if m.Delay != nil {
+		if m.Delay.Dist == "pareto" {
+			cfg.Delay, err = delay.NewPareto(m.Delay.Mean, m.Delay.Shape)
+		} else {
+			cfg.Delay, err = delay.ByName(m.Delay.Dist, m.Delay.Mean)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: delay: %w", err)
+		}
+	}
+	cfg.Victim, err = buffer.SelectorByName(m.Victim)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: victim: %w", err)
+	}
+	if c := m.Channel; c != nil {
+		cfg.Channel = &network.ChannelConfig{
+			LossP:        c.LossP,
+			Burst:        c.Burst,
+			BurstLossP:   c.BurstLossP,
+			MeanGoodRun:  c.MeanGoodRun,
+			MeanBurstLen: c.MeanBurstLen,
+			AckLossP:     c.AckLossP,
+		}
+	}
+	if a := m.ARQ; a != nil {
+		cfg.ARQ = &network.ARQConfig{MaxRetries: a.MaxRetries, Timeout: a.Timeout, Backoff: a.Backoff}
+	}
+	for _, s := range sources {
+		cfg.Sources = append(cfg.Sources, network.Source{Node: s, Process: proc, Count: m.Packets})
+	}
+
+	res, err := network.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: simulating: %w", err)
+	}
+
+	est, err := buildAdversary(m, topo, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	perFlow, err := adversary.ScorePerFlow(est, res.Observations(), res.Truths())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: scoring adversary: %w", err)
+	}
+
+	tab := &report.Table{
+		Title:     title,
+		RowHeader: "flow",
+		Columns:   []string{"hops", "created", "delivered", "dropped", "lat-mean", "lat-p95", "adv-MSE"},
+	}
+	for i, s := range sources {
+		f := res.Flows[s]
+		mse := math.NaN()
+		if mm, ok := perFlow[s]; ok {
+			mse = mm.Value()
+		}
+		var lat metrics.LatencyReport
+		if f != nil {
+			lat = f.Latency
+			tab.AddRow(fmt.Sprintf("S%d", i+1),
+				float64(f.HopCount), float64(f.Created), float64(f.Delivered),
+				float64(f.Dropped()), lat.Mean, lat.P95, mse)
+		} else {
+			tab.AddRow(fmt.Sprintf("S%d", i+1),
+				math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), mse)
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("delivery ratio %.6f, %d events, %d drops+preemptions at buffers",
+			res.DeliveryRatio(), res.Events, totalBufferLosses(res)))
+	return tab, nil
+}
+
+func totalBufferLosses(res *network.Result) uint64 {
+	var n uint64
+	for _, ns := range res.Nodes {
+		n += ns.Drops + ns.Preemptions
+	}
+	return n
+}
+
+func buildTopology(t TopologySpec) (*topology.Topology, []packet.NodeID, error) {
+	switch t.Kind {
+	case "figure1":
+		topo, sources, err := topology.Figure1()
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+		return topo, sources, nil
+	case "line":
+		topo, err := topology.Line(t.Hops)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+		return topo, topo.Sources(), nil
+	case "grid":
+		topo, err := topology.Grid(t.Width, t.Height)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+		far := topology.GridID(t.Width, t.Width-1, t.Height-1)
+		if err := topo.MarkSource(far); err != nil {
+			return nil, nil, fmt.Errorf("scenario: topology: %w", err)
+		}
+		return topo, topo.Sources(), nil
+	default:
+		return nil, nil, invalidf("topology.kind %q unknown", t.Kind)
+	}
+}
+
+func buildTraffic(t TrafficSpec) (traffic.Process, error) {
+	switch t.Kind {
+	case "periodic":
+		return traffic.NewPeriodic(t.Interval)
+	case "poisson":
+		return traffic.NewPoisson(t.Rate)
+	case "onoff":
+		return traffic.NewOnOff(t.Rate, t.OnMean, t.OffMean)
+	default:
+		return nil, invalidf("traffic.kind %q unknown", t.Kind)
+	}
+}
+
+func buildAdversary(m *SimulationSpec, topo *topology.Topology, policy network.PolicyKind) (adversary.Estimator, error) {
+	known := 0.0
+	if policy != network.PolicyForward && m.Delay != nil {
+		known = m.Delay.Mean
+	}
+	if known == 0 {
+		// Against a non-delaying network every adversary degenerates to the
+		// baseline with zero assumed buffering delay, as in rcadsim.
+		return adversary.NewBaseline(m.Tau, 0)
+	}
+	switch m.Adversary {
+	case "baseline":
+		return adversary.NewBaseline(m.Tau, known)
+	case "adaptive":
+		return adversary.NewAdaptive(m.Tau, known, m.Capacity, m.Threshold)
+	case "path-aware":
+		routes, err := routing.BuildTree(topo)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: routing: %w", err)
+		}
+		paths := make(map[packet.NodeID][]packet.NodeID)
+		for _, s := range topo.Sources() {
+			full, err := routes.Path(s)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: path for %v: %w", s, err)
+			}
+			paths[s] = full[:len(full)-1]
+		}
+		return adversary.NewPathAware(m.Tau, known, m.Capacity, m.Threshold, paths)
+	default:
+		return nil, invalidf("simulation.adversary %q unknown", m.Adversary)
+	}
+}

@@ -1,0 +1,296 @@
+// Package server exposes the simulation-as-a-service HTTP API served by
+// cmd/temprivd:
+//
+//	POST /v1/jobs           submit a scenario spec; 202 + job snapshot
+//	GET  /v1/jobs           list jobs
+//	GET  /v1/jobs/{id}        job status snapshot
+//	DELETE /v1/jobs/{id}      cancel a job
+//	GET  /v1/jobs/{id}/result completed result (tables + manifest)
+//	GET  /v1/jobs/{id}/events progress stream, one JSON object per line
+//	GET  /v1/cache            result-cache effectiveness counters
+//	GET  /healthz             liveness probe
+//	GET  /metrics             Prometheus text format (telemetry registry)
+//	GET  /debug/pprof/...     net/http/pprof (reused from the PR-2 wiring)
+//
+// The server owns no execution logic: submissions validate through
+// internal/scenario and execute through the internal/jobs queue, whose
+// Runner (built here) consults the internal/resultcache first — so a
+// repeated scenario answers from the cache with byte-identical result
+// tables instead of re-simulating.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"tempriv/internal/jobs"
+	"tempriv/internal/resultcache"
+	"tempriv/internal/scenario"
+	"tempriv/internal/telemetry"
+)
+
+// maxSpecBytes bounds a submitted scenario document.
+const maxSpecBytes = 1 << 20
+
+// Server routes the HTTP API onto a job queue and an optional result cache.
+type Server struct {
+	queue *jobs.Queue
+	cache *resultcache.Cache
+	reg   *telemetry.Registry
+	mux   *http.ServeMux
+}
+
+// New assembles the API. cache may be nil (every submission simulates
+// fresh); reg may be nil (no /metrics).
+func New(queue *jobs.Queue, cache *resultcache.Cache, reg *telemetry.Registry) *Server {
+	s := &Server{queue: queue, cache: cache, reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if reg != nil {
+		s.mux.Handle("GET /metrics", reg)
+	}
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// NewRunner builds the queue Runner that gives the server (and anything
+// else sharing the queue) its cache-first execution path: consult the
+// result cache by spec fingerprint, re-simulate only on a miss, and store
+// the fresh artifacts for the next identical submission.
+func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorkers int) jobs.Runner {
+	counter := func(name string) *telemetry.Counter {
+		if reg == nil {
+			return nil
+		}
+		return reg.Counter(name)
+	}
+	inc := func(c *telemetry.Counter) {
+		if c != nil {
+			c.Inc()
+		}
+	}
+	hits := counter("temprivd_cache_hits_total")
+	misses := counter("temprivd_cache_misses_total")
+	runs := counter("temprivd_runs_total")
+	return func(ctx context.Context, job *jobs.Job, progress func(stage, message string)) (*jobs.Result, error) {
+		fp := job.Fingerprint
+		if cache != nil {
+			entry, ok, err := cache.Get(fp)
+			if err != nil {
+				// A sick cache should not take serving down: treat the read
+				// failure as transient so the queue retries the whole path.
+				return nil, fmt.Errorf("%w: result cache get: %v", jobs.ErrTransient, err)
+			}
+			if ok {
+				inc(hits)
+				progress("cache", "hit "+fp[:12])
+				return &jobs.Result{
+					Fingerprint: fp,
+					CacheHit:    true,
+					TableText:   entry.TableText,
+					TableCSV:    entry.TableCSV,
+					Manifest:    entry.Manifest,
+				}, nil
+			}
+			inc(misses)
+		}
+		inc(runs)
+		out, err := scenario.Run(ctx, job.Spec, scenario.Options{
+			Progress:         progress,
+			ReplicateWorkers: replicateWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		manifest, err := out.ManifestJSON()
+		if err != nil {
+			return nil, err
+		}
+		if cache != nil {
+			err := cache.Put(&resultcache.Entry{
+				Fingerprint: fp,
+				TableText:   out.TableText,
+				TableCSV:    out.TableCSV,
+				Manifest:    manifest,
+			})
+			if err != nil {
+				// The result is in hand; failing to cache it must not fail
+				// the job. Surface the problem as a progress event instead.
+				progress("cache", "store failed: "+err.Error())
+			}
+		}
+		return &jobs.Result{
+			Fingerprint: fp,
+			TableText:   out.TableText,
+			TableCSV:    out.TableCSV,
+			Manifest:    manifest,
+		}, nil
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := scenario.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.queue.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// resultBody is the deterministic result document: identical bytes for a
+// cache hit and the fresh run that populated it (the cache-or-run flag
+// lives on the job snapshot, not here, precisely to keep this body
+// content-addressed).
+type resultBody struct {
+	Fingerprint string          `json:"fingerprint"`
+	TableText   string          `json:"table_text"`
+	TableCSV    string          `json:"table_csv"`
+	Manifest    json.RawMessage `json:"manifest"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	res, ok := s.queue.Result(id)
+	if !ok {
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s, no result available", snap.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, resultBody{
+		Fingerprint: res.Fingerprint,
+		TableText:   string(res.TableText),
+		TableCSV:    string(res.TableCSV),
+		Manifest:    json.RawMessage(res.Manifest),
+	})
+}
+
+// handleEvents streams the job's progress as JSON Lines: full history
+// first, then live events until the job finishes or the client leaves.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	history, live, stop, ok := s.queue.Watch(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev jobs.Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, ev := range history {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": s.cache.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
