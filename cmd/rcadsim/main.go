@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"tempriv"
+	"tempriv/internal/profiling"
 )
 
 func main() {
@@ -74,6 +75,8 @@ func run(args []string) (err error) {
 		promOut      = fs.String("prom", "", "rewrite this file with a Prometheus text snapshot on every sample")
 		pprofAddr    = fs.String("pprof-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060)")
 		manifestOut  = fs.String("manifest", "", "write the run manifest as JSON to this file")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +109,14 @@ func run(args []string) (err error) {
 			err = errors.Join(err, cleanups[i]())
 		}
 	}()
+
+	// Profiles are registered first so they cover everything after flag
+	// validation and are flushed on every exit path, error returns included.
+	profCleanups, err := profiling.Start(*cpuProfile, *memProfile)
+	cleanups = append(cleanups, profCleanups...)
+	if err != nil {
+		return err
+	}
 
 	topo, sources, err := buildTopology(*topoKind, *hops, *gridW, *gridH, *fieldNodes, *fieldSide, *fieldRadius, *seed)
 	if err != nil {

@@ -31,6 +31,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"tempriv"
+	"tempriv/internal/profiling"
 	"tempriv/internal/resultcache"
 	"tempriv/internal/scenario"
 )
@@ -52,7 +54,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		exp           = fs.String("exp", "all", "experiment id to run, or \"all\"")
@@ -67,6 +69,8 @@ func run(args []string) error {
 		workers       = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		replicate     = fs.Int("replicate", 1, "run each experiment under N consecutive seeds and report mean ± 95% CI")
 		repWorkers    = fs.Int("j", 1, "replication worker goroutines (with -replicate; output stays byte-identical to -j 1)")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +110,19 @@ func run(args []string) error {
 		if ias, err = parseFloats(*interarrivals); err != nil {
 			return fmt.Errorf("parsing -interarrivals: %w", err)
 		}
+	}
+
+	// Profiles are registered after validation and flushed on every exit
+	// path, error returns included; cleanups run in reverse registration
+	// order, so the profile writes always precede their files' closes.
+	cleanups, profErr := profiling.Start(*cpuProfile, *memProfile)
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			err = errors.Join(err, cleanups[i]())
+		}
+	}()
+	if profErr != nil {
+		return profErr
 	}
 
 	var selected []tempriv.Experiment

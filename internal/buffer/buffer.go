@@ -93,7 +93,7 @@ type Entry struct {
 	// ReleaseAt is when the packet's sampled delay expires.
 	ReleaseAt float64
 
-	timer *sim.Timer
+	timer sim.Timer
 	index int // position in the owning buffer's entries slice
 }
 

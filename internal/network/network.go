@@ -20,23 +20,30 @@
 //
 // A Run is fully deterministic in (Config, Seed): every node draws from its
 // own labelled substream of the master seed.
+//
+// The implementation is layered, one file per layer, mirroring a packet's
+// life:
+//
+//	source.go  — packet creation and interarrival arming (sourceState)
+//	policy.go  — per-node buffering policy attachment and admission
+//	link.go    — per-hop transmission: channel loss, ARQ retries, duplicates
+//	sink.go    — arrival recording, duplicate suppression, final summaries
+//	failure.go — injected node deaths and route repair
+//	runner.go  — validation, node construction, and the run loop gluing the
+//	             layers together
+//
+// The per-hop fast path is allocation-free: in-flight frames ride pooled
+// flight records with pre-bound callbacks (link.go), so a lossless forwarded
+// hop costs two pool pops and zero heap allocations.
 package network
 
 import (
-	"errors"
 	"fmt"
-	"sort"
-	"time"
 
-	"tempriv/internal/adversary"
 	"tempriv/internal/buffer"
-	"tempriv/internal/core"
 	"tempriv/internal/delay"
-	"tempriv/internal/metrics"
 	"tempriv/internal/packet"
 	"tempriv/internal/rng"
-	"tempriv/internal/routing"
-	"tempriv/internal/seal"
 	"tempriv/internal/sim"
 	"tempriv/internal/telemetry"
 	"tempriv/internal/topology"
@@ -188,797 +195,4 @@ type NodeFailure struct {
 	Node packet.NodeID
 	// At is the failure time (>= 0).
 	At float64
-}
-
-// Delivery is one packet arrival at the sink: what the adversary can see
-// (arrival time, cleartext header) plus the simulator ground truth used for
-// scoring.
-type Delivery struct {
-	// At is the sink arrival time.
-	At float64
-	// Header is the cleartext header as received.
-	Header packet.Header
-	// Truth is the simulator-only ground truth.
-	Truth packet.Truth
-}
-
-// NodeStats summarises one buffering node after a run.
-type NodeStats struct {
-	// ID is the node.
-	ID packet.NodeID
-	// HopsToSink is the node's routing depth.
-	HopsToSink int
-	// Arrivals, Departures, Drops and Preemptions count buffer events.
-	Arrivals, Departures, Drops, Preemptions uint64
-	// AvgOccupancy is the time-weighted mean number of buffered packets.
-	AvgOccupancy float64
-	// MaxOccupancy is the peak buffered count.
-	MaxOccupancy float64
-	// MeanHeldDelay is the mean realised holding time.
-	MeanHeldDelay float64
-}
-
-// FlowStats summarises one source flow after a run.
-type FlowStats struct {
-	// Source is the flow's origin node.
-	Source packet.NodeID
-	// HopCount is the routing-path length to the sink.
-	HopCount int
-	// Created and Delivered count the flow's packets.
-	Created, Delivered uint64
-	// Latency summarises end-to-end delivery latency.
-	Latency metrics.LatencyReport
-}
-
-// Dropped returns the number of the flow's packets lost in the network.
-func (f *FlowStats) Dropped() uint64 {
-	if f.Created < f.Delivered {
-		return 0
-	}
-	return f.Created - f.Delivered
-}
-
-// Result is the outcome of one simulation run.
-type Result struct {
-	// Deliveries lists sink arrivals in time order.
-	Deliveries []Delivery
-	// Flows maps each source node to its flow summary.
-	Flows map[packet.NodeID]*FlowStats
-	// Nodes maps each buffering node to its buffer summary.
-	Nodes map[packet.NodeID]*NodeStats
-	// Duration is the simulated time at which the last event fired.
-	Duration float64
-	// Events is the total number of simulation events executed.
-	Events uint64
-	// SealFailures counts payloads that failed authentication at the sink
-	// (always 0 unless the run is corrupted; present as an invariant).
-	SealFailures uint64
-	// LostToFailures counts packets destroyed by injected node failures:
-	// buffer contents at failure time plus packets that later reached a
-	// dead node. With RouteRepair the failed node's buffer is re-homed
-	// rather than destroyed, so only packets with no surviving route count
-	// here.
-	LostToFailures uint64
-	// LinkDrops counts packets abandoned by the link layer: frames the
-	// channel destroyed with no ARQ to recover them, or packets whose ARQ
-	// retry budget ran out.
-	LinkDrops uint64
-	// Retransmissions counts link-layer data-frame retransmissions (ARQ
-	// retries after a lost frame, a silent dead receiver, or a lost ACK).
-	Retransmissions uint64
-	// DuplicatesSuppressed counts sink arrivals discarded because a copy of
-	// the same (origin, seq) packet had already been delivered — the
-	// ARQ-induced duplicates that must not inflate delivery counts or
-	// adversary scores.
-	DuplicatesSuppressed uint64
-	// Reroutes counts parent reassignments applied by route repair across
-	// all injected failures.
-	Reroutes uint64
-	// Manifest records the run's provenance: the canonical-config
-	// fingerprint, seed, Go version and wall-clock performance. Always
-	// populated.
-	Manifest *telemetry.Manifest
-}
-
-// DeliveryRatio returns the fraction of created packets that reached the
-// sink, across all flows. It is 1 for a run that created nothing.
-func (r *Result) DeliveryRatio() float64 {
-	var created, delivered uint64
-	for _, f := range r.Flows {
-		created += f.Created
-		delivered += f.Delivered
-	}
-	if created == 0 {
-		return 1
-	}
-	return float64(delivered) / float64(created)
-}
-
-// Observations converts the deliveries into the adversary's view, in arrival
-// order.
-func (r *Result) Observations() []adversary.Observation {
-	out := make([]adversary.Observation, len(r.Deliveries))
-	for i, d := range r.Deliveries {
-		out[i] = adversary.Observation{ArrivalTime: d.At, Header: d.Header}
-	}
-	return out
-}
-
-// Truths returns the ground-truth creation times aligned with Observations.
-func (r *Result) Truths() []float64 {
-	out := make([]float64, len(r.Deliveries))
-	for i, d := range r.Deliveries {
-		out[i] = d.Truth.CreatedAt
-	}
-	return out
-}
-
-// node is the per-node simulation state.
-type node struct {
-	id     packet.NodeID
-	parent packet.NodeID
-	policy buffer.Policy // nil for PolicyForward
-	rcad   *core.RCAD    // non-nil only when rate control is enabled
-	dist   delay.Distribution
-	src    *rng.Source
-	link   *linkChannel // nil when Config.Channel is nil (reliable link)
-	dead   bool
-}
-
-// evacuator is implemented by buffering policies whose contents can be
-// destroyed on node failure.
-type evacuator interface {
-	Evacuate() []*packet.Packet
-}
-
-// runner holds one simulation's full state.
-type runner struct {
-	cfg     Config
-	sched   *sim.Scheduler
-	routes  *routing.Table
-	nodes   map[packet.NodeID]*node
-	keyring *seal.Keyring
-	result  *Result
-	// dead collects failed nodes so each route repair excludes every death
-	// so far, not just the latest.
-	dead map[packet.NodeID]bool
-	// dedup is the sink's (origin, seq) duplicate filter, allocated only
-	// when ARQ can produce duplicates.
-	dedup map[uint64]struct{}
-	// tele is the telemetry attachment; nil when Config.Telemetry is nil,
-	// and every hook on a nil *telemetryState is a no-op.
-	tele *telemetryState
-}
-
-// Run validates cfg, executes the simulation to completion, and returns the
-// result.
-func Run(cfg Config) (*Result, error) {
-	r, err := newRunner(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := r.scheduleSources(); err != nil {
-		return nil, err
-	}
-	r.scheduleFailures()
-	r.attachSampler()
-	start := time.Now()
-	if err := r.sched.Run(); err != nil {
-		return nil, fmt.Errorf("network: simulation: %w", err)
-	}
-	wall := time.Since(start).Seconds()
-	if r.tele != nil && r.tele.err != nil {
-		return nil, fmt.Errorf("network: telemetry emitter: %w", r.tele.err)
-	}
-	r.finalize()
-	m, err := r.buildManifest(wall)
-	if err != nil {
-		return nil, err
-	}
-	r.result.Manifest = m
-	return r.result, nil
-}
-
-func newRunner(cfg Config) (*runner, error) {
-	if cfg.Topology == nil {
-		return nil, errors.New("network: nil topology")
-	}
-	if len(cfg.Sources) == 0 {
-		return nil, errors.New("network: no sources")
-	}
-	switch cfg.Policy {
-	case PolicyForward:
-	case PolicyUnlimited, PolicyDropTail, PolicyRCAD:
-		if cfg.Delay == nil {
-			return nil, fmt.Errorf("network: policy %v requires a delay distribution", cfg.Policy)
-		}
-	case PolicyCustom:
-		if cfg.CustomPolicy == nil {
-			return nil, errors.New("network: PolicyCustom requires a CustomPolicy factory")
-		}
-		if cfg.Delay == nil {
-			cfg.Delay = delay.None{} // batching mixes ignore sampled delays
-		}
-	default:
-		return nil, fmt.Errorf("network: unknown policy %d", int(cfg.Policy))
-	}
-	if cfg.TransmissionDelay < 0 {
-		return nil, fmt.Errorf("network: negative transmission delay %v", cfg.TransmissionDelay)
-	}
-	if cfg.Horizon < 0 {
-		return nil, fmt.Errorf("network: negative horizon %v", cfg.Horizon)
-	}
-	if err := cfg.Telemetry.Validate(); err != nil {
-		return nil, fmt.Errorf("network: %w", err)
-	}
-	seenSources := make(map[packet.NodeID]bool, len(cfg.Sources))
-	for i, s := range cfg.Sources {
-		if !cfg.Topology.HasNode(s.Node) {
-			return nil, fmt.Errorf("network: source %d at unknown node %v", i, s.Node)
-		}
-		if seenSources[s.Node] {
-			// Flow identity is the origin node (the adversary's view), so
-			// two sources on one node would merge their flow accounting
-			// silently.
-			return nil, fmt.Errorf("network: duplicate source on node %v", s.Node)
-		}
-		seenSources[s.Node] = true
-		if s.Node == topology.Sink {
-			return nil, fmt.Errorf("network: source %d is the sink", i)
-		}
-		if s.Process == nil {
-			return nil, fmt.Errorf("network: source %d has nil traffic process", i)
-		}
-		if s.Count < 0 {
-			return nil, fmt.Errorf("network: source %d has negative count", i)
-		}
-		if s.Count == 0 && cfg.Horizon <= 0 {
-			return nil, fmt.Errorf("network: source %d is unbounded (count 0) without a horizon", i)
-		}
-	}
-	if cfg.RateControl != nil {
-		if cfg.Policy != PolicyRCAD {
-			return nil, errors.New("network: rate control requires PolicyRCAD")
-		}
-	}
-	for i, f := range cfg.NodeFailures {
-		if !cfg.Topology.HasNode(f.Node) {
-			return nil, fmt.Errorf("network: failure %d targets unknown node %v", i, f.Node)
-		}
-		if f.Node == topology.Sink {
-			return nil, fmt.Errorf("network: failure %d targets the sink", i)
-		}
-		if f.At < 0 {
-			return nil, fmt.Errorf("network: failure %d has negative time %v", i, f.At)
-		}
-	}
-
-	routes, err := routing.BuildTree(cfg.Topology)
-	if err != nil {
-		return nil, fmt.Errorf("network: building routes: %w", err)
-	}
-
-	if cfg.TransmissionDelay == 0 {
-		cfg.TransmissionDelay = 1
-	}
-	if cfg.Capacity == 0 {
-		cfg.Capacity = core.DefaultCapacity
-	}
-	if cfg.Victim == nil {
-		cfg.Victim = buffer.ShortestRemaining{}
-	}
-	if cfg.ARQ != nil {
-		resolved, err := cfg.ARQ.validate(cfg.TransmissionDelay)
-		if err != nil {
-			return nil, err
-		}
-		cfg.ARQ = &resolved
-	}
-	if cfg.Channel != nil {
-		resolved, err := cfg.Channel.validate(cfg.ARQ != nil)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Channel = &resolved
-	}
-
-	r := &runner{
-		cfg:    cfg,
-		sched:  sim.NewScheduler(),
-		routes: routes,
-		nodes:  make(map[packet.NodeID]*node),
-		dead:   make(map[packet.NodeID]bool),
-		result: &Result{
-			Flows: make(map[packet.NodeID]*FlowStats),
-			Nodes: make(map[packet.NodeID]*NodeStats),
-		},
-	}
-	r.tele = newTelemetryState(cfg.Telemetry)
-	if cfg.ARQ != nil {
-		// Duplicates exist only when a delivered frame can be retransmitted,
-		// i.e. under ARQ; a reliable or ARQ-less run needs no filter.
-		r.dedup = make(map[uint64]struct{})
-	}
-	if cfg.Seal {
-		r.keyring = seal.NewKeyring([]byte(fmt.Sprintf("tempriv/network/%d", cfg.Seed)))
-	}
-
-	master := rng.New(cfg.Seed)
-	for _, id := range cfg.Topology.Nodes() {
-		if id == topology.Sink {
-			continue
-		}
-		parent, ok := routes.NextHop(id)
-		if !ok {
-			return nil, fmt.Errorf("network: node %v has no route to the sink", id)
-		}
-		n := &node{
-			id:     id,
-			parent: parent,
-			dist:   cfg.Delay,
-			src:    master.SplitIndexed("node", int(id)),
-		}
-		if d, ok := cfg.PerNodeDelay[id]; ok {
-			n.dist = d
-		}
-		if cfg.Channel != nil {
-			n.link = newLinkChannel(*cfg.Channel, n.src.Split("link"))
-		}
-		if err := r.attachPolicy(n); err != nil {
-			return nil, err
-		}
-		r.nodes[id] = n
-	}
-	return r, nil
-}
-
-// attachPolicy wires the configured buffering policy to node n.
-func (r *runner) attachPolicy(n *node) error {
-	forward := func(p *packet.Packet, preempted bool) {
-		kind := trace.Released
-		if preempted {
-			kind = trace.Preempted
-			r.tele.onPreempted()
-		}
-		r.record(kind, n.id, p)
-		r.transmit(n, p)
-	}
-	switch r.cfg.Policy {
-	case PolicyForward:
-		return nil // handled inline in deliver
-	case PolicyUnlimited:
-		pol, err := buffer.NewUnlimited(r.sched, forward)
-		if err != nil {
-			return fmt.Errorf("network: node %v: %w", n.id, err)
-		}
-		n.policy = pol
-	case PolicyDropTail:
-		pol, err := buffer.NewDropTail(r.sched, forward, r.cfg.Capacity)
-		if err != nil {
-			return fmt.Errorf("network: node %v: %w", n.id, err)
-		}
-		n.policy = pol
-	case PolicyCustom:
-		pol, err := r.cfg.CustomPolicy(r.sched, forward, n.src.Split("policy"))
-		if err != nil {
-			return fmt.Errorf("network: node %v: building custom policy: %w", n.id, err)
-		}
-		if pol == nil {
-			return fmt.Errorf("network: node %v: custom policy factory returned nil", n.id)
-		}
-		n.policy = pol
-	case PolicyRCAD:
-		var ctrl *core.RateController
-		if rc := r.cfg.RateControl; rc != nil {
-			var err error
-			ctrl, err = core.NewRateController(r.cfg.Capacity, rc.TargetLoss, rc.Smoothing, n.dist.Mean())
-			if err != nil {
-				return fmt.Errorf("network: node %v: %w", n.id, err)
-			}
-		}
-		eng, err := core.New(core.Config{
-			Scheduler:  r.sched,
-			Forward:    forward,
-			Capacity:   r.cfg.Capacity,
-			Delay:      n.dist,
-			Victim:     r.cfg.Victim,
-			Source:     n.src.Split("victim"),
-			Controller: ctrl,
-		})
-		if err != nil {
-			return fmt.Errorf("network: node %v: %w", n.id, err)
-		}
-		n.rcad = eng
-	}
-	return nil
-}
-
-// scheduleSources arms the first creation event of every source.
-func (r *runner) scheduleSources() error {
-	for i, s := range r.cfg.Sources {
-		hops, ok := r.routes.HopCount(s.Node)
-		if !ok {
-			return fmt.Errorf("network: source %v not routed", s.Node)
-		}
-		r.result.Flows[s.Node] = &FlowStats{Source: s.Node, HopCount: hops}
-		src := rng.New(r.cfg.Seed).SplitIndexed("traffic", i)
-		r.armCreation(s, src, 0)
-	}
-	return nil
-}
-
-// record emits a lifecycle event if tracing is enabled.
-func (r *runner) record(kind trace.Kind, node packet.NodeID, p *packet.Packet) {
-	if r.cfg.Tracer == nil {
-		return
-	}
-	r.cfg.Tracer.Record(trace.Event{
-		At:   r.sched.Now(),
-		Kind: kind,
-		Node: node,
-		Flow: p.Truth.Flow,
-		Seq:  p.Truth.Seq,
-	})
-}
-
-// recordLink emits a link-layer event naming the far end of the link.
-func (r *runner) recordLink(kind trace.Kind, node, dest packet.NodeID, p *packet.Packet) {
-	if r.cfg.Tracer == nil {
-		return
-	}
-	r.cfg.Tracer.Record(trace.Event{
-		At:   r.sched.Now(),
-		Kind: kind,
-		Node: node,
-		Flow: p.Truth.Flow,
-		Seq:  p.Truth.Seq,
-		Dest: dest,
-	})
-}
-
-// scheduleFailures arms the injected node deaths.
-func (r *runner) scheduleFailures() {
-	for _, f := range r.cfg.NodeFailures {
-		n := r.nodes[f.Node]
-		r.sched.At(f.At, func() { r.failNode(n) })
-	}
-}
-
-// failNode kills n: its buffered packets are evacuated and, depending on
-// Config.RouteRepair, either destroyed (the static-routing model) or
-// re-homed onto the repaired tree.
-func (r *runner) failNode(n *node) {
-	n.dead = true
-	r.dead[n.id] = true
-	var evacuated []*packet.Packet
-	var holder evacuator
-	switch {
-	case n.rcad != nil:
-		holder = n.rcad
-	case n.policy != nil:
-		if ev, ok := n.policy.(evacuator); ok {
-			holder = ev
-		}
-	}
-	if holder != nil {
-		evacuated = holder.Evacuate()
-	}
-	if !r.cfg.RouteRepair {
-		r.loseToFailure(n.id, evacuated)
-		return
-	}
-	r.repairRoutes(n, evacuated)
-}
-
-// loseToFailure counts and traces packets destroyed by a node death.
-func (r *runner) loseToFailure(at packet.NodeID, packets []*packet.Packet) {
-	r.result.LostToFailures += uint64(len(packets))
-	r.tele.onLost(uint64(len(packets)))
-	for _, p := range packets {
-		r.record(trace.Lost, at, p)
-	}
-}
-
-// repairRoutes rebuilds the routing tree without the dead nodes, re-parents
-// every survivor whose parent changed, and hands the failed node's buffered
-// packets to its successor instead of destroying them. Survivors are visited
-// in ID order and the rebuild tie-breaks exactly like the original BFS, so
-// repair is deterministic in (Config, Seed).
-func (r *runner) repairRoutes(failed *node, evacuated []*packet.Packet) {
-	rebuilt := routing.BuildTreeAvoiding(r.cfg.Topology, r.dead)
-
-	ids := make([]packet.NodeID, 0, len(r.nodes))
-	for id := range r.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n := r.nodes[id]
-		if n.dead {
-			continue
-		}
-		parent, ok := rebuilt.NextHop(id)
-		if !ok || parent == n.parent {
-			// A survivor the failure orphaned keeps its stale parent: its
-			// traffic dies at the dead node exactly as without repair.
-			continue
-		}
-		n.parent = parent
-		r.result.Reroutes++
-		if r.cfg.Tracer != nil {
-			r.cfg.Tracer.Record(trace.Event{
-				At: r.sched.Now(), Kind: trace.Rerouted, Node: id, Dest: parent,
-			})
-		}
-	}
-
-	if len(evacuated) == 0 {
-		return
-	}
-	succ, ok := r.successor(failed, rebuilt)
-	if !ok {
-		// No surviving routed neighbor: the buffer is unreachable and lost.
-		r.loseToFailure(failed.id, evacuated)
-		return
-	}
-	// Hand each buffered packet to the successor, one transmission delay
-	// away — the failure-time offload of route-maintenance protocols.
-	for _, p := range evacuated {
-		p := p
-		p.Forward(failed.id)
-		r.sched.After(r.cfg.TransmissionDelay, func() {
-			if succ == topology.Sink {
-				r.arriveAtSink(p)
-				return
-			}
-			r.deliver(r.nodes[succ], p)
-		})
-	}
-}
-
-// successor picks the failed node's handoff target: its alive neighbor
-// closest to the sink in the rebuilt tree, ties toward the smaller ID — the
-// parent the node itself would have received had it survived.
-func (r *runner) successor(failed *node, rebuilt *routing.Table) (packet.NodeID, bool) {
-	var best packet.NodeID
-	bestHops := -1
-	for _, m := range r.cfg.Topology.Neighbors(failed.id) {
-		if r.dead[m] {
-			continue
-		}
-		h, ok := rebuilt.HopCount(m)
-		if !ok {
-			continue
-		}
-		if bestHops == -1 || h < bestHops || (h == bestHops && m < best) {
-			best, bestHops = m, h
-		}
-	}
-	return best, bestHops >= 0
-}
-
-// armCreation schedules the next packet creation for source s, having
-// already created seq packets.
-func (r *runner) armCreation(s Source, src *rng.Source, seq uint32) {
-	if s.Count > 0 && int(seq) >= s.Count {
-		return
-	}
-	gap := s.Process.Next(src)
-	when := r.sched.Now() + gap
-	if r.cfg.Horizon > 0 && when > r.cfg.Horizon {
-		return
-	}
-	r.sched.At(when, func() {
-		r.createPacket(s, seq)
-		r.armCreation(s, src, seq+1)
-	})
-}
-
-// createPacket materialises one packet at its source and hands it to the
-// source node's buffering policy. A dead source senses nothing.
-func (r *runner) createPacket(s Source, seq uint32) {
-	if r.nodes[s.Node].dead {
-		return
-	}
-	now := r.sched.Now()
-	p := packet.New(s.Node, seq, now)
-	if r.keyring != nil {
-		reading := packet.Reading{Value: float64(seq), AppSeq: seq, CreatedAt: now}
-		if err := p.SealReading(r.keyring, reading); err != nil {
-			// Sealing uses validated keys and cannot fail at runtime; a
-			// failure here is a programming error worth stopping for.
-			panic(fmt.Sprintf("network: sealing payload: %v", err))
-		}
-	}
-	r.result.Flows[s.Node].Created++
-	r.tele.onCreated()
-	r.record(trace.Created, s.Node, p)
-	r.deliver(r.nodes[s.Node], p)
-}
-
-// deliver hands a packet to node n's buffering policy (or forwards it
-// immediately under PolicyForward). Packets reaching a dead node are lost.
-func (r *runner) deliver(n *node, p *packet.Packet) {
-	if n.dead {
-		r.result.LostToFailures++
-		r.tele.onLost(1)
-		r.record(trace.Lost, n.id, p)
-		return
-	}
-	switch {
-	case n.rcad != nil:
-		r.record(trace.Admitted, n.id, p)
-		n.rcad.OnPacket(r.sched.Now(), p)
-	case n.policy != nil:
-		r.record(trace.Admitted, n.id, p)
-		n.policy.Admit(p, n.dist.Sample(n.src))
-	default: // PolicyForward
-		r.transmit(n, p)
-	}
-}
-
-// transmit moves a packet one hop from n toward the sink through the link
-// layer: the frame crosses the (possibly lossy) channel in τ time units and,
-// with ARQ enabled, lost frames are retransmitted with capped exponential
-// backoff until the per-hop retry budget runs out.
-func (r *runner) transmit(n *node, p *packet.Packet) {
-	p.Forward(n.id)
-	r.attempt(n, p, 0)
-}
-
-// attempt performs one transmission of p from n — attempt number try, where
-// 0 is the original send. The destination is re-read from n.parent on every
-// attempt, so a retransmission after a route repair follows the new parent.
-func (r *runner) attempt(n *node, p *packet.Packet, try int) {
-	dest := n.parent
-	if try > 0 {
-		r.result.Retransmissions++
-		r.tele.onRetransmit()
-		r.recordLink(trace.Retransmit, n.id, dest, p)
-	}
-	if n.link.frameLost() {
-		r.recordLink(trace.LinkLoss, n.id, dest, p)
-		r.retryOrDrop(n, dest, p, try)
-		return
-	}
-	r.sched.After(r.cfg.TransmissionDelay, func() {
-		if dest == topology.Sink {
-			// The duplicate check must clone before delivery mutates the
-			// header, so it runs first in both branches.
-			r.maybeDuplicate(n, dest, p, try)
-			r.arriveAtSink(p)
-			return
-		}
-		dn := r.nodes[dest]
-		if dn.dead {
-			if r.cfg.ARQ != nil {
-				// A dead receiver never acknowledges: the sender times out
-				// and retries — by then possibly toward a repaired route.
-				r.recordLink(trace.LinkLoss, n.id, dest, p)
-				r.retryOrDrop(n, dest, p, try)
-			} else {
-				r.result.LostToFailures++
-				r.tele.onLost(1)
-				r.record(trace.Lost, dest, p)
-			}
-			return
-		}
-		r.maybeDuplicate(n, dest, p, try)
-		r.deliver(dn, p)
-	})
-}
-
-// retryOrDrop schedules the next ARQ attempt after the backed-off timeout,
-// or abandons the packet once the retry budget is spent.
-func (r *runner) retryOrDrop(n *node, dest packet.NodeID, p *packet.Packet, try int) {
-	arq := r.cfg.ARQ
-	if arq == nil || try >= arq.MaxRetries {
-		r.result.LinkDrops++
-		r.tele.onLinkDrop()
-		r.recordLink(trace.LinkDrop, n.id, dest, p)
-		return
-	}
-	r.sched.After(arq.wait(try), func() { r.attempt(n, p, try+1) })
-}
-
-// maybeDuplicate models the acknowledgement of a delivered frame: when the
-// ACK is lost the sender cannot distinguish the outcome from a lost frame
-// and retransmits an independent copy — the duplicate the sink's
-// (origin, seq) filter later suppresses. It must run before the delivered
-// copy's header advances further.
-func (r *runner) maybeDuplicate(n *node, dest packet.NodeID, p *packet.Packet, try int) {
-	if r.cfg.ARQ == nil || !n.link.ackLost() {
-		return
-	}
-	r.recordLink(trace.LinkLoss, n.id, dest, p)
-	if try >= r.cfg.ARQ.MaxRetries {
-		return // the sender gives up; the frame was in fact delivered
-	}
-	dup := p.Clone()
-	r.sched.After(r.cfg.ARQ.wait(try), func() { r.attempt(n, dup, try+1) })
-}
-
-// arriveAtSink records a delivery and its ground truth, discarding
-// ARQ-induced duplicates of already delivered packets.
-func (r *runner) arriveAtSink(p *packet.Packet) {
-	now := r.sched.Now()
-	if r.dedup != nil {
-		key := uint64(p.Header.Origin)<<32 | uint64(p.Header.RoutingSeq)
-		if _, dup := r.dedup[key]; dup {
-			r.result.DuplicatesSuppressed++
-			r.tele.onDuplicate()
-			r.record(trace.Duplicate, topology.Sink, p)
-			return
-		}
-		r.dedup[key] = struct{}{}
-	}
-	if r.keyring != nil {
-		reading, err := p.OpenReading(r.keyring)
-		if err != nil || reading.CreatedAt != p.Truth.CreatedAt {
-			r.result.SealFailures++
-		}
-	}
-	r.tele.onDelivered(now - p.Truth.CreatedAt)
-	r.record(trace.Delivered, topology.Sink, p)
-	r.result.Deliveries = append(r.result.Deliveries, Delivery{
-		At:     now,
-		Header: p.Header,
-		Truth:  p.Truth,
-	})
-}
-
-// finalize computes the per-flow and per-node summaries once the event list
-// has drained.
-func (r *runner) finalize() {
-	res := r.result
-	res.Duration = r.sched.Now()
-	res.Events = r.sched.Fired()
-
-	latencies := make(map[packet.NodeID]*metrics.Latency)
-	for _, d := range res.Deliveries {
-		fs, ok := res.Flows[d.Truth.Flow]
-		if !ok {
-			continue // defensive: deliveries only come from declared sources
-		}
-		fs.Delivered++
-		l, ok := latencies[d.Truth.Flow]
-		if !ok {
-			l = &metrics.Latency{}
-			latencies[d.Truth.Flow] = l
-		}
-		l.Add(d.At - d.Truth.CreatedAt)
-	}
-	for flow, l := range latencies {
-		res.Flows[flow].Latency = l.Report()
-	}
-
-	ids := make([]packet.NodeID, 0, len(r.nodes))
-	for id := range r.nodes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n := r.nodes[id]
-		var st *buffer.Stats
-		switch {
-		case n.rcad != nil:
-			st = n.rcad.Stats()
-		case n.policy != nil:
-			st = n.policy.Stats()
-		default:
-			continue // PolicyForward keeps no buffer state
-		}
-		hops, _ := r.routes.HopCount(id)
-		res.Nodes[id] = &NodeStats{
-			ID:            id,
-			HopsToSink:    hops,
-			Arrivals:      st.Arrivals,
-			Departures:    st.Departures,
-			Drops:         st.Drops,
-			Preemptions:   st.Preemptions,
-			AvgOccupancy:  st.Occupancy.Average(res.Duration),
-			MaxOccupancy:  st.Occupancy.Max(),
-			MeanHeldDelay: st.HeldDelays.Mean(),
-		}
-	}
 }

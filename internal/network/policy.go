@@ -1,0 +1,103 @@
+package network
+
+// Delay-policy layer: wires the configured buffering behaviour to each node
+// and admits arriving packets into it. The policy holds a packet for its
+// sampled buffering delay (or preempts it) and hands it back to the link
+// layer through the node's forward callback.
+
+import (
+	"fmt"
+
+	"tempriv/internal/buffer"
+	"tempriv/internal/core"
+	"tempriv/internal/packet"
+	"tempriv/internal/trace"
+)
+
+// evacuator is implemented by buffering policies whose contents can be
+// destroyed on node failure.
+type evacuator interface {
+	Evacuate() []*packet.Packet
+}
+
+// attachPolicy wires the configured buffering policy to node n.
+func (r *runner) attachPolicy(n *node) error {
+	forward := func(p *packet.Packet, preempted bool) {
+		kind := trace.Released
+		if preempted {
+			kind = trace.Preempted
+			r.tele.onPreempted()
+		}
+		r.record(kind, n.id, p)
+		r.transmit(n, p)
+	}
+	switch r.cfg.Policy {
+	case PolicyForward:
+		return nil // handled inline in deliver
+	case PolicyUnlimited:
+		pol, err := buffer.NewUnlimited(r.sched, forward)
+		if err != nil {
+			return fmt.Errorf("network: node %v: %w", n.id, err)
+		}
+		n.policy = pol
+	case PolicyDropTail:
+		pol, err := buffer.NewDropTail(r.sched, forward, r.cfg.Capacity)
+		if err != nil {
+			return fmt.Errorf("network: node %v: %w", n.id, err)
+		}
+		n.policy = pol
+	case PolicyCustom:
+		pol, err := r.cfg.CustomPolicy(r.sched, forward, n.src.Split("policy"))
+		if err != nil {
+			return fmt.Errorf("network: node %v: building custom policy: %w", n.id, err)
+		}
+		if pol == nil {
+			return fmt.Errorf("network: node %v: custom policy factory returned nil", n.id)
+		}
+		n.policy = pol
+	case PolicyRCAD:
+		var ctrl *core.RateController
+		if rc := r.cfg.RateControl; rc != nil {
+			var err error
+			ctrl, err = core.NewRateController(r.cfg.Capacity, rc.TargetLoss, rc.Smoothing, n.dist.Mean())
+			if err != nil {
+				return fmt.Errorf("network: node %v: %w", n.id, err)
+			}
+		}
+		eng, err := core.New(core.Config{
+			Scheduler:  r.sched,
+			Forward:    forward,
+			Capacity:   r.cfg.Capacity,
+			Delay:      n.dist,
+			Victim:     r.cfg.Victim,
+			Source:     n.src.Split("victim"),
+			Controller: ctrl,
+		})
+		if err != nil {
+			return fmt.Errorf("network: node %v: %w", n.id, err)
+		}
+		n.rcad = eng
+	}
+	return nil
+}
+
+// deliver hands a packet to node n's buffering policy (or forwards it
+// immediately under PolicyForward). Packets reaching a dead node are lost.
+func (r *runner) deliver(n *node, p *packet.Packet) {
+	if n.dead {
+		r.result.LostToFailures++
+		r.tele.onLost(1)
+		r.record(trace.Lost, n.id, p)
+		return
+	}
+	switch {
+	case n.rcad != nil:
+		r.record(trace.Admitted, n.id, p)
+		n.rcad.OnPacket(r.sched.Now(), p)
+	case n.policy != nil:
+		r.record(trace.Admitted, n.id, p)
+		n.policy.Admit(p, n.dist.Sample(n.src))
+	default: // PolicyForward
+		r.transmit(n, p)
+	}
+}

@@ -1,0 +1,133 @@
+package network
+
+// Regression tests for pooled-timer reuse under route repair. A node
+// failure evacuates its buffer, which cancels every pending release timer;
+// the kernel immediately recycles those timer nodes for the handoff and
+// subsequent traffic. A recycled timer must never double-fire its old
+// callback or deliver the evacuated ("stale") packet through the dead
+// node's release path — either bug shows up here as a duplicate
+// (flow, seq) delivery or broken packet conservation.
+
+import (
+	"testing"
+
+	"tempriv/internal/delay"
+	"tempriv/internal/topology"
+	"tempriv/internal/traffic"
+)
+
+func repairConfig(t *testing.T, policy PolicyKind, failures []NodeFailure) Config {
+	t.Helper()
+	topo, err := topology.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := traffic.NewPeriodic(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean delay far above the interarrival gap keeps every buffer on the
+	// route loaded, so the failures cancel many armed release timers.
+	dist, err := delay.NewExponential(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Topology:     topo,
+		Sources:      []Source{{Node: topology.GridID(4, 3, 3), Process: proc, Count: 400}},
+		Policy:       policy,
+		Delay:        dist,
+		Seed:         7,
+		RouteRepair:  true,
+		NodeFailures: failures,
+	}
+}
+
+// checkConservation asserts the invariants a stale or double-fired timer
+// would break: every delivery is unique per (flow, seq) — there is no ARQ,
+// so duplicates are impossible in a correct run — and every created packet
+// is accounted for exactly once as delivered or lost.
+func checkConservation(t *testing.T, res *Result) {
+	t.Helper()
+	seen := make(map[uint64]bool, len(res.Deliveries))
+	for _, d := range res.Deliveries {
+		key := uint64(d.Truth.Flow)<<32 | uint64(d.Truth.Seq)
+		if seen[key] {
+			t.Fatalf("packet (%v, %d) delivered twice — a recycled timer re-fired a stale callback",
+				d.Truth.Flow, d.Truth.Seq)
+		}
+		seen[key] = true
+		if d.At < d.Truth.CreatedAt {
+			t.Fatalf("packet (%v, %d) arrived at %v before its creation at %v",
+				d.Truth.Flow, d.Truth.Seq, d.At, d.Truth.CreatedAt)
+		}
+	}
+	var created, delivered uint64
+	for _, f := range res.Flows {
+		created += f.Created
+		delivered += f.Delivered
+	}
+	if delivered != uint64(len(res.Deliveries)) {
+		t.Fatalf("flow summaries count %d deliveries, sink recorded %d", delivered, len(res.Deliveries))
+	}
+	if got := delivered + res.LostToFailures + res.LinkDrops; got != created {
+		t.Fatalf("conservation broken: created %d, delivered %d + lost %d + link drops %d = %d",
+			created, delivered, res.LostToFailures, res.LinkDrops, got)
+	}
+}
+
+// TestRouteRepairTimerReuseNoStaleDelivery fails the two nodes adjacent to
+// the sink mid-run — the nodes carrying all traffic, with the fullest
+// buffers — while packets keep flowing, forcing heavy cancel-then-recycle
+// churn in the timer pool right as the handoff and repaired routes schedule
+// new events.
+func TestRouteRepairTimerReuseNoStaleDelivery(t *testing.T) {
+	for _, policy := range []PolicyKind{PolicyRCAD, PolicyUnlimited} {
+		res, err := Run(repairConfig(t, policy, []NodeFailure{
+			{Node: topology.GridID(4, 1, 0), At: 200},
+			{Node: topology.GridID(4, 1, 1), At: 450},
+		}))
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		checkConservation(t, res)
+		if res.Reroutes == 0 {
+			t.Fatalf("%v: failures triggered no reroutes; the repair path was not exercised", policy)
+		}
+		if len(res.Deliveries) == 0 {
+			t.Fatalf("%v: nothing delivered; the scenario is degenerate", policy)
+		}
+	}
+}
+
+// TestRepeatedFailureDeterminism re-runs the repair-heavy scenario and
+// requires bit-identical outcomes: pooled timers and flights are per-run
+// state, so recycling must not leak any cross-run or allocation-order
+// dependence into the simulated result.
+func TestRepeatedFailureDeterminism(t *testing.T) {
+	failures := []NodeFailure{
+		{Node: topology.GridID(4, 1, 0), At: 200},
+		{Node: topology.GridID(4, 1, 1), At: 450},
+	}
+	first, err := Run(repairConfig(t, PolicyRCAD, failures))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(repairConfig(t, PolicyRCAD, failures))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Deliveries) != len(second.Deliveries) {
+		t.Fatalf("reruns delivered %d vs %d packets", len(first.Deliveries), len(second.Deliveries))
+	}
+	for i := range first.Deliveries {
+		a, b := first.Deliveries[i], second.Deliveries[i]
+		if a.At != b.At || a.Truth != b.Truth || a.Header != b.Header {
+			t.Fatalf("delivery %d differs between reruns: %+v vs %+v", i, a, b)
+		}
+	}
+	if first.Reroutes != second.Reroutes || first.LostToFailures != second.LostToFailures {
+		t.Fatalf("repair accounting differs between reruns: %d/%d reroutes, %d/%d lost",
+			first.Reroutes, second.Reroutes, first.LostToFailures, second.LostToFailures)
+	}
+}

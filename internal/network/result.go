@@ -1,0 +1,135 @@
+package network
+
+// Result types: what a run reports back — sink deliveries with ground
+// truth, per-flow and per-node summaries, and the adversary-view
+// conversions the privacy experiments consume.
+
+import (
+	"tempriv/internal/adversary"
+	"tempriv/internal/metrics"
+	"tempriv/internal/packet"
+	"tempriv/internal/telemetry"
+)
+
+// Delivery is one packet arrival at the sink: what the adversary can see
+// (arrival time, cleartext header) plus the simulator ground truth used for
+// scoring.
+type Delivery struct {
+	// At is the sink arrival time.
+	At float64
+	// Header is the cleartext header as received.
+	Header packet.Header
+	// Truth is the simulator-only ground truth.
+	Truth packet.Truth
+}
+
+// NodeStats summarises one buffering node after a run.
+type NodeStats struct {
+	// ID is the node.
+	ID packet.NodeID
+	// HopsToSink is the node's routing depth.
+	HopsToSink int
+	// Arrivals, Departures, Drops and Preemptions count buffer events.
+	Arrivals, Departures, Drops, Preemptions uint64
+	// AvgOccupancy is the time-weighted mean number of buffered packets.
+	AvgOccupancy float64
+	// MaxOccupancy is the peak buffered count.
+	MaxOccupancy float64
+	// MeanHeldDelay is the mean realised holding time.
+	MeanHeldDelay float64
+}
+
+// FlowStats summarises one source flow after a run.
+type FlowStats struct {
+	// Source is the flow's origin node.
+	Source packet.NodeID
+	// HopCount is the routing-path length to the sink.
+	HopCount int
+	// Created and Delivered count the flow's packets.
+	Created, Delivered uint64
+	// Latency summarises end-to-end delivery latency.
+	Latency metrics.LatencyReport
+}
+
+// Dropped returns the number of the flow's packets lost in the network.
+func (f *FlowStats) Dropped() uint64 {
+	if f.Created < f.Delivered {
+		return 0
+	}
+	return f.Created - f.Delivered
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Deliveries lists sink arrivals in time order.
+	Deliveries []Delivery
+	// Flows maps each source node to its flow summary.
+	Flows map[packet.NodeID]*FlowStats
+	// Nodes maps each buffering node to its buffer summary.
+	Nodes map[packet.NodeID]*NodeStats
+	// Duration is the simulated time at which the last event fired.
+	Duration float64
+	// Events is the total number of simulation events executed.
+	Events uint64
+	// SealFailures counts payloads that failed authentication at the sink
+	// (always 0 unless the run is corrupted; present as an invariant).
+	SealFailures uint64
+	// LostToFailures counts packets destroyed by injected node failures:
+	// buffer contents at failure time plus packets that later reached a
+	// dead node. With RouteRepair the failed node's buffer is re-homed
+	// rather than destroyed, so only packets with no surviving route count
+	// here.
+	LostToFailures uint64
+	// LinkDrops counts packets abandoned by the link layer: frames the
+	// channel destroyed with no ARQ to recover them, or packets whose ARQ
+	// retry budget ran out.
+	LinkDrops uint64
+	// Retransmissions counts link-layer data-frame retransmissions (ARQ
+	// retries after a lost frame, a silent dead receiver, or a lost ACK).
+	Retransmissions uint64
+	// DuplicatesSuppressed counts sink arrivals discarded because a copy of
+	// the same (origin, seq) packet had already been delivered — the
+	// ARQ-induced duplicates that must not inflate delivery counts or
+	// adversary scores.
+	DuplicatesSuppressed uint64
+	// Reroutes counts parent reassignments applied by route repair across
+	// all injected failures.
+	Reroutes uint64
+	// Manifest records the run's provenance: the canonical-config
+	// fingerprint, seed, Go version and wall-clock performance. Always
+	// populated.
+	Manifest *telemetry.Manifest
+}
+
+// DeliveryRatio returns the fraction of created packets that reached the
+// sink, across all flows. It is 1 for a run that created nothing.
+func (r *Result) DeliveryRatio() float64 {
+	var created, delivered uint64
+	for _, f := range r.Flows {
+		created += f.Created
+		delivered += f.Delivered
+	}
+	if created == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(created)
+}
+
+// Observations converts the deliveries into the adversary's view, in arrival
+// order.
+func (r *Result) Observations() []adversary.Observation {
+	out := make([]adversary.Observation, len(r.Deliveries))
+	for i, d := range r.Deliveries {
+		out[i] = adversary.Observation{ArrivalTime: d.At, Header: d.Header}
+	}
+	return out
+}
+
+// Truths returns the ground-truth creation times aligned with Observations.
+func (r *Result) Truths() []float64 {
+	out := make([]float64, len(r.Deliveries))
+	for i, d := range r.Deliveries {
+		out[i] = d.Truth.CreatedAt
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package network
+
+// Runner: config validation, per-node state construction, and the run loop
+// that glues the source, policy, link, sink and failure layers together.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tempriv/internal/buffer"
+	"tempriv/internal/core"
+	"tempriv/internal/delay"
+	"tempriv/internal/packet"
+	"tempriv/internal/rng"
+	"tempriv/internal/routing"
+	"tempriv/internal/seal"
+	"tempriv/internal/sim"
+	"tempriv/internal/topology"
+	"tempriv/internal/trace"
+)
+
+// node is the per-node simulation state.
+type node struct {
+	id     packet.NodeID
+	parent packet.NodeID
+	policy buffer.Policy // nil for PolicyForward
+	rcad   *core.RCAD    // non-nil only when rate control is enabled
+	dist   delay.Distribution
+	src    *rng.Source
+	link   *linkChannel // nil when Config.Channel is nil (reliable link)
+	dead   bool
+}
+
+// runner holds one simulation's full state.
+type runner struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	routes  *routing.Table
+	nodes   map[packet.NodeID]*node
+	keyring *seal.Keyring
+	result  *Result
+	// dead collects failed nodes so each route repair excludes every death
+	// so far, not just the latest.
+	dead map[packet.NodeID]bool
+	// dedup is the sink's (origin, seq) duplicate filter, allocated only
+	// when ARQ can produce duplicates.
+	dedup map[uint64]struct{}
+	// flights recycles the in-flight frame records of the link layer so the
+	// per-hop fast path never allocates. See link.go.
+	flights []*flight
+	// tele is the telemetry attachment; nil when Config.Telemetry is nil,
+	// and every hook on a nil *telemetryState is a no-op.
+	tele *telemetryState
+}
+
+// Run validates cfg, executes the simulation to completion, and returns the
+// result.
+func Run(cfg Config) (*Result, error) {
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.scheduleSources(); err != nil {
+		return nil, err
+	}
+	r.scheduleFailures()
+	r.attachSampler()
+	start := time.Now()
+	if err := r.sched.Run(); err != nil {
+		return nil, fmt.Errorf("network: simulation: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	if r.tele != nil && r.tele.err != nil {
+		return nil, fmt.Errorf("network: telemetry emitter: %w", r.tele.err)
+	}
+	r.finalize()
+	m, err := r.buildManifest(wall)
+	if err != nil {
+		return nil, err
+	}
+	r.result.Manifest = m
+	return r.result, nil
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("network: nil topology")
+	}
+	if len(cfg.Sources) == 0 {
+		return nil, errors.New("network: no sources")
+	}
+	switch cfg.Policy {
+	case PolicyForward:
+	case PolicyUnlimited, PolicyDropTail, PolicyRCAD:
+		if cfg.Delay == nil {
+			return nil, fmt.Errorf("network: policy %v requires a delay distribution", cfg.Policy)
+		}
+	case PolicyCustom:
+		if cfg.CustomPolicy == nil {
+			return nil, errors.New("network: PolicyCustom requires a CustomPolicy factory")
+		}
+		if cfg.Delay == nil {
+			cfg.Delay = delay.None{} // batching mixes ignore sampled delays
+		}
+	default:
+		return nil, fmt.Errorf("network: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.TransmissionDelay < 0 {
+		return nil, fmt.Errorf("network: negative transmission delay %v", cfg.TransmissionDelay)
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("network: negative horizon %v", cfg.Horizon)
+	}
+	if err := cfg.Telemetry.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	seenSources := make(map[packet.NodeID]bool, len(cfg.Sources))
+	for i, s := range cfg.Sources {
+		if !cfg.Topology.HasNode(s.Node) {
+			return nil, fmt.Errorf("network: source %d at unknown node %v", i, s.Node)
+		}
+		if seenSources[s.Node] {
+			// Flow identity is the origin node (the adversary's view), so
+			// two sources on one node would merge their flow accounting
+			// silently.
+			return nil, fmt.Errorf("network: duplicate source on node %v", s.Node)
+		}
+		seenSources[s.Node] = true
+		if s.Node == topology.Sink {
+			return nil, fmt.Errorf("network: source %d is the sink", i)
+		}
+		if s.Process == nil {
+			return nil, fmt.Errorf("network: source %d has nil traffic process", i)
+		}
+		if s.Count < 0 {
+			return nil, fmt.Errorf("network: source %d has negative count", i)
+		}
+		if s.Count == 0 && cfg.Horizon <= 0 {
+			return nil, fmt.Errorf("network: source %d is unbounded (count 0) without a horizon", i)
+		}
+	}
+	if cfg.RateControl != nil {
+		if cfg.Policy != PolicyRCAD {
+			return nil, errors.New("network: rate control requires PolicyRCAD")
+		}
+	}
+	for i, f := range cfg.NodeFailures {
+		if !cfg.Topology.HasNode(f.Node) {
+			return nil, fmt.Errorf("network: failure %d targets unknown node %v", i, f.Node)
+		}
+		if f.Node == topology.Sink {
+			return nil, fmt.Errorf("network: failure %d targets the sink", i)
+		}
+		if f.At < 0 {
+			return nil, fmt.Errorf("network: failure %d has negative time %v", i, f.At)
+		}
+	}
+
+	routes, err := routing.BuildTree(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("network: building routes: %w", err)
+	}
+
+	if cfg.TransmissionDelay == 0 {
+		cfg.TransmissionDelay = 1
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = core.DefaultCapacity
+	}
+	if cfg.Victim == nil {
+		cfg.Victim = buffer.ShortestRemaining{}
+	}
+	if cfg.ARQ != nil {
+		resolved, err := cfg.ARQ.validate(cfg.TransmissionDelay)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ARQ = &resolved
+	}
+	if cfg.Channel != nil {
+		resolved, err := cfg.Channel.validate(cfg.ARQ != nil)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Channel = &resolved
+	}
+
+	r := &runner{
+		cfg:    cfg,
+		sched:  sim.NewScheduler(),
+		routes: routes,
+		nodes:  make(map[packet.NodeID]*node),
+		dead:   make(map[packet.NodeID]bool),
+		result: &Result{
+			Flows: make(map[packet.NodeID]*FlowStats),
+			Nodes: make(map[packet.NodeID]*NodeStats),
+		},
+	}
+	r.tele = newTelemetryState(cfg.Telemetry)
+	if cfg.ARQ != nil {
+		// Duplicates exist only when a delivered frame can be retransmitted,
+		// i.e. under ARQ; a reliable or ARQ-less run needs no filter.
+		r.dedup = make(map[uint64]struct{})
+	}
+	if cfg.Seal {
+		r.keyring = seal.NewKeyring([]byte(fmt.Sprintf("tempriv/network/%d", cfg.Seed)))
+	}
+
+	master := rng.New(cfg.Seed)
+	for _, id := range cfg.Topology.Nodes() {
+		if id == topology.Sink {
+			continue
+		}
+		parent, ok := routes.NextHop(id)
+		if !ok {
+			return nil, fmt.Errorf("network: node %v has no route to the sink", id)
+		}
+		n := &node{
+			id:     id,
+			parent: parent,
+			dist:   cfg.Delay,
+			src:    master.SplitIndexed("node", int(id)),
+		}
+		if d, ok := cfg.PerNodeDelay[id]; ok {
+			n.dist = d
+		}
+		if cfg.Channel != nil {
+			n.link = newLinkChannel(*cfg.Channel, n.src.Split("link"))
+		}
+		if err := r.attachPolicy(n); err != nil {
+			return nil, err
+		}
+		r.nodes[id] = n
+	}
+	return r, nil
+}
+
+// record emits a lifecycle event if tracing is enabled.
+func (r *runner) record(kind trace.Kind, node packet.NodeID, p *packet.Packet) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	r.cfg.Tracer.Record(trace.Event{
+		At:   r.sched.Now(),
+		Kind: kind,
+		Node: node,
+		Flow: p.Truth.Flow,
+		Seq:  p.Truth.Seq,
+	})
+}
+
+// recordLink emits a link-layer event naming the far end of the link.
+func (r *runner) recordLink(kind trace.Kind, node, dest packet.NodeID, p *packet.Packet) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	r.cfg.Tracer.Record(trace.Event{
+		At:   r.sched.Now(),
+		Kind: kind,
+		Node: node,
+		Flow: p.Truth.Flow,
+		Seq:  p.Truth.Seq,
+		Dest: dest,
+	})
+}

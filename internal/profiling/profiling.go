@@ -1,0 +1,56 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the CLIs to
+// runtime/pprof: a CPU profile covering the whole run and a heap profile
+// written on exit. It exists so every command flushes profiles identically
+// on all exit paths, error returns included.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arms a heap-profile write to
+// memPath; either path may be empty to disable that profile. It returns
+// cleanup functions for the caller to run in reverse registration order on
+// exit — the idiom cmd/rcadsim and cmd/sweep use for all their artifact
+// files — which stop the CPU profile and write the heap snapshot before
+// closing the files.
+//
+// On error the cleanups registered so far are still returned, so a caller
+// that appends them before checking the error never leaks a started profile
+// or an open file.
+func Start(cpuPath, memPath string) ([]func() error, error) {
+	var cleanups []func() error
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return cleanups, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return cleanups, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cleanups = append(cleanups, f.Close, func() error {
+			pprof.StopCPUProfile()
+			return nil
+		})
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return cleanups, fmt.Errorf("creating heap profile: %w", err)
+		}
+		cleanups = append(cleanups, f.Close, func() error {
+			// An up-to-date profile needs the GC's latest accounting of what
+			// is actually live.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+			return nil
+		})
+	}
+	return cleanups, nil
+}

@@ -1,0 +1,207 @@
+package sim
+
+// Differential check of the refactored kernel against the pre-refactor
+// container/heap kernel (legacy_kernel_test.go): randomized workloads of
+// schedules, cancels, reschedules and periodic probes — including
+// same-instant ties and actions taken from inside firing callbacks — must
+// produce the identical fired-event sequence on both, and every
+// Cancel/Reschedule call must report the identical outcome. This is the
+// determinism contract the refactor rides on: identical (time, seq) total
+// order means sweep tables, trace goldens and scenario fingerprint cache
+// keys stay byte-identical.
+
+import (
+	"testing"
+
+	"tempriv/internal/rng"
+)
+
+// diffAction is one scripted side effect a firing event performs.
+type diffAction struct {
+	kind   int // 0 schedule, 1 cancel, 2 reschedule
+	target int // timer id for cancel/reschedule
+	delay  float64
+	newID  int          // id of the timer a schedule action creates
+	script []diffAction // the created timer's own script
+}
+
+// diffEvent is one initially scheduled timer.
+type diffEvent struct {
+	id     int
+	when   float64
+	script []diffAction
+}
+
+// diffProgram is a full randomized workload.
+type diffProgram struct {
+	initial []diffEvent
+	probes  []float64 // probe intervals; probe i logs id -(i+1)
+}
+
+// diffLog records what a kernel did: the fired sequence and each
+// cancel/reschedule outcome in call order.
+type diffLog struct {
+	firedAt  []float64
+	firedID  []int
+	outcomes []bool
+	finalNow float64
+	count    uint64
+}
+
+// genProgram derives a random workload from src. Delays come from a
+// half-unit grid including zero, so same-instant ties are common.
+func genProgram(src *rng.Source) diffProgram {
+	var p diffProgram
+	nextID := 0
+	gridDelay := func() float64 { return float64(src.Intn(9)) * 0.5 }
+	var genScript func(depth int) []diffAction
+	genScript = func(depth int) []diffAction {
+		n := src.Intn(4)
+		out := make([]diffAction, 0, n)
+		for i := 0; i < n; i++ {
+			switch k := src.Intn(3); k {
+			case 0:
+				if depth >= 2 {
+					continue
+				}
+				a := diffAction{kind: 0, delay: gridDelay(), newID: nextID}
+				nextID++
+				a.script = genScript(depth + 1)
+				out = append(out, a)
+			case 1, 2:
+				// Target any id allocated so far; some will already have
+				// fired or been cancelled, some not created yet — each case
+				// must behave identically on both kernels.
+				if nextID == 0 {
+					continue
+				}
+				out = append(out, diffAction{kind: k, target: src.Intn(nextID), delay: gridDelay()})
+			}
+		}
+		return out
+	}
+	for i, n := 0, 5+src.Intn(40); i < n; i++ {
+		e := diffEvent{id: nextID, when: gridDelay() + gridDelay()}
+		nextID++
+		e.script = genScript(0)
+		p.initial = append(p.initial, e)
+	}
+	for i, n := 0, src.Intn(3); i < n; i++ {
+		p.probes = append(p.probes, 0.5+float64(src.Intn(4))*0.5)
+	}
+	return p
+}
+
+// runProgramNew replays the workload on the refactored kernel.
+func runProgramNew(p diffProgram) diffLog {
+	s := NewScheduler()
+	var lg diffLog
+	handles := make(map[int]Timer)
+	var exec func(id int, script []diffAction) func()
+	exec = func(id int, script []diffAction) func() {
+		return func() {
+			lg.firedAt = append(lg.firedAt, s.Now())
+			lg.firedID = append(lg.firedID, id)
+			for _, a := range script {
+				switch a.kind {
+				case 0:
+					handles[a.newID] = s.After(a.delay, exec(a.newID, a.script))
+				case 1:
+					h, ok := handles[a.target]
+					lg.outcomes = append(lg.outcomes, ok && s.Cancel(h))
+				case 2:
+					h, ok := handles[a.target]
+					lg.outcomes = append(lg.outcomes, ok && s.Reschedule(h, s.Now()+a.delay))
+				}
+			}
+		}
+	}
+	for _, e := range p.initial {
+		handles[e.id] = s.At(e.when, exec(e.id, e.script))
+	}
+	for i, interval := range p.probes {
+		id := -(i + 1)
+		s.Every(interval, func(now float64) {
+			lg.firedAt = append(lg.firedAt, now)
+			lg.firedID = append(lg.firedID, id)
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	lg.finalNow = s.Now()
+	lg.count = s.Fired()
+	return lg
+}
+
+// runProgramLegacy replays the workload on the container/heap kernel.
+func runProgramLegacy(p diffProgram) diffLog {
+	s := newLegacyScheduler()
+	var lg diffLog
+	handles := make(map[int]*legacyTimer)
+	var exec func(id int, script []diffAction) func()
+	exec = func(id int, script []diffAction) func() {
+		return func() {
+			lg.firedAt = append(lg.firedAt, s.Now())
+			lg.firedID = append(lg.firedID, id)
+			for _, a := range script {
+				switch a.kind {
+				case 0:
+					handles[a.newID] = s.After(a.delay, exec(a.newID, a.script))
+				case 1:
+					h, ok := handles[a.target]
+					lg.outcomes = append(lg.outcomes, ok && s.Cancel(h))
+				case 2:
+					h, ok := handles[a.target]
+					lg.outcomes = append(lg.outcomes, ok && s.Reschedule(h, s.Now()+a.delay))
+				}
+			}
+		}
+	}
+	for _, e := range p.initial {
+		handles[e.id] = s.At(e.when, exec(e.id, e.script))
+	}
+	for i, interval := range p.probes {
+		id := -(i + 1)
+		s.Every(interval, func(now float64) {
+			lg.firedAt = append(lg.firedAt, now)
+			lg.firedID = append(lg.firedID, id)
+		})
+	}
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	lg.finalNow = s.Now()
+	lg.count = s.Fired()
+	return lg
+}
+
+func TestDifferentialKernelEquivalence(t *testing.T) {
+	src := rng.New(20260805)
+	for trial := 0; trial < 300; trial++ {
+		p := genProgram(src.SplitIndexed("trial", trial))
+		got := runProgramNew(p)
+		want := runProgramLegacy(p)
+		if got.count != want.count || got.finalNow != want.finalNow {
+			t.Fatalf("trial %d: fired %d events ending at %v, legacy fired %d ending at %v",
+				trial, got.count, got.finalNow, want.count, want.finalNow)
+		}
+		if len(got.firedID) != len(want.firedID) {
+			t.Fatalf("trial %d: %d fired log entries vs legacy %d", trial, len(got.firedID), len(want.firedID))
+		}
+		for i := range got.firedID {
+			if got.firedID[i] != want.firedID[i] || got.firedAt[i] != want.firedAt[i] {
+				t.Fatalf("trial %d: fire %d = (t=%v, id=%d), legacy (t=%v, id=%d)",
+					trial, i, got.firedAt[i], got.firedID[i], want.firedAt[i], want.firedID[i])
+			}
+		}
+		if len(got.outcomes) != len(want.outcomes) {
+			t.Fatalf("trial %d: %d op outcomes vs legacy %d", trial, len(got.outcomes), len(want.outcomes))
+		}
+		for i := range got.outcomes {
+			if got.outcomes[i] != want.outcomes[i] {
+				t.Fatalf("trial %d: op %d outcome %v, legacy %v", trial, i, got.outcomes[i], want.outcomes[i])
+			}
+		}
+	}
+}

@@ -25,7 +25,7 @@ type Proc struct {
 
 	resume chan error    // kernel → process: run (nil) or terminate (error)
 	yield  chan struct{} // process → kernel: gone to sleep or returned
-	timer  *Timer
+	timer  Timer
 	done   bool
 }
 
@@ -50,7 +50,7 @@ func (p *Proc) Wait(delay float64) error {
 // wake is the timer callback: transfer control to the process goroutine and
 // block until it yields again (or returns).
 func (p *Proc) wake() {
-	p.timer = nil
+	p.timer = Timer{}
 	p.resume <- nil
 	<-p.yield
 }
@@ -111,7 +111,7 @@ func (s *Scheduler) Spawn(name string, body func(*Proc) error) *Proc {
 	})
 	// First activation: enter the body at the current instant.
 	p.timer = s.At(s.Now(), func() {
-		p.timer = nil
+		p.timer = Timer{}
 		p.resume <- nil
 		<-p.yield
 	})

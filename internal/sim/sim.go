@@ -2,10 +2,18 @@
 //
 // The kernel is the substrate underneath every experiment in this
 // repository: the paper evaluates RCAD with "a detailed event-driven
-// simulator" (§5), and this package is that simulator's engine. It keeps a
-// future-event list in a binary heap ordered by (time, sequence number), so
-// two events scheduled for the same instant always fire in the order they
-// were scheduled — runs are bit-for-bit reproducible.
+// simulator" (§5), and this package is that simulator's engine. It keeps the
+// future-event list in an implicit 4-ary min-heap ordered by (time, sequence
+// number), so two events scheduled for the same instant always fire in the
+// order they were scheduled — runs are bit-for-bit reproducible.
+//
+// The heap stores typed timer nodes directly (no interface boxing, no
+// container/heap indirection) and recycles fired or cancelled nodes through
+// a per-scheduler free list, so steady-state scheduling — the At/fire/At
+// churn every simulated packet generates — allocates nothing. Timer handles
+// carry a generation number checked against the node they reference: a
+// handle to a fired or cancelled timer can never observe, cancel or
+// reschedule the recycled node's next occupant.
 //
 // Simulated time is a float64 in abstract "time units", matching the paper's
 // parameterisation (per-hop transmission delay τ = 1 time unit, buffer delay
@@ -13,7 +21,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -23,61 +30,47 @@ import (
 // rather than by draining the event list or reaching the horizon.
 var ErrStopped = errors.New("sim: stopped")
 
-// Timer is a handle to a scheduled event. The zero value is not meaningful;
-// Timers are created by Scheduler.At and Scheduler.After.
-type Timer struct {
-	when      float64
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 when not queued
-	cancelled bool
-	fired     bool
-	periodic  bool // owned by a Probe; cannot keep the simulation alive
+// timerNode is the pooled storage behind a Timer handle. Nodes live on the
+// scheduler's heap while pending and on its free list afterwards; gen is
+// bumped on every release so stale handles go inert.
+type timerNode struct {
+	when     float64
+	seq      uint64
+	gen      uint64
+	fn       func()
+	index    int32 // heap index, -1 when not queued
+	periodic bool  // owned by a Probe; cannot keep the simulation alive
 }
 
-// When returns the simulated time at which the timer is (or was) scheduled
-// to fire.
-func (t *Timer) When() float64 { return t.when }
+// Timer is a handle to a scheduled event, created by Scheduler.At and
+// Scheduler.After. It is a small value: copy it freely. The zero value is an
+// inert handle — Active reports false and Cancel/Reschedule are no-ops.
+//
+// The handle stays valid across Reschedule. Once the event fires or is
+// cancelled its node returns to the scheduler's free list; the handle then
+// permanently reports inactive, even after the node is recycled for a new
+// timer.
+type Timer struct {
+	node *timerNode
+	gen  uint64
+	when float64
+}
+
+// When returns the simulated time at which the timer is scheduled to fire
+// (tracking Reschedule while the timer is pending). After the timer fires or
+// is cancelled it reports the last schedule time the handle observed.
+func (t Timer) When() float64 {
+	if n := t.node; n != nil && n.gen == t.gen {
+		return n.when
+	}
+	return t.when
+}
 
 // Active reports whether the timer is still pending: neither fired nor
 // cancelled.
-func (t *Timer) Active() bool { return !t.cancelled && !t.fired }
-
-// eventQueue is a min-heap of timers ordered by (when, seq).
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	t, ok := x.(*Timer)
-	if !ok {
-		panic(fmt.Sprintf("sim: eventQueue.Push got %T, want *Timer", x))
-	}
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil // let the timer be collected
-	t.index = -1
-	*q = old[:n-1]
-	return t
+func (t Timer) Active() bool {
+	n := t.node
+	return n != nil && n.gen == t.gen && n.index >= 0
 }
 
 // Scheduler owns the simulation clock and the future-event list. It is not
@@ -86,7 +79,8 @@ func (q *eventQueue) Pop() any {
 type Scheduler struct {
 	now     float64
 	seq     uint64
-	queue   eventQueue
+	queue   []*timerNode // implicit 4-ary min-heap on (when, seq)
+	free    []*timerNode // recycled nodes; steady-state At allocates nothing
 	stopped bool
 	fired   uint64
 	host    *processHost // lazily created by Spawn
@@ -106,18 +100,40 @@ func NewScheduler() *Scheduler {
 // Now returns the current simulated time.
 func (s *Scheduler) Now() float64 { return s.now }
 
-// Pending returns the number of events still queued (including events that
-// were cancelled but not yet removed from the heap — cancellation is lazy).
+// Pending returns the number of events still queued. Cancellation is eager —
+// Cancel removes the timer from the heap immediately — so cancelled events
+// are never counted here.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // Fired returns the total number of events that have been executed.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// alloc takes a node from the free list, or grows the pool.
+func (s *Scheduler) alloc() *timerNode {
+	if n := len(s.free); n > 0 {
+		t := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return t
+	}
+	return &timerNode{index: -1}
+}
+
+// release retires a fired or cancelled node to the free list. The generation
+// bump is what makes every outstanding handle to it inert.
+func (s *Scheduler) release(t *timerNode) {
+	t.gen++
+	t.fn = nil
+	t.periodic = false
+	t.index = -1
+	s.free = append(s.free, t)
+}
+
 // At schedules fn to run at absolute simulated time when. Scheduling in the
 // past (when < Now) is a programmer error and panics; scheduling exactly at
 // Now is allowed and fires after all currently queued events at Now with a
 // lower sequence number. fn must not be nil.
-func (s *Scheduler) At(when float64, fn func()) *Timer {
+func (s *Scheduler) At(when float64, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil fn")
 	}
@@ -127,51 +143,55 @@ func (s *Scheduler) At(when float64, fn func()) *Timer {
 	if when < s.now {
 		panic(fmt.Sprintf("sim: At called with time %v before now %v", when, s.now))
 	}
-	t := &Timer{when: when, seq: s.seq, fn: fn, index: -1}
+	t := s.alloc()
+	t.when = when
+	t.seq = s.seq
+	t.fn = fn
 	s.seq++
-	heap.Push(&s.queue, t)
-	return t
+	s.heapPush(t)
+	return Timer{node: t, gen: t.gen, when: when}
 }
 
 // After schedules fn to run delay time units from now. Negative delays
 // panic.
-func (s *Scheduler) After(delay float64, fn func()) *Timer {
+func (s *Scheduler) After(delay float64, fn func()) Timer {
 	return s.At(s.now+delay, fn)
 }
 
 // Cancel removes a pending timer. It reports whether the timer was still
 // pending (true) or had already fired or been cancelled (false).
-// Cancellation is O(log n) and immediate: the timer is removed from the
-// heap, not lazily skipped.
-func (s *Scheduler) Cancel(t *Timer) bool {
-	if t == nil || !t.Active() {
+// Cancellation is O(log n) and eager: the timer is removed from the heap
+// immediately and its node recycled, not lazily skipped.
+func (s *Scheduler) Cancel(t Timer) bool {
+	n := t.node
+	if n == nil || n.gen != t.gen || n.index < 0 {
 		return false
 	}
-	t.cancelled = true
-	if t.index >= 0 {
-		heap.Remove(&s.queue, t.index)
-		if t.periodic {
-			s.periodicPending--
-		}
+	s.heapRemove(int(n.index))
+	if n.periodic {
+		s.periodicPending--
 	}
+	s.release(n)
 	return true
 }
 
 // Reschedule moves a pending timer to a new absolute time, preserving its
 // callback. It reports whether the move happened (false if the timer already
 // fired or was cancelled). The rescheduled event receives a fresh sequence
-// number, so it fires after same-time events scheduled before the move.
-func (s *Scheduler) Reschedule(t *Timer, when float64) bool {
-	if t == nil || !t.Active() {
+// number, so it fires after same-time events scheduled before the move. The
+// handle remains valid for the moved event.
+func (s *Scheduler) Reschedule(t Timer, when float64) bool {
+	n := t.node
+	if n == nil || n.gen != t.gen || n.index < 0 {
 		return false
 	}
 	if when < s.now {
 		panic(fmt.Sprintf("sim: Reschedule to time %v before now %v", when, s.now))
 	}
-	t.when = when
-	t.seq = s.seq
+	n.when = when
+	n.seq = s.seq
 	s.seq++
-	heap.Fix(&s.queue, t.index)
+	s.heapFix(int(n.index))
 	return true
 }
 
@@ -179,35 +199,32 @@ func (s *Scheduler) Reschedule(t *Timer, when float64) bool {
 // its timestamp. It reports whether an event was executed (false when the
 // queue is empty or the scheduler is stopped).
 func (s *Scheduler) Step() bool {
-	if s.stopped {
+	if s.stopped || len(s.queue) == 0 {
 		return false
 	}
-	for len(s.queue) > 0 {
-		if s.periodicPending == len(s.queue) && s.queue[0].when > s.now {
-			// Only periodic probes remain, none due at the current instant:
-			// the simulation proper has drained, so retire them rather than
-			// ticking forever. Probes due exactly now still fire first, so
-			// the final instant of a run gets sampled.
-			s.drainPeriodic()
-			return false
-		}
-		t, ok := heap.Pop(&s.queue).(*Timer)
-		if !ok {
-			panic("sim: event queue held a non-Timer element")
-		}
-		if t.periodic {
-			s.periodicPending--
-		}
-		if t.cancelled {
-			continue // defensive: cancelled timers are removed eagerly
-		}
-		s.now = t.when
-		t.fired = true
-		s.fired++
-		t.fn()
-		return true
+	if s.periodicPending == len(s.queue) && s.queue[0].when > s.now {
+		// Only periodic probes remain, none due at the current instant:
+		// the simulation proper has drained, so retire them rather than
+		// ticking forever. Probes due exactly now still fire first, so
+		// the final instant of a run gets sampled.
+		s.drainPeriodic()
+		return false
 	}
-	return false
+	t := s.heapPop()
+	if t.periodic {
+		s.periodicPending--
+	}
+	s.now = t.when
+	fn := t.fn
+	s.fired++
+	// Release before running fn: the node is immediately reusable, so a
+	// callback that re-arms itself (the dominant pattern — traffic chains,
+	// buffer releases, probes) recycles its own node without touching the
+	// heap's tail. The handle the callback may still hold went inert with
+	// the generation bump.
+	s.release(t)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty, then shuts down any spawned
@@ -246,12 +263,127 @@ func (s *Scheduler) RunUntil(horizon float64) error {
 // drainPeriodic retires every queued timer. It is only called when all
 // remaining timers are periodic (periodicPending == len(queue)).
 func (s *Scheduler) drainPeriodic() {
-	for _, t := range s.queue {
-		t.cancelled = true
-		t.index = -1
+	for i, t := range s.queue {
+		s.queue[i] = nil
+		s.release(t)
 	}
 	s.queue = s.queue[:0]
 	s.periodicPending = 0
+}
+
+// nodeLess orders the heap: earlier time first, scheduling order breaking
+// ties. seq is unique, so the order is total and runs are reproducible.
+func nodeLess(a, b *timerNode) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+}
+
+// The event queue is an implicit 4-ary min-heap: children of i are
+// 4i+1..4i+4. Compared with the binary heap it halves the tree depth, so
+// the sift loops — the kernel's hottest code — touch fewer cache lines per
+// operation; the wider child scan is four pointer compares against adjacent
+// slots. All sift loops hole-shift instead of swapping: the moving node is
+// written once at its final slot.
+
+// heapPush inserts t and restores heap order.
+func (s *Scheduler) heapPush(t *timerNode) {
+	i := len(s.queue)
+	s.queue = append(s.queue, t)
+	t.index = int32(i)
+	s.siftUp(i)
+}
+
+// heapPop removes and returns the minimum node.
+func (s *Scheduler) heapPop() *timerNode {
+	q := s.queue
+	t := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if n > 0 {
+		q[0].index = 0
+		s.siftDown(0)
+	}
+	t.index = -1
+	return t
+}
+
+// heapRemove deletes the node at index i (eager cancellation).
+func (s *Scheduler) heapRemove(i int) {
+	q := s.queue
+	t := q[i]
+	n := len(q) - 1
+	if i != n {
+		q[i] = q[n]
+		q[n] = nil
+		s.queue = q[:n]
+		q[i].index = int32(i)
+		s.heapFix(i)
+	} else {
+		q[n] = nil
+		s.queue = q[:n]
+	}
+	t.index = -1
+}
+
+// heapFix restores heap order after the node at index i changed key
+// (Reschedule) or was replaced (heapRemove).
+func (s *Scheduler) heapFix(i int) {
+	if !s.siftDown(i) {
+		s.siftUp(i)
+	}
+}
+
+// siftUp moves the node at index i toward the root until its parent is not
+// greater.
+func (s *Scheduler) siftUp(i int) {
+	q := s.queue
+	t := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !nodeLess(t, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = int32(i)
+		i = p
+	}
+	q[i] = t
+	t.index = int32(i)
+}
+
+// siftDown moves the node at index i toward the leaves until no child is
+// smaller. It reports whether the node moved.
+func (s *Scheduler) siftDown(i int) bool {
+	q := s.queue
+	n := len(q)
+	t := q[i]
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if nodeLess(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !nodeLess(q[best], t) {
+			break
+		}
+		q[i] = q[best]
+		q[i].index = int32(i)
+		i = best
+	}
+	q[i] = t
+	t.index = int32(i)
+	return i != start
 }
 
 // Probe is a handle to a periodic callback created by Every. Probes are
@@ -263,7 +395,8 @@ type Probe struct {
 	s        *Scheduler
 	interval float64
 	fn       func(now float64)
-	timer    *Timer
+	fire     func() // pre-bound tick, so periodic re-arming allocates nothing
+	timer    Timer
 	stopped  bool
 }
 
@@ -278,17 +411,18 @@ func (s *Scheduler) Every(interval float64, fn func(now float64)) *Probe {
 		panic(fmt.Sprintf("sim: Every called with invalid interval %v", interval))
 	}
 	p := &Probe{s: s, interval: interval, fn: fn}
+	p.fire = p.tick
 	p.arm()
 	return p
 }
 
 func (p *Probe) arm() {
 	p.timer = p.s.At(p.s.now+p.interval, p.fire)
-	p.timer.periodic = true
+	p.timer.node.periodic = true
 	p.s.periodicPending++
 }
 
-func (p *Probe) fire() {
+func (p *Probe) tick() {
 	p.fn(p.s.now)
 	if !p.stopped && !p.s.stopped {
 		p.arm()

@@ -139,8 +139,7 @@ func TestCancelAfterFire(t *testing.T) {
 func TestCancelFromCallback(t *testing.T) {
 	s := NewScheduler()
 	fired := false
-	var victim *Timer
-	victim = s.At(10, func() { fired = true })
+	victim := s.At(10, func() { fired = true })
 	s.At(5, func() { s.Cancel(victim) })
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
@@ -330,7 +329,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		count := int(n%50) + 1
 		s := NewScheduler()
 		firedSet := make(map[int]bool)
-		timers := make([]*Timer, count)
+		timers := make([]Timer, count)
 		for i := 0; i < count; i++ {
 			i := i
 			timers[i] = s.At(float64(i%10), func() { firedSet[i] = true })
