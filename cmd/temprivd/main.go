@@ -4,13 +4,23 @@
 // scenarios without re-simulating (byte-identical to a fresh run — every
 // scenario is seed-deterministic).
 //
-//	temprivd -addr localhost:7077 -cache ./cache
+//	temprivd -addr localhost:7077 -cache ./cache -journal ./journal
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, /result, /events
 // (JSONL progress stream), DELETE /v1/jobs/{id}, GET /v1/cache, /healthz,
-// /metrics (Prometheus text), /debug/pprof. SIGTERM/SIGINT drains
-// gracefully: no new submissions, in-flight jobs finish (up to
-// -drain-timeout, then they are canceled), then the listener closes.
+// /readyz, /metrics (Prometheus text), /debug/pprof.
+//
+// Durability: with -journal set, every accepted job and every state change
+// is appended (fsynced) to a write-ahead journal before the HTTP response
+// goes out. After a crash — SIGKILL included — the next boot replays the
+// journal: finished jobs stay queryable (results re-served from the cache
+// by fingerprint), interrupted jobs re-enqueue and run to completion.
+// /readyz answers 503 until replay finishes, then flips to 200; /healthz
+// is pure liveness and stays 200 throughout.
+//
+// SIGTERM/SIGINT drains gracefully: /readyz goes not-ready, no new
+// submissions, in-flight jobs finish (up to -drain-timeout, then they are
+// canceled), live /events streams are closed, then the listener closes.
 package main
 
 import (
@@ -27,7 +37,9 @@ import (
 	"time"
 
 	"tempriv/internal/jobs"
+	"tempriv/internal/jobstore"
 	"tempriv/internal/resultcache"
+	"tempriv/internal/scenario"
 	"tempriv/internal/server"
 	"tempriv/internal/telemetry"
 )
@@ -41,6 +53,11 @@ func main() {
 	}
 }
 
+// testHookReplaying, when non-nil, runs while the listener is up but
+// /readyz still reports "replaying" — tests use it to observe the
+// not-ready window deterministically.
+var testHookReplaying func()
+
 // run starts the daemon and blocks until ctx is canceled and the drain
 // completes. When ready is non-nil it receives the resolved listen address
 // once the server is accepting (tests listen on port 0).
@@ -50,9 +67,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		addr         = fs.String("addr", "localhost:7077", "listen address (port 0 picks an ephemeral port)")
 		cacheDir     = fs.String("cache", "", "result-cache directory (empty = caching disabled)")
 		cacheMaxMB   = fs.Int64("cache-max-mb", 256, "result-cache size bound in MiB (-1 = unbounded)")
+		journalDir   = fs.String("journal", "", "job journal directory (empty = no crash durability)")
 		workers      = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
 		queueDepth   = fs.Int("queue-depth", 64, "max queued jobs before 429")
 		retries      = fs.Int("retries", 2, "transient-failure retries per job")
+		runTimeout   = fs.Duration("run-timeout", 10*time.Minute, "per-job wall-clock deadline across all attempts (0 = none)")
 		repWorkers   = fs.Int("j", 1, "replication worker goroutines per job")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	)
@@ -68,9 +87,14 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
+	if *runTimeout < 0 {
+		return fmt.Errorf("-run-timeout must be >= 0, got %v", *runTimeout)
+	}
 	if *drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
 	}
+
+	reg := telemetry.NewRegistry()
 
 	var cache *resultcache.Cache
 	if *cacheDir != "" {
@@ -78,19 +102,80 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		if maxBytes > 0 {
 			maxBytes <<= 20
 		}
+		quarantined := reg.Counter("temprivd_cache_quarantined_total")
+		cacheIO := reg.Counter("temprivd_cache_io_errors_total")
+		breakerGauge := reg.Gauge("temprivd_cache_breaker_open")
 		var err error
-		if cache, err = resultcache.Open(*cacheDir, maxBytes); err != nil {
+		cache, err = resultcache.OpenConfig(resultcache.Config{
+			Dir:      *cacheDir,
+			MaxBytes: maxBytes,
+			Hooks: resultcache.Hooks{
+				Quarantine: func(string) { quarantined.Inc() },
+				IOError:    func(error) { cacheIO.Inc() },
+				BreakerChange: func(_, to resultcache.BreakerState) {
+					if to == resultcache.BreakerOpen {
+						breakerGauge.Set(1)
+					} else {
+						breakerGauge.Set(0)
+					}
+				},
+			},
+		})
+		if err != nil {
 			return err
 		}
 	}
 
-	reg := telemetry.NewRegistry()
-	queue := jobs.New(server.NewRunner(cache, reg, *repWorkers), jobs.Options{
+	// Open the journal and replay whatever the last process life left
+	// behind, before the queue exists and before the listener accepts.
+	var journal *jobstore.Journal
+	var restored []jobs.RestoredJob
+	if *journalDir != "" {
+		journalErrs := reg.Counter("temprivd_journal_append_errors_total")
+		var err error
+		journal, err = jobstore.Open(*journalDir, jobstore.Options{
+			OnAppendError: func(error) { journalErrs.Inc() },
+		})
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer journal.Close()
+		var skipped int
+		for _, rj := range journal.Jobs() {
+			spec, err := scenario.Parse(rj.SpecJSON)
+			if err != nil {
+				// The spec validated when it was accepted; a journal entry
+				// that no longer parses is damage — drop it rather than
+				// refuse to boot.
+				skipped++
+				continue
+			}
+			restored = append(restored, jobs.RestoredJob{
+				ID: rj.ID, Spec: spec, Fingerprint: rj.Fingerprint,
+				State: rj.State, Attempts: rj.Attempt, CacheHit: rj.CacheHit,
+				Error: rj.Error, Submitted: rj.Submitted, Finished: rj.Finished,
+			})
+		}
+		st := journal.Stats()
+		reg.Gauge("temprivd_journal_replayed_jobs").Set(float64(len(restored)))
+		reg.Gauge("temprivd_journal_corrupt_lines").Set(float64(st.CorruptLines + skipped))
+	}
+
+	opts := jobs.Options{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		MaxRetries: *retries,
-	})
+		RunTimeout: *runTimeout,
+		Restore:    restored,
+	}
+	if journal != nil {
+		// Assigned only when non-nil: a typed-nil JournalSink would pass
+		// the queue's interface check and then panic on use.
+		opts.Journal = journal
+	}
+	queue := jobs.New(server.NewRunner(cache, reg, *repWorkers), opts)
 	api := server.New(queue, cache, reg)
+	api.SetReady(server.ReadyReplaying)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -99,11 +184,24 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	srv := &http.Server{Handler: api}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Printf("temprivd listening on http://%s (workers=%d, cache=%s)\n",
-		ln.Addr(), *workers, cacheLabel(*cacheDir))
+	fmt.Printf("temprivd listening on http://%s (workers=%d, cache=%s, journal=%s, restored=%d)\n",
+		ln.Addr(), *workers, dirLabel(*cacheDir), dirLabel(*journalDir), len(restored))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+
+	// Finish the replay phase while already listening (so probes can watch
+	// it): compact the journal down to live state, then go ready.
+	if testHookReplaying != nil {
+		testHookReplaying()
+	}
+	if journal != nil {
+		if err := journal.Compact(); err != nil {
+			// Compaction is an optimization; a sick disk must not stop boot.
+			fmt.Fprintln(os.Stderr, "temprivd: journal compaction:", err)
+		}
+	}
+	api.SetReady(server.ReadyServing)
 
 	select {
 	case err := <-serveErr:
@@ -111,13 +209,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let in-flight jobs finish (bounded),
-	// then close the HTTP side so /v1/jobs/{id} stays queryable during the
-	// drain window.
+	// Graceful drain: go not-ready, stop accepting submissions, let
+	// in-flight jobs finish (bounded), close live event streams, then close
+	// the HTTP side — /v1/jobs/{id} stays queryable during the drain window.
 	fmt.Println("temprivd draining...")
+	api.SetReady(server.ReadyDraining)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := queue.Drain(drainCtx)
+	api.Stop()
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -131,7 +231,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	return nil
 }
 
-func cacheLabel(dir string) string {
+func dirLabel(dir string) string {
 	if dir == "" {
 		return "disabled"
 	}

@@ -207,6 +207,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"-queue-depth", "0"},
 		{"-retries", "-1"},
 		{"-j", "0"},
+		{"-run-timeout", "-1s"},
 		{"-drain-timeout", "0s"},
 	}
 	for _, args := range cases {

@@ -1,0 +1,303 @@
+// Package faultfs is an injectable filesystem seam for the serving stack's
+// durability layers. Production code (internal/resultcache,
+// internal/jobstore) performs every disk operation through the FS
+// interface; tests substitute a Faulty wrapper that injects the failures a
+// real deployment will eventually see — ENOSPC on a full volume, EIO from a
+// dying disk, torn writes from a crash mid-write, and fsync failures — so
+// "what happens when the disk is sick" is a unit test, not an outage.
+//
+// The design follows the paper's robustness stance: RCAD defines behavior
+// under buffer exhaustion instead of assuming infinite memory (PAPER §5),
+// and the storage layer likewise defines behavior under disk exhaustion
+// instead of assuming a healthy filesystem.
+//
+// Faults are deterministic: each rule fires on the Nth matching operation
+// (and every one after it) rather than probabilistically, so a failing
+// chaos test replays exactly.
+package faultfs
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// File is the subset of *os.File the journal needs: append writes that can
+// be fsynced and closed.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durability layers consume. It mirrors
+// the os package helpers those layers use, so the OS implementation is a
+// set of one-line forwards.
+type FS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm os.FileMode) error
+	MkdirTemp(dir, pattern string) (string, error)
+	Remove(name string) error
+	RemoveAll(path string) error
+	Stat(name string) (os.FileInfo, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Chtimes(name string, atime, mtime time.Time) error
+	// OpenAppend opens name for appending, creating it if needed.
+	OpenAppend(name string) (File, error)
+}
+
+// OS is the passthrough FS used in production.
+type OS struct{}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OS) Rename(oldpath, newpath string) error          { return os.Rename(oldpath, newpath) }
+func (OS) MkdirAll(path string, perm os.FileMode) error  { return os.MkdirAll(path, perm) }
+func (OS) MkdirTemp(dir, pattern string) (string, error) { return os.MkdirTemp(dir, pattern) }
+func (OS) Remove(name string) error                      { return os.Remove(name) }
+func (OS) RemoveAll(path string) error                   { return os.RemoveAll(path) }
+func (OS) Stat(name string) (os.FileInfo, error)         { return os.Stat(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)    { return os.ReadDir(name) }
+func (OS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Op names one class of filesystem operation a Fault can target.
+type Op string
+
+const (
+	OpRead    Op = "read"    // ReadFile
+	OpWrite   Op = "write"   // WriteFile and File.Write
+	OpRename  Op = "rename"  // Rename
+	OpMkdir   Op = "mkdir"   // MkdirAll, MkdirTemp
+	OpRemove  Op = "remove"  // Remove, RemoveAll
+	OpStat    Op = "stat"    // Stat
+	OpReadDir Op = "readdir" // ReadDir
+	OpChtimes Op = "chtimes" // Chtimes
+	OpOpen    Op = "open"    // OpenAppend
+	OpSync    Op = "sync"    // File.Sync
+)
+
+// Common injected errors. ENOSPC and EIO are the real errnos so code under
+// test sees exactly what a full or dying disk produces.
+var (
+	ErrNoSpace = syscall.ENOSPC
+	ErrIO      = syscall.EIO
+)
+
+// Fault describes one injection rule.
+type Fault struct {
+	// Err is returned by matching operations (required).
+	Err error
+	// After lets the first After matching operations succeed; the fault
+	// fires on every matching operation after that. Zero fails immediately.
+	After int
+	// Torn applies to OpWrite only: write the first half of the data before
+	// failing, modelling a crash mid-write.
+	Torn bool
+	// PathSubstr, when non-empty, restricts the fault to operations whose
+	// path contains the substring (e.g. only the journal, only sums.json).
+	PathSubstr string
+}
+
+// Faulty wraps an FS with deterministic fault injection. Safe for
+// concurrent use; rules can be installed and cleared while operations are
+// in flight (chaos tests flip the disk between sick and healthy).
+type Faulty struct {
+	inner FS
+
+	mu       sync.Mutex
+	faults   map[Op]*faultState
+	injected map[Op]int
+}
+
+type faultState struct {
+	rule Fault
+	seen int // matching operations observed so far
+}
+
+// NewFaulty wraps inner (nil means the real OS filesystem).
+func NewFaulty(inner FS) *Faulty {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Faulty{
+		inner:    inner,
+		faults:   make(map[Op]*faultState),
+		injected: make(map[Op]int),
+	}
+}
+
+// Set installs (or replaces) the fault rule for op.
+func (f *Faulty) Set(op Op, fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = &faultState{rule: fault}
+}
+
+// Clear removes the rule for op; the disk is healthy for that op again.
+func (f *Faulty) Clear(op Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.faults, op)
+}
+
+// ClearAll heals the disk entirely.
+func (f *Faulty) ClearAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = make(map[Op]*faultState)
+}
+
+// Injected returns how many operations each rule has failed so far.
+func (f *Faulty) Injected() map[Op]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// check consults the rule for op against path, returning (err, torn) when
+// the operation must fail.
+func (f *Faulty) check(op Op, path string) (error, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.faults[op]
+	if !ok {
+		return nil, false
+	}
+	if st.rule.PathSubstr != "" && !strings.Contains(path, st.rule.PathSubstr) {
+		return nil, false
+	}
+	st.seen++
+	if st.seen <= st.rule.After {
+		return nil, false
+	}
+	f.injected[op]++
+	return st.rule.Err, st.rule.Torn
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if err, _ := f.check(OpRead, name); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if err, torn := f.check(OpWrite, name); err != nil {
+		if torn {
+			// Model a crash mid-write: half the payload lands, then the error.
+			_ = f.inner.WriteFile(name, data[:len(data)/2], perm)
+		}
+		return &os.PathError{Op: "write", Path: name, Err: err}
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := f.check(OpMkdir, path); err != nil {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) MkdirTemp(dir, pattern string) (string, error) {
+	if err, _ := f.check(OpMkdir, dir); err != nil {
+		return "", &os.PathError{Op: "mkdirtemp", Path: dir, Err: err}
+	}
+	return f.inner.MkdirTemp(dir, pattern)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if err, _ := f.check(OpRemove, name); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) RemoveAll(path string) error {
+	if err, _ := f.check(OpRemove, path); err != nil {
+		return &os.PathError{Op: "removeall", Path: path, Err: err}
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *Faulty) Stat(name string) (os.FileInfo, error) {
+	if err, _ := f.check(OpStat, name); err != nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]os.DirEntry, error) {
+	if err, _ := f.check(OpReadDir, name); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Faulty) Chtimes(name string, atime, mtime time.Time) error {
+	if err, _ := f.check(OpChtimes, name); err != nil {
+		return &os.PathError{Op: "chtimes", Path: name, Err: err}
+	}
+	return f.inner.Chtimes(name, atime, mtime)
+}
+
+func (f *Faulty) OpenAppend(name string) (File, error) {
+	if err, _ := f.check(OpOpen, name); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	inner, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, name: name, inner: inner}, nil
+}
+
+// faultyFile threads Write and Sync faults through an open handle.
+type faultyFile struct {
+	f     *Faulty
+	name  string
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if err, torn := ff.f.check(OpWrite, ff.name); err != nil {
+		n := 0
+		if torn {
+			n, _ = ff.inner.Write(p[:len(p)/2])
+		}
+		return n, &os.PathError{Op: "write", Path: ff.name, Err: err}
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if err, _ := ff.f.check(OpSync, ff.name); err != nil {
+		return &os.PathError{Op: "sync", Path: ff.name, Err: err}
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error { return ff.inner.Close() }

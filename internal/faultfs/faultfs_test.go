@@ -1,0 +1,211 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	fs := OS{}
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a.txt")
+	if err := fs.WriteFile(name, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(name)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read %q, %v", b, err)
+	}
+	if _, err := fs.Stat(name); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "x", "y")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := fs.MkdirTemp(dir, "t-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, "renamed")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("readdir: %d entries, %v", len(ents), err)
+	}
+	now := time.Now()
+	if err := fs.Chtimes(name, now, now); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := fs.OpenAppend(filepath.Join(dir, "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte("line\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll(filepath.Join(dir, "x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectReadEIO(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "a")
+	if err := os.WriteFile(name, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(OS{})
+	f.Set(OpRead, Fault{Err: ErrIO})
+	if _, err := f.ReadFile(name); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	if n := f.Injected()[OpRead]; n != 1 {
+		t.Fatalf("injected reads = %d, want 1", n)
+	}
+	f.Clear(OpRead)
+	if _, err := f.ReadFile(name); err != nil {
+		t.Fatalf("healthy read failed: %v", err)
+	}
+}
+
+func TestInjectAfterCountdown(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{})
+	f.Set(OpWrite, Fault{Err: ErrNoSpace, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := f.WriteFile(filepath.Join(dir, "ok"), []byte("y"), 0o644); err != nil {
+			t.Fatalf("write %d failed before countdown: %v", i, err)
+		}
+	}
+	if err := f.WriteFile(filepath.Join(dir, "no"), []byte("y"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	// And every write after that keeps failing.
+	if err := f.WriteFile(filepath.Join(dir, "no2"), []byte("y"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "torn")
+	f := NewFaulty(OS{})
+	f.Set(OpWrite, Fault{Err: ErrNoSpace, Torn: true})
+	payload := []byte("0123456789")
+	if err := f.WriteFile(name, payload, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "01234" {
+		t.Fatalf("torn write left %q, want first half", b)
+	}
+}
+
+func TestPathSubstrScopesFault(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{})
+	f.Set(OpWrite, Fault{Err: ErrIO, PathSubstr: "journal"})
+	if err := f.WriteFile(filepath.Join(dir, "other"), []byte("y"), 0o644); err != nil {
+		t.Fatalf("unscoped path failed: %v", err)
+	}
+	if err := f.WriteFile(filepath.Join(dir, "journal.jsonl"), []byte("y"), 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO on scoped path", err)
+	}
+}
+
+func TestAppendHandleFaults(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "log")
+	f := NewFaulty(OS{})
+	fh, err := f.OpenAppend(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	if _, err := fh.Write([]byte("first\n")); err != nil {
+		t.Fatal(err)
+	}
+	f.Set(OpSync, Fault{Err: ErrIO})
+	if err := fh.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync err = %v, want EIO", err)
+	}
+	f.Clear(OpSync)
+	f.Set(OpWrite, Fault{Err: ErrNoSpace, Torn: true})
+	if _, err := fh.Write([]byte("secondsecond\n")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write err = %v, want ENOSPC", err)
+	}
+	f.ClearAll()
+	if _, err := fh.Write([]byte("third\n")); err != nil {
+		t.Fatalf("healed write failed: %v", err)
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn write landed half of "secondsecond\n" (6 bytes) between the
+	// healthy lines.
+	want := "first\nsecondthird\n"
+	if string(b) != want {
+		t.Fatalf("file = %q, want %q", b, want)
+	}
+}
+
+func TestOpenFault(t *testing.T) {
+	f := NewFaulty(OS{})
+	f.Set(OpOpen, Fault{Err: ErrIO})
+	if _, err := f.OpenAppend(filepath.Join(t.TempDir(), "log")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+}
+
+func TestNilInnerDefaultsToOS(t *testing.T) {
+	f := NewFaulty(nil)
+	name := filepath.Join(t.TempDir(), "a")
+	if err := f.WriteFile(name, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := f.ReadFile(name); err != nil || string(b) != "x" {
+		t.Fatalf("read %q, %v", b, err)
+	}
+}
+
+func TestDirOpsFaults(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{})
+	for _, tc := range []struct {
+		op  Op
+		run func() error
+	}{
+		{OpMkdir, func() error { return f.MkdirAll(filepath.Join(dir, "m"), 0o755) }},
+		{OpMkdir, func() error { _, err := f.MkdirTemp(dir, "t-"); return err }},
+		{OpStat, func() error { _, err := f.Stat(dir); return err }},
+		{OpReadDir, func() error { _, err := f.ReadDir(dir); return err }},
+		{OpRemove, func() error { return f.RemoveAll(filepath.Join(dir, "m")) }},
+		{OpRename, func() error { return f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")) }},
+		{OpChtimes, func() error { return f.Chtimes(dir, time.Now(), time.Now()) }},
+	} {
+		f.Set(tc.op, Fault{Err: ErrIO})
+		if err := tc.run(); !errors.Is(err, syscall.EIO) {
+			t.Errorf("%s: err = %v, want EIO", tc.op, err)
+		}
+		f.Clear(tc.op)
+	}
+}

@@ -1,8 +1,10 @@
 // Package jobs is the serving subsystem's execution queue: a bounded
 // worker pool that runs scenario specs (internal/scenario) through a
-// pluggable Runner, with per-job context cancellation, automatic retry of
-// transient failures, ordered progress events that clients can stream, and
-// graceful draining for shutdown.
+// pluggable Runner, with per-job context cancellation and run deadlines,
+// jittered-exponential retry of transient failures, ordered progress events
+// that clients can stream, graceful draining for shutdown, and an optional
+// write-ahead journal sink (internal/jobstore) plus restore path that make
+// the queue survive a crash.
 //
 // The queue knows nothing about HTTP or caching — the Runner closure wires
 // those in (see internal/server) — which keeps cancellation, retry and
@@ -13,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -68,6 +71,19 @@ type Result struct {
 // canceled) and report coarse progress through progress(stage, message).
 type Runner func(ctx context.Context, job *Job, progress func(stage, message string)) (*Result, error)
 
+// JournalSink receives durable notifications of queue activity. The queue
+// calls it synchronously under its lock, so implementations must be fast,
+// must never call back into the queue, and must swallow their own errors
+// (a sick journal degrades durability, not serving — see
+// internal/jobstore).
+type JournalSink interface {
+	// Submitted records an accepted job before Submit returns.
+	Submitted(id, fingerprint string, spec scenario.Spec, at time.Time)
+	// Transition records a state change. attempt is the attempt count so
+	// far; cacheHit and errMsg qualify terminal states.
+	Transition(id string, state State, attempt int, cacheHit bool, errMsg string, at time.Time)
+}
+
 // Event is one progress record. Events are totally ordered per job by Seq,
 // so a client can replay history and then follow the live stream without
 // gaps or duplicates.
@@ -76,6 +92,10 @@ type Event struct {
 	State   State  `json:"state"`
 	Stage   string `json:"stage,omitempty"`
 	Message string `json:"message,omitempty"`
+	// Attempt and BackoffMS annotate retry events: which attempt just
+	// failed and how long the queue backs off before the next one.
+	Attempt   int   `json:"attempt,omitempty"`
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
 }
 
 // Job is one submitted scenario. All mutable fields are guarded by the
@@ -100,6 +120,9 @@ type Job struct {
 	ctx       context.Context
 	cancel    context.CancelFunc
 	canceled  bool
+	// restoredHit preserves the cache-hit flag of a journal-restored done
+	// job whose result bytes live in the result cache, not in memory.
+	restoredHit bool
 }
 
 // Snapshot is a consistent, copyable view of a job for status endpoints.
@@ -116,18 +139,52 @@ type Snapshot struct {
 	Finished    time.Time `json:"finished"`
 }
 
+// RestoredJob re-creates one journal-replayed job at queue construction
+// (see Options.Restore and internal/jobstore).
+type RestoredJob struct {
+	ID          string
+	Spec        scenario.Spec
+	Fingerprint string
+	// State is the job's last journaled state. Terminal states are
+	// restored as-is (result bytes, if any, live in the result cache);
+	// queued and running jobs are re-enqueued from scratch.
+	State     State
+	Attempts  int
+	CacheHit  bool
+	Error     string
+	Submitted time.Time
+	Finished  time.Time
+}
+
 // Options configure a Queue.
 type Options struct {
 	// Workers is the worker-pool size (default 1).
 	Workers int
 	// QueueDepth bounds pending submissions (default 64); Submit returns
-	// ErrQueueFull beyond it.
+	// ErrQueueFull beyond it. Restored jobs count against the bound until
+	// a worker picks them up, so a deep crash backlog sheds new load
+	// instead of compounding.
 	QueueDepth int
 	// MaxRetries is how many times a transient failure re-runs before the
 	// job fails (default 2).
 	MaxRetries int
-	// RetryDelay sleeps between attempts (default 100ms; tests use 0).
-	RetryDelay time.Duration
+	// RetryBase and RetryMax shape the jittered exponential backoff
+	// between attempts: attempt n sleeps a uniformly jittered duration in
+	// [d/2, d] where d = min(RetryBase·2ⁿ, RetryMax). Defaults 100ms / 5s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the backoff jitter RNG (deterministic; default 1).
+	RetrySeed uint64
+	// RunTimeout bounds one job's total execution (all attempts) via
+	// context.WithTimeout; 0 means no deadline.
+	RunTimeout time.Duration
+	// Journal, when non-nil, durably records submissions and transitions.
+	Journal JournalSink
+	// Restore re-creates journal-replayed jobs before the workers start:
+	// terminal jobs become queryable history, queued/running jobs are
+	// re-enqueued. IDs are preserved and the ID sequence continues past
+	// the highest restored ID.
+	Restore []RestoredJob
 }
 
 func (o Options) withDefaults() Options {
@@ -140,8 +197,17 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetries < 0 {
 		o.MaxRetries = 0
 	}
-	if o.RetryDelay == 0 {
-		o.RetryDelay = 100 * time.Millisecond
+	if o.RetryBase <= 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	if o.RetryMax < o.RetryBase {
+		o.RetryMax = o.RetryBase
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
 	}
 	return o
 }
@@ -160,20 +226,30 @@ type Queue struct {
 	jobs     map[string]*Job
 	order    []string
 	nextID   int
+	queued   int // jobs accepted but not yet picked up by a worker
 	draining bool
+	rng      *rand.Rand
 }
 
-// New starts a queue with the given runner and options.
+// New starts a queue with the given runner and options. Restored jobs (see
+// Options.Restore) are re-created before the first worker starts, so replay
+// can never race fresh submissions for a job ID.
 func New(runner Runner, opts Options) *Queue {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		opts:      opts,
+		opts: opts,
+		// The channel is sized so restored re-enqueues can never block:
+		// admission is enforced by the queued counter, not the buffer.
+		pending:   make(chan *Job, opts.QueueDepth+len(opts.Restore)),
 		runner:    runner,
-		pending:   make(chan *Job, opts.QueueDepth),
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
+		rng:       rand.New(rand.NewSource(int64(opts.RetrySeed))),
+	}
+	for _, r := range opts.Restore {
+		q.restore(r)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		q.wg.Add(1)
@@ -182,8 +258,63 @@ func New(runner Runner, opts Options) *Queue {
 	return q
 }
 
+// restore re-creates one replayed job. Invalid or duplicate entries are
+// skipped (internal/jobstore validates and dedups, so this is a backstop).
+func (q *Queue) restore(r RestoredJob) {
+	var n int
+	if _, err := fmt.Sscanf(r.ID, "job-%d", &n); err != nil || n <= 0 {
+		return
+	}
+	if _, exists := q.jobs[r.ID]; exists {
+		return
+	}
+	if n > q.nextID {
+		q.nextID = n
+	}
+	jctx, jcancel := context.WithCancel(q.baseCtx)
+	j := &Job{
+		ID:          r.ID,
+		Spec:        r.Spec,
+		Fingerprint: r.Fingerprint,
+		attempts:    r.Attempts,
+		submitted:   r.Submitted,
+		finished:    r.Finished,
+		ctx:         jctx,
+		cancel:      jcancel,
+	}
+	q.jobs[r.ID] = j
+	q.order = append(q.order, r.ID)
+	if r.State.Terminal() {
+		j.state = r.State
+		j.restoredHit = r.CacheHit
+		if r.Error != "" {
+			j.err = errors.New(r.Error)
+		}
+		q.appendEventLocked(j, Event{State: r.State, Stage: "restored", Message: "restored from journal"})
+		j.cancel()
+		return
+	}
+	// Queued or running at crash time: back to the start of the line.
+	j.state = StateQueued
+	j.attempts = 0
+	q.appendEventLocked(j, Event{State: StateQueued, Stage: "restored", Message: "re-enqueued after journal replay"})
+	q.journalTransition(j.ID, StateQueued, 0, false, "")
+	q.pending <- j
+	q.queued++
+}
+
+// journalTransition forwards a state change to the journal sink (nil-safe).
+// Called with q.mu held (or from New before workers start).
+func (q *Queue) journalTransition(id string, state State, attempt int, cacheHit bool, errMsg string) {
+	if q.opts.Journal != nil {
+		q.opts.Journal.Transition(id, state, attempt, cacheHit, errMsg, time.Now())
+	}
+}
+
 // Submit validates nothing — the caller passes an already-normalized spec —
-// and enqueues it, returning the job's initial snapshot.
+// and enqueues it, returning the job's initial snapshot. The submission is
+// journaled (when a sink is configured) before Submit returns, so an
+// accepted job survives a crash.
 func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 	fp, err := spec.Fingerprint()
 	if err != nil {
@@ -193,6 +324,10 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 	if q.draining {
 		q.mu.Unlock()
 		return Snapshot{}, ErrDraining
+	}
+	if q.queued >= q.opts.QueueDepth {
+		q.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
 	}
 	q.nextID++
 	jctx, jcancel := context.WithCancel(q.baseCtx)
@@ -206,7 +341,8 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 		cancel:      jcancel,
 	}
 	// The enqueue happens under the lock so it cannot race Drain's
-	// close(q.pending); the channel is buffered, so the send never blocks.
+	// close(q.pending); the buffer is sized past the admission bound, so
+	// the send never blocks (the default is a backstop, not a policy).
 	select {
 	case q.pending <- j:
 	default:
@@ -214,9 +350,13 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 		q.mu.Unlock()
 		return Snapshot{}, ErrQueueFull
 	}
+	q.queued++
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
 	q.appendEventLocked(j, Event{State: StateQueued, Stage: "queued"})
+	if q.opts.Journal != nil {
+		q.opts.Journal.Submitted(j.ID, fp, spec, j.submitted)
+	}
 	snap := q.snapshotLocked(j)
 	q.mu.Unlock()
 	return snap, nil
@@ -233,7 +373,9 @@ func (q *Queue) Get(id string) (Snapshot, bool) {
 	return q.snapshotLocked(j), true
 }
 
-// Result returns a done job's result.
+// Result returns a done job's result. A journal-restored done job has no
+// in-memory result (its bytes live in the result cache, addressed by
+// fingerprint) and returns false here.
 func (q *Queue) Result(id string) (*Result, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -255,6 +397,13 @@ func (q *Queue) List() []Snapshot {
 	return out
 }
 
+// Backlog returns how many accepted jobs are waiting for a worker.
+func (q *Queue) Backlog() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
 // Cancel requests a job stop. Queued jobs cancel immediately; running jobs
 // get their context canceled and finish as canceled once the runner
 // returns. Canceling a terminal job is a no-op.
@@ -271,6 +420,7 @@ func (q *Queue) Cancel(id string) (Snapshot, bool) {
 		if j.state == StateQueued {
 			j.state = StateCanceled
 			q.appendEventLocked(j, Event{State: StateCanceled, Stage: "canceled", Message: "canceled while queued"})
+			q.journalTransition(j.ID, StateCanceled, j.attempts, false, "canceled while queued")
 			q.finishLocked(j)
 		} else {
 			q.appendEventLocked(j, Event{State: j.state, Stage: "cancel-requested"})
@@ -346,8 +496,23 @@ func (q *Queue) worker() {
 	}
 }
 
+// nextBackoff returns the jittered exponential delay before retrying after
+// attempt (0-based): uniform in [d/2, d] with d = min(RetryBase·2ᵃ,
+// RetryMax). Called with q.mu held (the RNG is lock-guarded).
+func (q *Queue) nextBackoff(attempt int) time.Duration {
+	d := q.opts.RetryMax
+	if attempt < 30 { // past 2³⁰·base the cap has long since won
+		if exp := q.opts.RetryBase << attempt; exp > 0 && exp < d {
+			d = exp
+		}
+	}
+	half := d / 2
+	return half + time.Duration(q.rng.Int63n(int64(half)+1))
+}
+
 func (q *Queue) runOne(j *Job) {
 	q.mu.Lock()
+	q.queued--
 	if j.state != StateQueued { // canceled while queued
 		q.mu.Unlock()
 		return
@@ -355,8 +520,17 @@ func (q *Queue) runOne(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	q.appendEventLocked(j, Event{State: StateRunning, Stage: "started"})
+	q.journalTransition(j.ID, StateRunning, j.attempts+1, false, "")
 	ctx := j.ctx
 	q.mu.Unlock()
+
+	// The run deadline spans every attempt: a job cannot occupy a worker
+	// past RunTimeout no matter how its retries interleave.
+	if q.opts.RunTimeout > 0 {
+		var cancelRun context.CancelFunc
+		ctx, cancelRun = context.WithTimeout(ctx, q.opts.RunTimeout)
+		defer cancelRun()
+	}
 
 	progress := func(stage, message string) {
 		q.mu.Lock()
@@ -374,10 +548,19 @@ func (q *Queue) runOne(j *Job) {
 		if err == nil || ctx.Err() != nil || !errors.Is(err, ErrTransient) || attempt >= q.opts.MaxRetries {
 			break
 		}
-		progress("retry", fmt.Sprintf("attempt %d failed transiently: %v", attempt+1, err))
+		q.mu.Lock()
+		delay := q.nextBackoff(attempt)
+		q.appendEventLocked(j, Event{
+			State:     StateRunning,
+			Stage:     "retry",
+			Message:   fmt.Sprintf("attempt %d failed transiently: %v", attempt+1, err),
+			Attempt:   attempt + 1,
+			BackoffMS: delay.Milliseconds(),
+		})
+		q.mu.Unlock()
 		select {
 		case <-ctx.Done():
-		case <-time.After(q.opts.RetryDelay):
+		case <-time.After(delay):
 		}
 		if ctx.Err() != nil {
 			break
@@ -387,15 +570,20 @@ func (q *Queue) runOne(j *Job) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j.finished = time.Now()
+	if err != nil && !j.canceled && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		err = fmt.Errorf("run deadline %v exceeded after %d attempt(s): %w", q.opts.RunTimeout, j.attempts, err)
+	}
 	switch {
 	case ctx.Err() != nil && j.canceled:
 		j.state = StateCanceled
 		j.err = context.Canceled
 		q.appendEventLocked(j, Event{State: StateCanceled, Stage: "canceled", Message: "canceled while running"})
+		q.journalTransition(j.ID, StateCanceled, j.attempts, false, "canceled while running")
 	case err != nil:
 		j.state = StateFailed
 		j.err = err
-		q.appendEventLocked(j, Event{State: StateFailed, Stage: "failed", Message: err.Error()})
+		q.appendEventLocked(j, Event{State: StateFailed, Stage: "failed", Message: err.Error(), Attempt: j.attempts})
+		q.journalTransition(j.ID, StateFailed, j.attempts, false, err.Error())
 	default:
 		j.state = StateDone
 		j.result = res
@@ -403,7 +591,8 @@ func (q *Queue) runOne(j *Job) {
 		if res.CacheHit {
 			msg = "result cache hit"
 		}
-		q.appendEventLocked(j, Event{State: StateDone, Stage: "done", Message: msg})
+		q.appendEventLocked(j, Event{State: StateDone, Stage: "done", Message: msg, Attempt: j.attempts})
+		q.journalTransition(j.ID, StateDone, j.attempts, res.CacheHit, "")
 	}
 	q.finishLocked(j)
 }
@@ -448,6 +637,8 @@ func (q *Queue) snapshotLocked(j *Job) Snapshot {
 	}
 	if j.result != nil {
 		s.CacheHit = j.result.CacheHit
+	} else if j.restoredHit {
+		s.CacheHit = true
 	}
 	return s
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -88,7 +90,7 @@ func TestTransientErrorRetries(t *testing.T) {
 		}
 		return &Result{Fingerprint: job.Fingerprint}, nil
 	}
-	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryDelay: time.Millisecond})
+	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
 	defer q.Drain(context.Background())
 
 	s, err := q.Submit(testSpec(t, 2))
@@ -113,7 +115,7 @@ func TestTransientErrorExhaustsRetries(t *testing.T) {
 		attempts.Add(1)
 		return nil, fmt.Errorf("%w: always down", ErrTransient)
 	}
-	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryDelay: time.Millisecond})
+	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
 	defer q.Drain(context.Background())
 
 	s, err := q.Submit(testSpec(t, 3))
@@ -138,7 +140,7 @@ func TestPermanentErrorDoesNotRetry(t *testing.T) {
 		attempts.Add(1)
 		return nil, errors.New("bad scenario")
 	}
-	q := New(runner, Options{Workers: 1, MaxRetries: 5, RetryDelay: time.Millisecond})
+	q := New(runner, Options{Workers: 1, MaxRetries: 5, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
 	defer q.Drain(context.Background())
 
 	s, err := q.Submit(testSpec(t, 4))
@@ -498,5 +500,313 @@ func TestDrainLeavesNoGoroutines(t *testing.T) {
 			t.Fatalf("goroutines leaked: %d before, %d after drain", before, now)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// --- PR 5 additions: backoff, deadlines, restore, admission, journal ---
+
+func TestBackoffJitteredExponentialDeterministic(t *testing.T) {
+	q := New(okRunner(&Result{}), Options{RetryBase: 100 * time.Millisecond, RetryMax: time.Second, RetrySeed: 42})
+	defer q.Drain(context.Background())
+	q2 := New(okRunner(&Result{}), Options{RetryBase: 100 * time.Millisecond, RetryMax: time.Second, RetrySeed: 42})
+	defer q2.Drain(context.Background())
+
+	var seq []time.Duration
+	for attempt := 0; attempt < 8; attempt++ {
+		d := q.nextBackoff(attempt)
+		// d must lie in [cap/2, cap] for cap = min(base<<attempt, max).
+		capd := 100 * time.Millisecond << attempt
+		if capd > time.Second || capd <= 0 {
+			capd = time.Second
+		}
+		if d < capd/2 || d > capd {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, capd/2, capd)
+		}
+		seq = append(seq, d)
+	}
+	// Same seed, same sequence: the jitter is deterministic.
+	for attempt := 0; attempt < 8; attempt++ {
+		if d := q2.nextBackoff(attempt); d != seq[attempt] {
+			t.Fatalf("attempt %d: seeded backoff diverged: %v vs %v", attempt, d, seq[attempt])
+		}
+	}
+	// Huge attempt numbers must not overflow past the cap.
+	if d := q.nextBackoff(200); d > time.Second {
+		t.Fatalf("attempt 200: backoff %v exceeds cap", d)
+	}
+}
+
+func TestRetryEventsCarryAttemptAndBackoff(t *testing.T) {
+	var attempts atomic.Int32
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		if attempts.Add(1) < 3 {
+			return nil, fmt.Errorf("%w: flaky", ErrTransient)
+		}
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
+	defer q.Drain(context.Background())
+	s, err := q.Submit(testSpec(t, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q, s.ID)
+	history, _, stop, _ := q.Watch(s.ID)
+	stop()
+	var retries []Event
+	for _, ev := range history {
+		if ev.Stage == "retry" {
+			retries = append(retries, ev)
+		}
+	}
+	if len(retries) != 2 {
+		t.Fatalf("retry events = %d, want 2: %+v", len(retries), history)
+	}
+	for i, ev := range retries {
+		if ev.Attempt != i+1 {
+			t.Errorf("retry %d: attempt = %d, want %d", i, ev.Attempt, i+1)
+		}
+		if ev.BackoffMS < 0 {
+			t.Errorf("retry %d: negative backoff %d", i, ev.BackoffMS)
+		}
+	}
+	// The terminal event carries the final attempt count.
+	last := history[len(history)-1]
+	if last.State != StateDone || last.Attempt != 3 {
+		t.Fatalf("terminal event = %+v, want done on attempt 3", last)
+	}
+}
+
+func TestRunTimeoutFailsJob(t *testing.T) {
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	q := New(runner, Options{Workers: 1, RunTimeout: 30 * time.Millisecond})
+	defer q.Drain(context.Background())
+	s, err := q.Submit(testSpec(t, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %q, want failed (deadline is not a cancel)", final.State)
+	}
+	if !strings.Contains(final.Error, "run deadline") {
+		t.Fatalf("error %q does not mention the run deadline", final.Error)
+	}
+}
+
+func TestRunTimeoutSpansRetries(t *testing.T) {
+	// Every attempt fails transiently; the per-job deadline must cut the
+	// retry loop short rather than letting MaxRetries prolong it.
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		return nil, fmt.Errorf("%w: down", ErrTransient)
+	}
+	q := New(runner, Options{Workers: 1, MaxRetries: 1000, RetryBase: 5 * time.Millisecond, RetryMax: 5 * time.Millisecond, RunTimeout: 50 * time.Millisecond})
+	defer q.Drain(context.Background())
+	s, err := q.Submit(testSpec(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline did not bound the retry loop: %v", elapsed)
+	}
+}
+
+func TestRestoreTerminalJobQueryable(t *testing.T) {
+	spec := testSpec(t, 43)
+	fp, _ := spec.Fingerprint()
+	q := New(okRunner(&Result{}), Options{Restore: []RestoredJob{
+		{ID: "job-000007", Spec: spec, Fingerprint: fp, State: StateDone, Attempts: 2, CacheHit: true, Submitted: time.Unix(1, 0), Finished: time.Unix(2, 0)},
+		{ID: "job-000008", Spec: spec, Fingerprint: fp, State: StateFailed, Attempts: 3, Error: "boom", Submitted: time.Unix(3, 0)},
+	}})
+	defer q.Drain(context.Background())
+
+	s, ok := q.Get("job-000007")
+	if !ok || s.State != StateDone || !s.CacheHit || s.Attempts != 2 {
+		t.Fatalf("restored done job = %+v, ok=%v", s, ok)
+	}
+	if _, ok := q.Result("job-000007"); ok {
+		t.Fatal("restored job should have no in-memory result")
+	}
+	f, ok := q.Get("job-000008")
+	if !ok || f.State != StateFailed || f.Error != "boom" {
+		t.Fatalf("restored failed job = %+v", f)
+	}
+	// Watch on a restored terminal job replays the synthetic history.
+	history, live, stop, ok := q.Watch("job-000007")
+	if !ok || len(history) == 0 || history[0].Stage != "restored" {
+		t.Fatalf("history = %+v", history)
+	}
+	stop()
+	for range live {
+		t.Fatal("terminal restored job delivered live events")
+	}
+	// The ID sequence continues past the restored IDs.
+	snap, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "job-000009" {
+		t.Fatalf("next ID = %s, want job-000009", snap.ID)
+	}
+}
+
+func TestRestoreReenqueuesNonTerminal(t *testing.T) {
+	spec := testSpec(t, 44)
+	fp, _ := spec.Fingerprint()
+	q := New(okRunner(&Result{TableText: []byte("t")}), Options{Workers: 2, Restore: []RestoredJob{
+		{ID: "job-000001", Spec: spec, Fingerprint: fp, State: StateQueued, Submitted: time.Unix(1, 0)},
+		{ID: "job-000002", Spec: spec, Fingerprint: fp, State: StateRunning, Attempts: 1, Submitted: time.Unix(2, 0)},
+	}})
+	defer q.Drain(context.Background())
+	for _, id := range []string{"job-000001", "job-000002"} {
+		final := waitTerminal(t, q, id)
+		if final.State != StateDone {
+			t.Fatalf("restored job %s state %q, want done (error %q)", id, final.State, final.Error)
+		}
+		if res, ok := q.Result(id); !ok || string(res.TableText) != "t" {
+			t.Fatalf("restored job %s result missing", id)
+		}
+	}
+}
+
+func TestRestoreSkipsInvalidIDs(t *testing.T) {
+	spec := testSpec(t, 45)
+	fp, _ := spec.Fingerprint()
+	q := New(okRunner(&Result{}), Options{Restore: []RestoredJob{
+		{ID: "not-a-job", Spec: spec, Fingerprint: fp, State: StateQueued},
+		{ID: "job--3", Spec: spec, Fingerprint: fp, State: StateQueued},
+	}})
+	defer q.Drain(context.Background())
+	if list := q.List(); len(list) != 0 {
+		t.Fatalf("invalid restored jobs accepted: %+v", list)
+	}
+}
+
+func TestAdmissionBoundCountsBacklog(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return &Result{}, nil
+	}
+	spec := testSpec(t, 46)
+	fp, _ := spec.Fingerprint()
+	// One restored job + QueueDepth 1: the restored backlog occupies the
+	// admission budget until a worker picks it up.
+	q := New(runner, Options{Workers: 1, QueueDepth: 1, Restore: []RestoredJob{
+		{ID: "job-000001", Spec: spec, Fingerprint: fp, State: StateQueued, Submitted: time.Unix(1, 0)},
+	}})
+	defer func() {
+		close(block)
+		q.Drain(context.Background())
+	}()
+	<-started // worker picked up the restored job; backlog is empty again
+	if _, err := q.Submit(testSpec(t, 47)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(testSpec(t, 48)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if b := q.Backlog(); b != 1 {
+		t.Fatalf("backlog = %d, want 1", b)
+	}
+}
+
+// recordingSink captures journal notifications for assertions.
+type recordingSink struct {
+	mu   sync.Mutex
+	subs []string
+	trns []string
+}
+
+func (r *recordingSink) Submitted(id, fp string, spec scenario.Spec, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs = append(r.subs, id)
+}
+
+func (r *recordingSink) Transition(id string, state State, attempt int, cacheHit bool, errMsg string, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trns = append(r.trns, fmt.Sprintf("%s:%s", id, state))
+}
+
+func (r *recordingSink) snapshot() ([]string, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.subs...), append([]string(nil), r.trns...)
+}
+
+func TestJournalSinkSeesLifecycle(t *testing.T) {
+	sink := &recordingSink{}
+	q := New(okRunner(&Result{}), Options{Workers: 1, Journal: sink})
+	defer q.Drain(context.Background())
+	s, err := q.Submit(testSpec(t, 49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q, s.ID)
+	subs, trns := sink.snapshot()
+	if len(subs) != 1 || subs[0] != s.ID {
+		t.Fatalf("submissions journaled: %v", subs)
+	}
+	want := []string{s.ID + ":running", s.ID + ":done"}
+	if len(trns) != len(want) {
+		t.Fatalf("transitions journaled: %v, want %v", trns, want)
+	}
+	for i := range want {
+		if trns[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, trns[i], want[i])
+		}
+	}
+}
+
+func TestJournalSinkSeesQueuedCancel(t *testing.T) {
+	sink := &recordingSink{}
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return &Result{}, nil
+	}
+	q := New(runner, Options{Workers: 1, Journal: sink})
+	defer func() {
+		close(block)
+		q.Drain(context.Background())
+	}()
+	if _, err := q.Submit(testSpec(t, 50)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := q.Submit(testSpec(t, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Cancel(queued.ID)
+	_, trns := sink.snapshot()
+	found := false
+	for _, tr := range trns {
+		if tr == queued.ID+":canceled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("queued cancel not journaled: %v", trns)
 	}
 }

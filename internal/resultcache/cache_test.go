@@ -102,8 +102,8 @@ func TestInvalidFingerprintRejected(t *testing.T) {
 		}
 	}
 	// Nothing escaped the cache root.
-	if _, err := os.Stat(filepath.Join(dir, "v1")); err == nil {
-		entries, _ := os.ReadDir(filepath.Join(dir, "v1"))
+	if _, err := os.Stat(filepath.Join(dir, "v2")); err == nil {
+		entries, _ := os.ReadDir(filepath.Join(dir, "v2"))
 		if len(entries) != 0 {
 			t.Fatalf("unexpected entries: %v", entries)
 		}
@@ -120,7 +120,7 @@ func TestPartialEntryIsMiss(t *testing.T) {
 	if err := c.Put(e); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "v1", e.Fingerprint, "table.csv")); err != nil {
+	if err := os.Remove(filepath.Join(dir, "v2", e.Fingerprint, "table.csv")); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, err := c.Get(e.Fingerprint); err != nil || ok {
@@ -143,7 +143,7 @@ func TestEvictionKeepsRecent(t *testing.T) {
 		// Age the directory so mtime ordering is unambiguous even on
 		// coarse-grained filesystems.
 		old := time.Now().Add(time.Duration(i-10) * time.Hour)
-		if err := os.Chtimes(filepath.Join(dir, "v1", e.Fingerprint), old, old); err != nil {
+		if err := os.Chtimes(filepath.Join(dir, "v2", e.Fingerprint), old, old); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -8,7 +8,8 @@
 //	GET  /v1/jobs/{id}/result completed result (tables + manifest)
 //	GET  /v1/jobs/{id}/events progress stream, one JSON object per line
 //	GET  /v1/cache            result-cache effectiveness counters
-//	GET  /healthz             liveness probe
+//	GET  /healthz             liveness probe (always 200 while the process serves)
+//	GET  /readyz              readiness probe (503 during journal replay and drain)
 //	GET  /metrics             Prometheus text format (telemetry registry)
 //	GET  /debug/pprof/...     net/http/pprof (reused from the PR-2 wiring)
 //
@@ -17,6 +18,12 @@
 // Runner (built here) consults the internal/resultcache first — so a
 // repeated scenario answers from the cache with byte-identical result
 // tables instead of re-simulating.
+//
+// Error contract: every error response is a JSON document
+// {"error": "...", "status": N} — including the mux's own 404/405s, which
+// are intercepted and rewritten — and every load-shedding response (429,
+// 503) carries a Retry-After header so well-behaved clients back off
+// instead of hammering a draining or saturated server.
 package server
 
 import (
@@ -28,6 +35,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"sync"
 
 	"tempriv/internal/jobs"
 	"tempriv/internal/resultcache"
@@ -38,18 +47,48 @@ import (
 // maxSpecBytes bounds a submitted scenario document.
 const maxSpecBytes = 1 << 20
 
+// Readiness states reported by /readyz. Only ReadyServing answers 200;
+// the others answer 503 + Retry-After so orchestrators hold traffic while
+// the journal replays at boot and route away during drain — without
+// /healthz ever going red (the process is alive the whole time).
+const (
+	ReadyStarting  = "starting"
+	ReadyReplaying = "replaying"
+	ReadyServing   = "ready"
+	ReadyDraining  = "draining"
+)
+
 // Server routes the HTTP API onto a job queue and an optional result cache.
 type Server struct {
 	queue *jobs.Queue
 	cache *resultcache.Cache
 	reg   *telemetry.Registry
 	mux   *http.ServeMux
+	sheds *telemetry.Counter
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	mu        sync.Mutex
+	readiness string
 }
 
 // New assembles the API. cache may be nil (every submission simulates
-// fresh); reg may be nil (no /metrics).
+// fresh); reg may be nil (no /metrics). The server starts in the
+// ReadyStarting state; the daemon advances it via SetReady as boot
+// proceeds.
 func New(queue *jobs.Queue, cache *resultcache.Cache, reg *telemetry.Registry) *Server {
-	s := &Server{queue: queue, cache: cache, reg: reg, mux: http.NewServeMux()}
+	s := &Server{
+		queue:     queue,
+		cache:     cache,
+		reg:       reg,
+		mux:       http.NewServeMux(),
+		stopCh:    make(chan struct{}),
+		readiness: ReadyStarting,
+	}
+	if reg != nil {
+		s.sheds = reg.Counter("temprivd_sheds_total")
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -60,6 +99,7 @@ func New(queue *jobs.Queue, cache *resultcache.Cache, reg *telemetry.Registry) *
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	if reg != nil {
 		s.mux.Handle("GET /metrics", reg)
 	}
@@ -72,13 +112,45 @@ func New(queue *jobs.Queue, cache *resultcache.Cache, reg *telemetry.Registry) *
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetReady moves the readiness state machine (starting → replaying →
+// ready → draining). Safe from any goroutine.
+func (s *Server) SetReady(state string) {
+	s.mu.Lock()
+	s.readiness = state
+	s.mu.Unlock()
+}
+
+// Readiness returns the current /readyz state.
+func (s *Server) Readiness() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readiness
+}
+
+// Stop tells long-lived handlers (the /events streams) to terminate.
+// Called at shutdown before http.Server.Shutdown, which otherwise waits
+// forever for streaming clients to hang up on their own. Idempotent.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+}
+
+// ServeHTTP implements http.Handler. Responses are filtered so that any
+// plain-text error (the mux's own 404/405) leaves as the JSON error
+// contract instead.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	jw := &jsonErrorWriter{rw: w}
+	s.mux.ServeHTTP(jw, r)
+	jw.finish()
+}
 
 // NewRunner builds the queue Runner that gives the server (and anything
 // else sharing the queue) its cache-first execution path: consult the
 // result cache by spec fingerprint, re-simulate only on a miss, and store
 // the fresh artifacts for the next identical submission.
+//
+// Storage sickness never fails a job here: the cache converts corrupt
+// entries and I/O errors into misses (quarantining / breaker-bypassing
+// internally), and a failed Put costs only the cache fill.
 func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorkers int) jobs.Runner {
 	counter := func(name string) *telemetry.Counter {
 		if reg == nil {
@@ -99,9 +171,9 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 		if cache != nil {
 			entry, ok, err := cache.Get(fp)
 			if err != nil {
-				// A sick cache should not take serving down: treat the read
-				// failure as transient so the queue retries the whole path.
-				return nil, fmt.Errorf("%w: result cache get: %v", jobs.ErrTransient, err)
+				// Only a malformed fingerprint reaches here (I/O trouble is
+				// already a miss); treat it as a miss and recompute.
+				progress("cache", "get failed: "+err.Error())
 			}
 			if ok {
 				inc(hits)
@@ -150,6 +222,15 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 	}
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	state := s.Readiness()
+	if state == ReadyServing {
+		writeJSON(w, http.StatusOK, map[string]string{"status": state})
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready: %s", state))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
@@ -168,16 +249,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.queue.Submit(spec)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		s.shed(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, jobs.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.shed(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// shed rejects a submission with backpressure semantics: counted in
+// telemetry, answered with Retry-After (writeError adds it for 429/503).
+func (s *Server) shed(w http.ResponseWriter, status int, err error) {
+	if s.sheds != nil {
+		s.sheds.Inc()
+	}
+	writeError(w, status, err)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -221,20 +311,41 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, ok := s.queue.Result(id)
-	if !ok {
-		writeError(w, http.StatusConflict, fmt.Errorf("job is %s, no result available", snap.State))
+	if ok {
+		writeJSON(w, http.StatusOK, resultBody{
+			Fingerprint: res.Fingerprint,
+			TableText:   string(res.TableText),
+			TableCSV:    string(res.TableCSV),
+			Manifest:    json.RawMessage(res.Manifest),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, resultBody{
-		Fingerprint: res.Fingerprint,
-		TableText:   string(res.TableText),
-		TableCSV:    string(res.TableCSV),
-		Manifest:    json.RawMessage(res.Manifest),
-	})
+	if snap.State == jobs.StateDone {
+		// The job finished in a previous process life (journal replay keeps
+		// it queryable) so its bytes live only in the result cache. Content
+		// addressing makes this exact: the cached entry for the job's
+		// fingerprint IS the job's result.
+		if s.cache != nil && len(snap.Fingerprint) == 64 {
+			if entry, hit, err := s.cache.Get(snap.Fingerprint); err == nil && hit {
+				writeJSON(w, http.StatusOK, resultBody{
+					Fingerprint: entry.Fingerprint,
+					TableText:   string(entry.TableText),
+					TableCSV:    string(entry.TableCSV),
+					Manifest:    json.RawMessage(entry.Manifest),
+				})
+				return
+			}
+		}
+		writeError(w, http.StatusGone, errors.New("job completed before a restart and its cached result is no longer available; resubmit the spec"))
+		return
+	}
+	writeError(w, http.StatusConflict, fmt.Errorf("job is %s, no result available", snap.State))
 }
 
 // handleEvents streams the job's progress as JSON Lines: full history
-// first, then live events until the job finishes or the client leaves.
+// first, then live events until the job finishes, the client leaves, or
+// the server stops (shutdown closes every stream promptly so Shutdown's
+// drain is not hostage to long-lived watchers).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	history, live, stop, ok := s.queue.Watch(r.PathValue("id"))
 	if !ok {
@@ -269,6 +380,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !emit(ev) {
 				return
 			}
+		case <-s.stopCh:
+			return
 		case <-r.Context().Done():
 			return
 		}
@@ -291,6 +404,81 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorBody is the uniform error document every failing response carries.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// writeError emits the JSON error contract. Backpressure statuses (429,
+// 503) additionally carry Retry-After so clients know the rejection is
+// about load, not about their request.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), Status: status})
+}
+
+// jsonErrorWriter upholds the JSON error contract for responses the
+// handlers never see: the mux's built-in 404 (no route) and 405 (wrong
+// method) write text/plain bodies, which this wrapper swallows and
+// rewrites via writeError. Responses that already declare JSON (all
+// handler output) pass through untouched.
+type jsonErrorWriter struct {
+	rw          http.ResponseWriter
+	wroteHeader bool
+	intercepted bool
+	status      int
+}
+
+func (j *jsonErrorWriter) Header() http.Header { return j.rw.Header() }
+
+func (j *jsonErrorWriter) WriteHeader(status int) {
+	if j.wroteHeader {
+		return
+	}
+	j.wroteHeader = true
+	ct := j.rw.Header().Get("Content-Type")
+	if status >= http.StatusBadRequest && !strings.HasPrefix(ct, "application/json") {
+		// Hold the response: finish() rewrites it as the JSON contract.
+		j.intercepted = true
+		j.status = status
+		return
+	}
+	j.rw.WriteHeader(status)
+}
+
+func (j *jsonErrorWriter) Write(p []byte) (int, error) {
+	if !j.wroteHeader {
+		j.WriteHeader(http.StatusOK)
+	}
+	if j.intercepted {
+		// Discard the plain-text error body; report it written so the
+		// originating handler does not see a broken connection.
+		return len(p), nil
+	}
+	return j.rw.Write(p)
+}
+
+// Flush implements http.Flusher so the /events stream keeps its live
+// semantics through the wrapper.
+func (j *jsonErrorWriter) Flush() {
+	if j.intercepted {
+		return
+	}
+	if f, ok := j.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finish emits the rewritten error for an intercepted response.
+func (j *jsonErrorWriter) finish() {
+	if !j.intercepted {
+		return
+	}
+	h := j.rw.Header()
+	h.Del("Content-Length")
+	h.Del("X-Content-Type-Options")
+	writeError(j.rw, j.status, errors.New(strings.ToLower(http.StatusText(j.status))))
 }

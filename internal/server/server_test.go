@@ -29,7 +29,7 @@ func newTestServer(t *testing.T, withCache bool) (*httptest.Server, *jobs.Queue,
 		}
 	}
 	reg := telemetry.NewRegistry()
-	q := jobs.New(NewRunner(cache, reg, 1), jobs.Options{Workers: 2, RetryDelay: time.Millisecond})
+	q := jobs.New(NewRunner(cache, reg, 1), jobs.Options{Workers: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
 	ts := httptest.NewServer(New(q, cache, reg))
 	t.Cleanup(func() {
 		ts.Close()
@@ -348,7 +348,7 @@ func TestListAndAuxEndpoints(t *testing.T) {
 func TestRunnerWithoutCacheRunsFresh(t *testing.T) {
 	// The runner works with no cache at all: every submission simulates.
 	runner := NewRunner(nil, nil, 1)
-	q := jobs.New(runner, jobs.Options{Workers: 1, RetryDelay: time.Millisecond})
+	q := jobs.New(runner, jobs.Options{Workers: 1, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
 	defer q.Drain(context.Background())
 	spec, err := scenario.Parse([]byte(smallScenario))
 	if err != nil {
