@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Reads `go test -bench` output on stdin and enforces the performance
+invariants this repo commits to (BENCH_4.json, BENCH_6.json). All
+comparisons are *relative, same-machine* — CI hardware varies run to run,
+so the gate never compares against wall-clock numbers measured elsewhere:
+
+  1. The engine fast paths stay allocation-free: the kernel schedule/fire,
+     drain, and churn benchmarks and the lossless forwarding hop must
+     report 0 allocs/op.
+  2. The typed event kernel stays faster than the legacy container/heap
+     kernel kept as a test double (same machine, same run).
+  3. Streaming durability stays cheap: a replicated run with a chunk-store
+     sink attached must stay within STREAM_OVERHEAD_MAX of the nil-sink
+     (monolithic) path.
+
+Usage:  go test -run '^$' -bench ... -benchmem ./... | python3 ci/benchgate.py
+"""
+
+import re
+import sys
+
+STREAM_OVERHEAD_MAX = 1.50  # chunk-sink path may cost at most +50%
+
+# name -> (ns_per_op, bytes_per_op, allocs_per_op)
+BENCH_RE = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op"
+    r"(?:.*?\s([\d.]+) B/op\s+(\d+) allocs/op)?"
+)
+
+ZERO_ALLOC = [
+    "BenchmarkKernelScheduleFire",
+    "BenchmarkKernelScheduleDrain",
+    "BenchmarkKernelChurn",
+    "BenchmarkForwardHop",
+]
+
+FASTER_THAN_LEGACY = [
+    ("BenchmarkKernelScheduleFire", "BenchmarkLegacyScheduleFire"),
+    ("BenchmarkKernelScheduleDrain", "BenchmarkLegacyScheduleDrain"),
+    ("BenchmarkKernelChurn", "BenchmarkLegacyChurn"),
+]
+
+
+def main():
+    results = {}
+    for line in sys.stdin:
+        m = BENCH_RE.match(line.strip())
+        if not m:
+            continue
+        name, ns = m.group(1), float(m.group(2))
+        allocs = int(m.group(4)) if m.group(4) is not None else None
+        # Keep the slowest observation if a benchmark appears twice.
+        if name not in results or ns > results[name][0]:
+            results[name] = (ns, allocs)
+
+    failures = []
+
+    def need(name):
+        if name not in results:
+            failures.append(f"missing benchmark in input: {name}")
+            return None
+        return results[name]
+
+    for name in ZERO_ALLOC:
+        r = need(name)
+        if r and r[1] not in (0, None) :
+            failures.append(f"{name}: {r[1]} allocs/op, fast path must stay 0")
+        if r and r[1] is None:
+            failures.append(f"{name}: no allocs/op reported (run with -benchmem)")
+
+    for fast, slow in FASTER_THAN_LEGACY:
+        rf, rs = need(fast), need(slow)
+        if rf and rs and rf[0] >= rs[0]:
+            failures.append(
+                f"{fast} ({rf[0]:.1f} ns/op) is not faster than {slow} ({rs[0]:.1f} ns/op)"
+            )
+
+    nil_sink = need("BenchmarkReplicateStreamNilSink")
+    chunk_sink = need("BenchmarkReplicateStreamChunkSink")
+    if nil_sink and chunk_sink:
+        ratio = chunk_sink[0] / nil_sink[0]
+        if ratio > STREAM_OVERHEAD_MAX:
+            failures.append(
+                f"chunk-sink replication costs {ratio:.2f}x the monolithic path "
+                f"(limit {STREAM_OVERHEAD_MAX:.2f}x)"
+            )
+        else:
+            print(f"benchgate: streaming overhead {ratio:.2f}x (limit {STREAM_OVERHEAD_MAX:.2f}x)")
+
+    if failures:
+        for f in failures:
+            print(f"benchgate: FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"benchgate: OK ({len(results)} benchmarks checked)")
+
+
+if __name__ == "__main__":
+    main()

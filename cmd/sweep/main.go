@@ -23,6 +23,13 @@
 //
 //	sweep -exp all -cache ~/.cache/tempriv
 //
+// Crash-resumable sweeps — with -resume, every replicate is persisted to a
+// checksummed chunk store as it completes, and a re-run of the same command
+// (same directory) resumes from the surviving replicates instead of
+// recomputing them, with byte-identical output:
+//
+//	sweep -exp fig2b -replicate 32 -resume ./chunks
+//
 // With -out, every experiment also gets an <id>.manifest.json recording
 // its configuration fingerprint, seed and wall-clock, and the whole sweep
 // a summary.json aggregating them (cache hit/miss counts included).
@@ -44,6 +51,7 @@ import (
 	"tempriv"
 	"tempriv/internal/profiling"
 	"tempriv/internal/resultcache"
+	"tempriv/internal/resultstream"
 	"tempriv/internal/scenario"
 )
 
@@ -61,6 +69,7 @@ func run(args []string) (err error) {
 		list          = fs.Bool("list", false, "list registered experiments and exit")
 		out           = fs.String("out", "", "directory to write <id>.txt, <id>.csv and <id>.manifest.json into (optional)")
 		cacheDir      = fs.String("cache", "", "result-cache directory: identical scenarios replay cached tables instead of re-simulating")
+		resumeDir     = fs.String("resume", "", "result-chunk directory: persist each replicate as it completes and resume interrupted sweeps from the surviving chunks")
 		seed          = fs.Uint64("seed", 0, "random seed (0 = paper default)")
 		packets       = fs.Int("packets", 0, "packets per source (0 = paper default 1000)")
 		interarrivals = fs.String("interarrivals", "", "comma-separated 1/λ sweep (default 2..20)")
@@ -170,6 +179,13 @@ func run(args []string) (err error) {
 			return err
 		}
 	}
+	var chunks *resultstream.Store
+	if *resumeDir != "" {
+		var err error
+		if chunks, err = resultstream.Open(*resumeDir, resultstream.Options{}); err != nil {
+			return err
+		}
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return fmt.Errorf("creating output directory: %w", err)
@@ -187,7 +203,7 @@ func run(args []string) (err error) {
 	p.Capacity = first.Capacity
 
 	var manifests []runManifest
-	var hits, misses int
+	var hits, misses, resumedReps int
 	sweepStart := time.Now()
 	for i, e := range selected {
 		spec := specs[i]
@@ -214,12 +230,47 @@ func run(args []string) (err error) {
 			}
 		}
 		if text == nil {
-			outcome, err := scenario.Run(context.Background(), spec, scenario.Options{
+			runOpts := scenario.Options{
 				ReplicateWorkers: *repWorkers,
 				SweepWorkers:     *workers,
-			})
+			}
+			var sink *resultstream.Sink
+			if chunks != nil {
+				var err error
+				sink, err = chunks.Sink(fp, spec.Replicates(), resultstream.SinkHooks{
+					Quarantined: func(n int) {
+						fmt.Fprintf(os.Stderr, "sweep: %s: %d corrupt chunk(s) quarantined; recomputing their replicates\n", e.ID, n)
+					},
+					AppendError: func(err error) {
+						fmt.Fprintf(os.Stderr, "sweep: %s: chunk append failed (resume degraded): %v\n", e.ID, err)
+					},
+				})
+				if err != nil {
+					return fmt.Errorf("opening chunk store for %s: %w", e.ID, err)
+				}
+				// Assigned only when non-nil: a typed-nil sink would pass the
+				// engine's interface check and then panic on use.
+				runOpts.Sink = sink
+				if n := sink.Persisted(); n > 0 {
+					fmt.Fprintf(os.Stderr, "sweep: %s: resuming, %d of %d replicate(s) already persisted\n", e.ID, n, spec.Replicates())
+				}
+			}
+			outcome, err := scenario.Run(context.Background(), spec, runOpts)
+			if sink != nil {
+				resumedReps += sink.Skipped()
+				if cerr := sink.Close(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %s: closing chunk writer: %v\n", e.ID, cerr)
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("running %s: %w", e.ID, err)
+			}
+			if chunks != nil {
+				// The experiment completed; its per-replicate chunks have
+				// served their purpose.
+				if err := chunks.Remove(fp); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep: %s: removing finished chunks: %v\n", e.ID, err)
+				}
 			}
 			text, csv = outcome.TableText, outcome.TableCSV
 			if scenarioManifest, err = outcome.ManifestJSON(); err != nil {
@@ -259,6 +310,9 @@ func run(args []string) (err error) {
 
 	if cache != nil {
 		fmt.Printf("result cache: %d hit(s), %d miss(es)\n", hits, misses)
+	}
+	if chunks != nil && resumedReps > 0 {
+		fmt.Printf("resume: %d replicate(s) served from surviving chunks\n", resumedReps)
 	}
 	if *out != "" && len(manifests) > 0 {
 		summary := sweepSummary{

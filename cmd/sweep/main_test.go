@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tempriv/internal/resultstream"
+	"tempriv/internal/scenario"
 )
 
 func TestListMode(t *testing.T) {
@@ -274,5 +279,80 @@ func TestCacheSeedChangeMisses(t *testing.T) {
 	}
 	if s.CacheHits != 0 || s.CacheMisses != 1 {
 		t.Fatalf("changed seed should miss: %+v", s)
+	}
+}
+
+func TestResumeFlagServesSurvivingChunks(t *testing.T) {
+	// Baseline: an uninterrupted replicated sweep.
+	baseDir := t.TempDir()
+	args := []string{"-exp", "fig2b", "-packets", "60", "-interarrivals", "5", "-replicate", "4"}
+	if err := run(append(args, "-out", baseDir)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(baseDir, "fig2b.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake an interrupted -resume sweep: persist all four replicates the
+	// way sweep would (same spec, same fingerprint), then drop the last
+	// two frames as a crash would have.
+	spec := scenario.Spec{
+		Version: scenario.CurrentVersion,
+		Experiment: &scenario.ExperimentSpec{
+			ID: "fig2b", Packets: 60, Interarrivals: []float64{5}, Replicates: 4,
+		},
+	}
+	spec, err = spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunksDir := t.TempDir()
+	store, err := resultstream.Open(chunksDir, resultstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := store.Sink(fp, spec.Replicates(), resultstream.SinkHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Run(context.Background(), spec, scenario.Options{Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	chunkPath := filepath.Join(chunksDir, fp+".chunks.jsonl")
+	data, err := os.ReadFile(chunkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := bytes.SplitAfter(data, []byte("\n"))
+	if len(frames) < 4 {
+		t.Fatalf("expected 4 chunk frames, got %d", len(frames))
+	}
+	if err := os.WriteFile(chunkPath, bytes.Join(frames[:2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed sweep must produce byte-identical artifacts and clean up
+	// the spent chunks.
+	resumeOut := t.TempDir()
+	if err := run(append(args, "-out", resumeOut, "-resume", chunksDir)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(resumeOut, "fig2b.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed sweep differs from uninterrupted sweep:\n%s\nvs\n%s", got, want)
+	}
+	if _, err := os.Stat(chunkPath); !os.IsNotExist(err) {
+		t.Fatalf("chunk file survives after a finished sweep: %v", err)
 	}
 }

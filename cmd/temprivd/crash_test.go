@@ -44,6 +44,9 @@ func TestHelperDaemon(t *testing.T) {
 		"-cache", os.Getenv("TEMPRIVD_CACHE"),
 		"-journal", os.Getenv("TEMPRIVD_JOURNAL"),
 	}
+	if dir := os.Getenv("TEMPRIVD_CHUNKS"); dir != "" {
+		args = append(args, "-chunks", dir)
+	}
 	if err := run(context.Background(), args, ready); err != nil {
 		fmt.Fprintln(os.Stderr, "helper daemon:", err)
 		os.Exit(1)

@@ -39,6 +39,7 @@ import (
 	"tempriv/internal/jobs"
 	"tempriv/internal/jobstore"
 	"tempriv/internal/resultcache"
+	"tempriv/internal/resultstream"
 	"tempriv/internal/scenario"
 	"tempriv/internal/server"
 	"tempriv/internal/telemetry"
@@ -68,6 +69,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		cacheDir     = fs.String("cache", "", "result-cache directory (empty = caching disabled)")
 		cacheMaxMB   = fs.Int64("cache-max-mb", 256, "result-cache size bound in MiB (-1 = unbounded)")
 		journalDir   = fs.String("journal", "", "job journal directory (empty = no crash durability)")
+		chunksDir    = fs.String("chunks", "", "result-chunk directory for streaming/resumable replicates (empty = disabled)")
 		workers      = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
 		queueDepth   = fs.Int("queue-depth", 64, "max queued jobs before 429")
 		retries      = fs.Int("retries", 2, "transient-failure retries per job")
@@ -154,6 +156,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 				ID: rj.ID, Spec: spec, Fingerprint: rj.Fingerprint,
 				State: rj.State, Attempts: rj.Attempt, CacheHit: rj.CacheHit,
 				Error: rj.Error, Submitted: rj.Submitted, Finished: rj.Finished,
+				ChunkHWM: rj.ChunkHWM,
 			})
 		}
 		st := journal.Stats()
@@ -173,8 +176,17 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		// the queue's interface check and then panic on use.
 		opts.Journal = journal
 	}
-	queue := jobs.New(server.NewRunner(cache, reg, *repWorkers), opts)
-	api := server.New(queue, cache, reg)
+	var chunks *resultstream.Store
+	if *chunksDir != "" {
+		var err error
+		chunks, err = resultstream.Open(*chunksDir, resultstream.Options{})
+		if err != nil {
+			return fmt.Errorf("opening chunk store: %w", err)
+		}
+	}
+
+	queue := jobs.New(server.NewRunner(cache, reg, *repWorkers, chunks), opts)
+	api := server.New(queue, cache, chunks, reg)
 	api.SetReady(server.ReadyReplaying)
 
 	ln, err := net.Listen("tcp", *addr)

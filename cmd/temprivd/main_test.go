@@ -45,11 +45,12 @@ func startDaemon(t *testing.T, extraArgs ...string) (string, func() error) {
 }
 
 type jobView struct {
-	ID          string `json:"id"`
-	Fingerprint string `json:"fingerprint"`
-	State       string `json:"state"`
-	CacheHit    bool   `json:"cache_hit"`
-	Error       string `json:"error"`
+	ID              string `json:"id"`
+	Fingerprint     string `json:"fingerprint"`
+	State           string `json:"state"`
+	CacheHit        bool   `json:"cache_hit"`
+	Error           string `json:"error"`
+	ChunksPersisted int    `json:"chunks_persisted"`
 }
 
 func postJob(t *testing.T, base, doc string) jobView {

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"tempriv/internal/metrics"
 	"tempriv/internal/packet"
@@ -222,6 +223,11 @@ type PathAware struct {
 	// paths maps each flow to its buffering nodes (source and
 	// intermediates, sink excluded).
 	paths map[packet.NodeID][]packet.NodeID
+	// order is the flows in ascending ID order. nodeRate accumulates
+	// floating-point rates over it instead of ranging the map: float
+	// addition is not associative, so map iteration order would leak into
+	// the estimate at ulp scale and break bit-reproducibility of runs.
+	order []packet.NodeID
 	flows map[packet.NodeID]*flowTrack
 }
 
@@ -248,6 +254,7 @@ func NewPathAware(tau, meanDelay float64, k int, threshold float64, paths map[pa
 		return nil, errors.New("adversary: path-aware adversary needs at least one flow path")
 	}
 	cp := make(map[packet.NodeID][]packet.NodeID, len(paths))
+	order := make([]packet.NodeID, 0, len(paths))
 	for flow, path := range paths {
 		if len(path) == 0 {
 			return nil, fmt.Errorf("adversary: empty path for flow %v", flow)
@@ -255,13 +262,16 @@ func NewPathAware(tau, meanDelay float64, k int, threshold float64, paths map[pa
 		nodes := make([]packet.NodeID, len(path))
 		copy(nodes, path)
 		cp[flow] = nodes
+		order = append(order, flow)
 	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	return &PathAware{
 		tau:       tau,
 		meanDelay: meanDelay,
 		slots:     k,
 		threshold: threshold,
 		paths:     cp,
+		order:     order,
 		flows:     make(map[packet.NodeID]*flowTrack),
 	}, nil
 }
@@ -303,7 +313,8 @@ func (a *PathAware) Estimate(obs Observation) float64 {
 // nodeRate returns the aggregate measured rate of the flows transiting node.
 func (a *PathAware) nodeRate(node packet.NodeID) float64 {
 	total := 0.0
-	for flow, path := range a.paths {
+	for _, flow := range a.order {
+		path := a.paths[flow]
 		ft, ok := a.flows[flow]
 		if !ok {
 			continue

@@ -526,3 +526,25 @@ func (m *MSEPair) value() float64 {
 	}
 	return m.sum / float64(m.n)
 }
+
+func TestPathAwareNodeRateOrderIsSorted(t *testing.T) {
+	// nodeRate sums floating-point per-flow rates; the sum must run in
+	// sorted flow order, never map order, or estimates differ at ulp scale
+	// between processes and break bit-reproducible replication.
+	paths := map[packet.NodeID][]packet.NodeID{
+		9: {9, 2, 1}, 3: {3, 2, 1}, 7: {7, 2, 1}, 5: {5, 2, 1},
+	}
+	a, err := NewPathAware(1, 30, 10, 0.1, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []packet.NodeID{3, 5, 7, 9}
+	if len(a.order) != len(want) {
+		t.Fatalf("order = %v, want %v", a.order, want)
+	}
+	for i, id := range want {
+		if a.order[i] != id {
+			t.Fatalf("order = %v, want %v", a.order, want)
+		}
+	}
+}

@@ -82,6 +82,10 @@ type JournalSink interface {
 	// Transition records a state change. attempt is the attempt count so
 	// far; cacheHit and errMsg qualify terminal states.
 	Transition(id string, state State, attempt int, cacheHit bool, errMsg string, at time.Time)
+	// Chunk records that a running job's persisted result-chunk high-water
+	// mark reached hwm replicates (see internal/resultstream), so a
+	// post-crash restore knows the job resumes rather than restarts.
+	Chunk(id string, hwm int, at time.Time)
 }
 
 // Event is one progress record. Events are totally ordered per job by Seq,
@@ -96,6 +100,9 @@ type Event struct {
 	// failed and how long the queue backs off before the next one.
 	Attempt   int   `json:"attempt,omitempty"`
 	BackoffMS int64 `json:"backoff_ms,omitempty"`
+	// Chunks annotates chunk-progress events: how many replicate result
+	// chunks are durably persisted so far.
+	Chunks int `json:"chunks,omitempty"`
 }
 
 // Job is one submitted scenario. All mutable fields are guarded by the
@@ -123,6 +130,39 @@ type Job struct {
 	// restoredHit preserves the cache-hit flag of a journal-restored done
 	// job whose result bytes live in the result cache, not in memory.
 	restoredHit bool
+	// chunkHWM is the persisted result-chunk high-water mark: how many
+	// replicates of this job are durable on disk (internal/resultstream).
+	// Monotonic; survives restore via the journal's chunk records.
+	chunkHWM int
+	// queue points back at the owning queue so NoteChunks can take its lock.
+	queue *Queue
+}
+
+// NoteChunks records that the job's persisted result chunks now cover
+// `persisted` replicates. The Runner calls it (outside the queue lock) as
+// internal/resultstream confirms appends; the mark is monotonic, surfaces
+// as a "chunk" progress event and in Snapshot.ChunksPersisted, and is
+// journaled so a post-crash restore reports how much work survived.
+func (j *Job) NoteChunks(persisted int) {
+	q := j.queue
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.state.Terminal() || persisted <= j.chunkHWM {
+		return
+	}
+	j.chunkHWM = persisted
+	q.appendEventLocked(j, Event{
+		State:   j.state,
+		Stage:   "chunk",
+		Message: fmt.Sprintf("%d replicate chunk(s) persisted", persisted),
+		Chunks:  persisted,
+	})
+	if q.opts.Journal != nil {
+		q.opts.Journal.Chunk(j.ID, persisted, time.Now())
+	}
 }
 
 // Snapshot is a consistent, copyable view of a job for status endpoints.
@@ -137,6 +177,11 @@ type Snapshot struct {
 	Submitted   time.Time `json:"submitted"`
 	Started     time.Time `json:"started"`
 	Finished    time.Time `json:"finished"`
+	// Replicates is how many replicates the spec runs; ChunksPersisted is
+	// how many of them are durable as result chunks so far. Together they
+	// let clients gauge partial-result progress (see /result?partial=1).
+	Replicates      int `json:"replicates,omitempty"`
+	ChunksPersisted int `json:"chunks_persisted,omitempty"`
 }
 
 // RestoredJob re-creates one journal-replayed job at queue construction
@@ -154,6 +199,11 @@ type RestoredJob struct {
 	Error     string
 	Submitted time.Time
 	Finished  time.Time
+	// ChunkHWM is the job's journaled result-chunk high-water mark: how
+	// many replicates were durable when the journal last heard. A restored
+	// non-terminal job with ChunkHWM > 0 resumes from the surviving chunks
+	// instead of recomputing them.
+	ChunkHWM int
 }
 
 // Options configure a Queue.
@@ -281,6 +331,7 @@ func (q *Queue) restore(r RestoredJob) {
 		finished:    r.Finished,
 		ctx:         jctx,
 		cancel:      jcancel,
+		queue:       q,
 	}
 	q.jobs[r.ID] = j
 	q.order = append(q.order, r.ID)
@@ -294,10 +345,17 @@ func (q *Queue) restore(r RestoredJob) {
 		j.cancel()
 		return
 	}
-	// Queued or running at crash time: back to the start of the line.
+	// Queued or running at crash time: back to the start of the line. Any
+	// journaled chunk high-water mark carries over so the re-run resumes
+	// from the surviving chunks instead of recomputing them.
 	j.state = StateQueued
 	j.attempts = 0
-	q.appendEventLocked(j, Event{State: StateQueued, Stage: "restored", Message: "re-enqueued after journal replay"})
+	msg := "re-enqueued after journal replay"
+	if r.ChunkHWM > 0 {
+		j.chunkHWM = r.ChunkHWM
+		msg = fmt.Sprintf("re-enqueued after journal replay; %d replicate chunk(s) survive", r.ChunkHWM)
+	}
+	q.appendEventLocked(j, Event{State: StateQueued, Stage: "restored", Message: msg, Chunks: r.ChunkHWM})
 	q.journalTransition(j.ID, StateQueued, 0, false, "")
 	q.pending <- j
 	q.queued++
@@ -339,6 +397,7 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 		submitted:   time.Now(),
 		ctx:         jctx,
 		cancel:      jcancel,
+		queue:       q,
 	}
 	// The enqueue happens under the lock so it cannot race Drain's
 	// close(q.pending); the buffer is sized past the admission bound, so
@@ -623,14 +682,16 @@ func (q *Queue) finishLocked(j *Job) {
 
 func (q *Queue) snapshotLocked(j *Job) Snapshot {
 	s := Snapshot{
-		ID:          j.ID,
-		Name:        j.Spec.Name,
-		Fingerprint: j.Fingerprint,
-		State:       j.state,
-		Attempts:    j.attempts,
-		Submitted:   j.submitted,
-		Started:     j.started,
-		Finished:    j.finished,
+		ID:              j.ID,
+		Name:            j.Spec.Name,
+		Fingerprint:     j.Fingerprint,
+		State:           j.state,
+		Attempts:        j.attempts,
+		Submitted:       j.submitted,
+		Started:         j.started,
+		Finished:        j.finished,
+		Replicates:      j.Spec.Replicates(),
+		ChunksPersisted: j.chunkHWM,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()

@@ -712,7 +712,7 @@ func TestAdmissionBoundCountsBacklog(t *testing.T) {
 		close(block)
 		q.Drain(context.Background())
 	}()
-	<-started // worker picked up the restored job; backlog is empty again
+	<-started                                            // worker picked up the restored job; backlog is empty again
 	if _, err := q.Submit(testSpec(t, 47)); err != nil { // fills the queue
 		t.Fatal(err)
 	}
@@ -726,9 +726,10 @@ func TestAdmissionBoundCountsBacklog(t *testing.T) {
 
 // recordingSink captures journal notifications for assertions.
 type recordingSink struct {
-	mu   sync.Mutex
-	subs []string
-	trns []string
+	mu     sync.Mutex
+	subs   []string
+	trns   []string
+	chunks []string
 }
 
 func (r *recordingSink) Submitted(id, fp string, spec scenario.Spec, at time.Time) {
@@ -741,6 +742,12 @@ func (r *recordingSink) Transition(id string, state State, attempt int, cacheHit
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.trns = append(r.trns, fmt.Sprintf("%s:%s", id, state))
+}
+
+func (r *recordingSink) Chunk(id string, hwm int, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chunks = append(r.chunks, fmt.Sprintf("%s:%d", id, hwm))
 }
 
 func (r *recordingSink) snapshot() ([]string, []string) {

@@ -1,0 +1,153 @@
+package jobstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempriv/internal/jobs"
+)
+
+func TestChunkRecordsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 1)
+	fp, _ := spec.Fingerprint()
+	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Transition("job-000001", jobs.StateRunning, 1, false, "", ts(2))
+	j.Chunk("job-000001", 2, ts(3))
+	j.Chunk("job-000001", 5, ts(4))
+	j.Chunk("job-000001", 3, ts(5)) // stale mark: replay keeps the max
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Jobs()
+	if len(got) != 1 || got[0].ChunkHWM != 5 {
+		t.Fatalf("replayed ChunkHWM = %+v, want 5", got)
+	}
+}
+
+func TestChunkRecordsIgnoredForTerminalOrUnknownJobs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 2)
+	fp, _ := spec.Fingerprint()
+	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Transition("job-000001", jobs.StateDone, 1, false, "", ts(2))
+	j.Chunk("job-000001", 4, ts(3)) // after terminal: the result is cached
+	j.Chunk("job-000099", 4, ts(4)) // unknown job
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if hwm := j2.Jobs()[0].ChunkHWM; hwm != 0 {
+		t.Fatalf("terminal job ChunkHWM = %d, want 0", hwm)
+	}
+	if st := j2.Stats(); st.OrphanStates != 2 {
+		t.Fatalf("orphan records = %d, want 2 (post-terminal + unknown)", st.OrphanStates)
+	}
+}
+
+func TestChunkRecordRejectsBadHWM(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 3)
+	fp, _ := spec.Fingerprint()
+	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Close()
+
+	// A zero/negative HWM line is corruption, not state.
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"chunk","job":"job-000001","hwm":0}` + "\n" +
+		`{"t":"chunk","job":"job-000001","hwm":-3}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st := j2.Stats(); st.CorruptLines != 2 {
+		t.Fatalf("corrupt lines = %d, want 2", st.CorruptLines)
+	}
+	if hwm := j2.Jobs()[0].ChunkHWM; hwm != 0 {
+		t.Fatalf("ChunkHWM = %d, want 0", hwm)
+	}
+}
+
+func TestCompactionPreservesChunkHighWaterMark(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 4)
+	fp, _ := spec.Fingerprint()
+	// A live job mid-run with chunks, and a done job (whose chunks are moot).
+	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Transition("job-000001", jobs.StateRunning, 1, false, "", ts(2))
+	j.Chunk("job-000001", 7, ts(3))
+	j.Submitted("job-000002", fp, spec, ts(4))
+	j.Transition("job-000002", jobs.StateRunning, 1, false, "", ts(5))
+	j.Chunk("job-000002", 1, ts(6))
+	j.Transition("job-000002", jobs.StateDone, 1, false, "", ts(7))
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), `"t":"chunk"`); got != 1 {
+		t.Fatalf("compacted journal has %d chunk records, want 1 (live job only):\n%s", got, data)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	for _, job := range j2.Jobs() {
+		switch job.ID {
+		case "job-000001":
+			if job.ChunkHWM != 7 {
+				t.Fatalf("live job ChunkHWM = %d after compaction, want 7", job.ChunkHWM)
+			}
+		case "job-000002":
+			if job.ChunkHWM != 0 {
+				t.Fatalf("done job ChunkHWM = %d after compaction, want 0", job.ChunkHWM)
+			}
+		}
+	}
+}

@@ -8,7 +8,12 @@
 //
 //	{"t":"submit","job":"job-000001","fp":"<sha256>","spec":{...},"ts":"..."}
 //	{"t":"state","job":"job-000001","state":"running","attempt":1,"ts":"..."}
+//	{"t":"chunk","job":"job-000001","hwm":3,"ts":"..."}
 //	{"t":"state","job":"job-000001","state":"done","cache_hit":true,"ts":"..."}
+//
+// Chunk records track a running job's persisted result-chunk high-water
+// mark (internal/resultstream): after a crash the restored job knows how
+// many replicates survive on disk and resumes instead of restarting.
 //
 // Replay is fail-closed: truncated tails (a crash mid-append), garbage
 // lines, duplicate submit records and orphan state records are counted and
@@ -49,7 +54,7 @@ const journalFile = "journal.jsonl"
 
 // Record is one journal line.
 type Record struct {
-	// T discriminates the record type: "submit" or "state".
+	// T discriminates the record type: "submit", "state" or "chunk".
 	T string `json:"t"`
 	// Job is the queue-assigned job ID.
 	Job string `json:"job"`
@@ -62,6 +67,9 @@ type Record struct {
 	Attempt  int    `json:"attempt,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// HWM is set on chunk records: the persisted result-chunk high-water
+	// mark (how many replicates are durable on disk).
+	HWM int `json:"hwm,omitempty"`
 	// TS is the wall-clock time of the event.
 	TS time.Time `json:"ts,omitempty"`
 }
@@ -78,6 +86,9 @@ type ReplayedJob struct {
 	Error       string
 	Submitted   time.Time
 	Finished    time.Time
+	// ChunkHWM is the job's last journaled result-chunk high-water mark
+	// (monotonic across records; 0 when no chunks were recorded).
+	ChunkHWM int
 }
 
 // Stats counts journal health since Open.
@@ -264,6 +275,27 @@ func (j *Journal) apply(line []byte) {
 		if job.State.Terminal() {
 			job.Finished = rec.TS
 		}
+	case "chunk":
+		if rec.HWM <= 0 {
+			j.stats.CorruptLines++
+			return
+		}
+		job, ok := j.jobs[rec.Job]
+		if !ok {
+			j.stats.OrphanStates++
+			return
+		}
+		if job.State.Terminal() {
+			// Chunks after a terminal record are a duplicated tail: the
+			// finished result is already cached, ignore them.
+			j.stats.OrphanStates++
+			return
+		}
+		// The mark is monotonic; replay keeps the maximum so a reordered or
+		// duplicated record can never shrink the surviving-work estimate.
+		if rec.HWM > job.ChunkHWM {
+			job.ChunkHWM = rec.HWM
+		}
 	default:
 		j.stats.CorruptLines++
 	}
@@ -334,6 +366,21 @@ func (j *Journal) Transition(id string, state jobs.State, attempt int, cacheHit 
 		}
 	}
 	j.appendLocked(Record{T: "state", Job: id, State: string(state), Attempt: attempt, CacheHit: cacheHit, Error: errMsg, TS: at})
+}
+
+// Chunk implements jobs.JournalSink: it records a running job's persisted
+// result-chunk high-water mark so a post-crash restore resumes from the
+// surviving chunks instead of recomputing them.
+func (j *Journal) Chunk(id string, hwm int, at time.Time) {
+	if hwm <= 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if job, ok := j.jobs[id]; ok && !job.State.Terminal() && hwm > job.ChunkHWM {
+		job.ChunkHWM = hwm
+	}
+	j.appendLocked(Record{T: "chunk", Job: id, HWM: hwm, TS: at})
 }
 
 // appendLocked writes one record line and fsyncs it. On failure the record
@@ -443,6 +490,16 @@ func (j *Journal) compactLocked() error {
 				return fmt.Errorf("jobstore: compacting %s: %w", id, err)
 			}
 			buf = append(buf, st...)
+			buf = append(buf, '\n')
+		}
+		// Live jobs keep their chunk high-water mark across compaction;
+		// terminal jobs don't need one (their result is in the cache).
+		if !job.State.Terminal() && job.ChunkHWM > 0 {
+			ck, err := json.Marshal(Record{T: "chunk", Job: id, HWM: job.ChunkHWM, TS: job.Submitted})
+			if err != nil {
+				return fmt.Errorf("jobstore: compacting %s: %w", id, err)
+			}
+			buf = append(buf, ck...)
 			buf = append(buf, '\n')
 		}
 	}

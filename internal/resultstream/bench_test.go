@@ -1,0 +1,119 @@
+package resultstream
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPayload is a realistic replicate table: eleven sweep rows of two
+// value columns, the scale experiments persist per replicate.
+func benchPayload(b *testing.B) []byte {
+	b.Helper()
+	tab := testTable(1)
+	for i := 1; i < 10; i++ {
+		tab.AddRow(fmt.Sprintf("row-%d", i), 1.5*float64(i), -2.25*float64(i))
+	}
+	payload, err := EncodeTable(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return payload
+}
+
+// BenchmarkWriterAppendNoSync is the raw chunk frame cost (marshal +
+// checksum + buffered write) with fsync deferred to Close — the cadence a
+// long sweep with SyncEvery<0 pays per replicate.
+func BenchmarkWriterAppendNoSync(b *testing.B) {
+	store, err := Open(b.TempDir(), Options{SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := store.OpenWriter(testFP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := benchPayload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(i, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriterAppendFsyncEach is the default durability cadence: one
+// fsync per replicate chunk.
+func BenchmarkWriterAppendFsyncEach(b *testing.B) {
+	store, err := Open(b.TempDir(), Options{SyncEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := store.OpenWriter(testFP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := benchPayload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(i, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadVerify is the resume-time cost: re-read and checksum-verify
+// a 64-frame chunk file.
+func BenchmarkReadVerify(b *testing.B) {
+	store, err := Open(b.TempDir(), Options{SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := store.OpenWriter(testFP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := benchPayload(b)
+	for i := 0; i < 64; i++ {
+		if err := w.Append(i, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := store.Read(testFP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rr.Frames) != 64 {
+			b.Fatalf("frames = %d", len(rr.Frames))
+		}
+	}
+}
+
+// BenchmarkTableCodecRoundTrip is the exact-float encode+decode pair every
+// persisted replicate pays.
+func BenchmarkTableCodecRoundTrip(b *testing.B) {
+	tab := testTable(1)
+	for i := 1; i < 10; i++ {
+		tab.AddRow(fmt.Sprintf("row-%d", i), 1.5*float64(i), -2.25*float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err := EncodeTable(tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeTable(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

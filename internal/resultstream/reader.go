@@ -1,0 +1,99 @@
+package resultstream
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadResult is the verified content of one fingerprint's chunk file.
+type ReadResult struct {
+	// Frames holds every frame that survived verification, in file order.
+	// A replicate recomputed after quarantine appears twice; ByRep resolves
+	// to the last valid frame.
+	Frames []Frame
+	// Quarantined counts frames rejected by verification (bad JSON, wrong
+	// fingerprint, checksum mismatch, negative indices). Each rejected line
+	// is preserved in the quarantine file.
+	Quarantined int
+	// TornTail records that the file ended mid-line — the expected
+	// signature of a crash during an append. The torn line is dropped
+	// without being counted as quarantine.
+	TornTail bool
+	// NextSeq is the sequence number a resuming Writer should continue at.
+	NextSeq int
+}
+
+// ByRep returns the valid frames keyed by replicate index; when a
+// replicate was written more than once (quarantine then recompute), the
+// last valid frame wins.
+func (r *ReadResult) ByRep() map[int]Frame {
+	out := make(map[int]Frame, len(r.Frames))
+	for _, f := range r.Frames {
+		out[f.Rep] = f
+	}
+	return out
+}
+
+// Read loads and verifies the chunk file for a fingerprint. A missing file
+// is an empty (not error) result — the caller starts from replicate zero.
+// Verification is fail-closed per frame: anything unverifiable is
+// quarantined and the caller recomputes that replicate; only the torn tail
+// of a crash mid-append is tolerated silently.
+func (s *Store) Read(fingerprint string) (*ReadResult, error) {
+	if !validFingerprint.MatchString(fingerprint) {
+		return nil, fmt.Errorf("resultstream: invalid fingerprint %q", fingerprint)
+	}
+	data, err := s.opts.FS.ReadFile(s.chunkPath(fingerprint))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &ReadResult{}, nil
+		}
+		return nil, fmt.Errorf("resultstream: reading chunks: %w", err)
+	}
+	res := &ReadResult{}
+	start := 0
+	for start < len(data) {
+		end := start
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		line := data[start:end]
+		truncated := end == len(data)
+		start = end + 1
+		if len(line) == 0 {
+			continue
+		}
+		if truncated {
+			res.TornTail = true
+			continue
+		}
+		frame, ok := s.verifyLine(fingerprint, line)
+		if !ok {
+			res.Quarantined++
+			s.quarantineLine(fingerprint, line)
+			continue
+		}
+		res.Frames = append(res.Frames, frame)
+		if frame.Seq >= res.NextSeq {
+			res.NextSeq = frame.Seq + 1
+		}
+	}
+	return res, nil
+}
+
+// verifyLine parses and authenticates one frame line.
+func (s *Store) verifyLine(fingerprint string, line []byte) (Frame, bool) {
+	var frame Frame
+	if err := json.Unmarshal(line, &frame); err != nil {
+		return Frame{}, false
+	}
+	if frame.FP != fingerprint || frame.Rep < 0 || frame.Seq < 0 || len(frame.Payload) == 0 {
+		return Frame{}, false
+	}
+	want, err := frame.checksum()
+	if err != nil || frame.Sum != want {
+		return Frame{}, false
+	}
+	return frame, true
+}

@@ -1,0 +1,163 @@
+// Package resultstream is the streaming result substrate of the serving
+// stack: per-replicate results are persisted as checksummed JSONL chunk
+// frames the moment each replicate finishes, instead of materializing only
+// when a whole job completes. A crash at replicate 199/200 of a long sweep
+// now costs one replicate, not two hundred: the next run of the same spec
+// reads the surviving chunks back (checksum-verified), skips every
+// replicate that already persisted, and recomputes only what is missing or
+// corrupt — producing a final artifact byte-identical to an uninterrupted
+// run, because every scenario is seed-deterministic and the replicate
+// reduction is order-fixed.
+//
+// Chunk file format (one frame per line, `<fingerprint>.chunks.jsonl`):
+//
+//	{"seq":0,"fp":"<spec sha256>","rep":0,"payload":{<table>},"sum":"<sha256>"}
+//
+// seq is the append ordinal within the file, fp the owning spec's
+// fingerprint, rep the replicate index (seed = base seed + rep), payload
+// the replicate's result table in the exact codec of EncodeTable, and sum
+// the hex SHA-256 of the frame serialized with an empty sum — so every
+// frame is independently verifiable.
+//
+// The reader is torn-tail-tolerant and otherwise fail-closed: a final line
+// without its newline is the expected signature of a crash mid-append and
+// is silently dropped (the replicate recomputes); any other damage — a
+// flipped byte, a checksum mismatch, a frame from the wrong spec, an
+// out-of-range replicate — quarantines exactly that frame (preserved in
+// `<fingerprint>.quarantine.jsonl` for forensics, counted, never used) and
+// the replicate recomputes. Corrupt data can reach a result only by
+// forging a SHA-256 collision.
+//
+// All disk access goes through faultfs.FS. Writes degrade rather than
+// fail: a chunk append that hits ENOSPC/EIO loses durability for that
+// replicate only (availability over durability, as in internal/jobstore) —
+// the job still completes from memory.
+package resultstream
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"tempriv/internal/faultfs"
+)
+
+// Frame is one persisted replicate result.
+type Frame struct {
+	// Seq is the append ordinal within the chunk file.
+	Seq int `json:"seq"`
+	// FP is the owning scenario's spec fingerprint.
+	FP string `json:"fp"`
+	// Rep is the replicate index (the replicate ran under seed base+Rep).
+	Rep int `json:"rep"`
+	// Payload is the replicate's result table, encoded by EncodeTable.
+	Payload json.RawMessage `json:"payload"`
+	// Sum is the hex SHA-256 of this frame marshaled with Sum empty.
+	Sum string `json:"sum,omitempty"`
+}
+
+// checksum returns the frame's canonical digest: the hex SHA-256 of the
+// frame serialized with an empty Sum. Marshaling a fixed struct with a
+// RawMessage payload is deterministic, so verification re-derives the
+// exact signed bytes.
+func (f Frame) checksum() (string, error) {
+	f.Sum = ""
+	b, err := json.Marshal(f)
+	if err != nil {
+		return "", fmt.Errorf("resultstream: marshaling frame %d: %w", f.Seq, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// validFingerprint matches the 64-hex content addresses chunk files are
+// keyed by (the same shape internal/resultcache enforces).
+var validFingerprint = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Options configure a Store.
+type Options struct {
+	// FS is the filesystem seam (nil = the real OS filesystem).
+	FS faultfs.FS
+	// SyncEvery is the fsync cadence: fsync after every Nth appended frame
+	// (default 1 — every frame is durable before the engine moves on).
+	// Negative syncs only on Writer.Close.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 1
+	}
+	return o
+}
+
+// Store is a directory of per-spec chunk files, keyed by spec fingerprint.
+// Safe for concurrent use across jobs; one fingerprint must have at most
+// one open Writer at a time (the job queue serializes runs per spec).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu sync.Mutex // guards quarantine-file appends
+}
+
+// Open prepares a chunk store rooted at dir, creating it as needed.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstream: empty store directory")
+	}
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstream: preparing %s: %w", dir, err)
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) chunkPath(fingerprint string) string {
+	return filepath.Join(s.dir, fingerprint+".chunks.jsonl")
+}
+
+func (s *Store) quarantinePath(fingerprint string) string {
+	return filepath.Join(s.dir, fingerprint+".quarantine.jsonl")
+}
+
+// Remove deletes the chunk (and quarantine) files for a fingerprint —
+// called once the finished artifact is safely in the result cache, which
+// supersedes the per-replicate stream.
+func (s *Store) Remove(fingerprint string) error {
+	if !validFingerprint.MatchString(fingerprint) {
+		return fmt.Errorf("resultstream: invalid fingerprint %q", fingerprint)
+	}
+	err := s.opts.FS.Remove(s.chunkPath(fingerprint))
+	if os.IsNotExist(err) {
+		err = nil
+	}
+	if qerr := s.opts.FS.Remove(s.quarantinePath(fingerprint)); qerr != nil && !os.IsNotExist(qerr) && err == nil {
+		err = qerr
+	}
+	return err
+}
+
+// quarantineLine preserves one rejected frame line for forensics. Best
+// effort: a sick disk must not turn a read-side quarantine into a failure.
+func (s *Store) quarantineLine(fingerprint string, line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.opts.FS.OpenAppend(s.quarantinePath(fingerprint))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_, _ = f.Write(append(append([]byte(nil), line...), '\n'))
+}

@@ -1,0 +1,610 @@
+package resultstream
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempriv/internal/faultfs"
+	"tempriv/internal/report"
+)
+
+// testFP is a syntactically valid spec fingerprint for chunk files.
+const testFP = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func testTable(scale float64) *report.Table {
+	t := &report.Table{
+		Title:     "latency vs 1/λ",
+		RowHeader: "1/λ",
+		Columns:   []string{"RCAD", "exponential"},
+		Notes:     []string{"paper fig 2a"},
+	}
+	t.AddRow("2", 1.25*scale, 3.5*scale)
+	t.AddRow("10", 0.1*scale, math.NaN())
+	return t
+}
+
+func tablesEqual(a, b *report.Table) bool {
+	var ra, rb bytes.Buffer
+	if err := a.Render(&ra); err != nil {
+		return false
+	}
+	if err := b.Render(&rb); err != nil {
+		return false
+	}
+	return ra.String() == rb.String()
+}
+
+func TestTableCodecRoundTripsExactly(t *testing.T) {
+	// The codec's whole job is bit-exactness: a replicate restored from a
+	// chunk must feed the Welford reduction the same float64s the original
+	// run did, including values with no finite decimal expansion and the
+	// specials JSON cannot encode as numbers.
+	gnarly := []float64{
+		0, 1, -1, math.Pi, 1e-17, 1e300, -2.2250738585072014e-308,
+		0.1, 2.0 / 3.0, math.NaN(), math.Inf(1), math.Inf(-1),
+		math.Nextafter(1, 2), // 1 + one ulp
+	}
+	tab := &report.Table{Title: "gnarly", Columns: []string{"v"}}
+	for _, v := range gnarly {
+		tab.AddRow("r", v)
+	}
+	enc, err := EncodeTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range dec.Rows {
+		got, want := row.Values[0], gnarly[i]
+		if math.IsNaN(want) {
+			if !math.IsNaN(got) {
+				t.Fatalf("value %d: got %v, want NaN", i, got)
+			}
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("value %d: bits %x, want %x (%v vs %v)", i,
+				math.Float64bits(got), math.Float64bits(want), got, want)
+		}
+	}
+	// Determinism: equal tables → equal bytes.
+	enc2, err := EncodeTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("EncodeTable is not deterministic")
+	}
+}
+
+func TestWriteReadCycle(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		payload, err := EncodeTable(testTable(float64(rep + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(rep, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Frames) != 3 || rr.Quarantined != 0 || rr.TornTail {
+		t.Fatalf("frames=%d quarantined=%d torn=%v, want 3/0/false",
+			len(rr.Frames), rr.Quarantined, rr.TornTail)
+	}
+	if rr.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3", rr.NextSeq)
+	}
+	for rep, frame := range rr.ByRep() {
+		tab, err := DecodeTable(frame.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tablesEqual(tab, testTable(float64(rep+1))) {
+			t.Fatalf("replicate %d round-trip mismatch", rep)
+		}
+	}
+}
+
+func TestReadMissingFileIsEmpty(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Frames) != 0 || rr.NextSeq != 0 || rr.Quarantined != 0 {
+		t.Fatalf("missing file read = %+v, want empty", rr)
+	}
+}
+
+func TestTornTailToleratedAndResumable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the last frame mid-line: the crash-mid-append signature.
+	path := filepath.Join(dir, testFP+".chunks.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.Index(data, []byte("\n")) + 20
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Frames) != 1 || !rr.TornTail || rr.Quarantined != 0 {
+		t.Fatalf("frames=%d torn=%v quarantined=%d, want 1/true/0",
+			len(rr.Frames), rr.TornTail, rr.Quarantined)
+	}
+
+	// A resuming writer continues at NextSeq and the reappended frame is
+	// readable even though the file starts with a torn fragment mid-file.
+	w2, err := s.OpenWriter(testFP, rr.NextSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn fragment has no trailing newline; a fresh append must not
+	// glue onto it. Model what a resuming job does: it learned about the
+	// tear from Read, so it writes defensively through the same code path a
+	// failed append uses.
+	w2.torn = rr.TornTail
+	if err := w2.Append(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr2, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr2.ByRep()) != 2 {
+		t.Fatalf("replicates after resume = %d, want 2", len(rr2.ByRep()))
+	}
+}
+
+func TestCorruptFrameQuarantinedExactly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	for rep := 0; rep < 3; rep++ {
+		if err := w.Append(rep, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the middle frame's payload.
+	path := filepath.Join(dir, testFP+".chunks.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	mid := lines[1]
+	idx := bytes.Index(mid, []byte("1.25"))
+	if idx < 0 {
+		t.Fatalf("payload marker not found in %q", mid)
+	}
+	mid[idx] = '9'
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want exactly 1", rr.Quarantined)
+	}
+	byRep := rr.ByRep()
+	if len(byRep) != 2 {
+		t.Fatalf("surviving replicates = %d, want 2", len(byRep))
+	}
+	if _, ok := byRep[1]; ok {
+		t.Fatal("corrupt replicate 1 survived verification")
+	}
+	// The rejected line is preserved for forensics.
+	qdata, err := os.ReadFile(filepath.Join(dir, testFP+".quarantine.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(qdata, []byte("9.25")) {
+		t.Fatalf("quarantine file does not preserve the corrupt line: %q", qdata)
+	}
+	// NextSeq still advances past every seen frame, so the recomputed
+	// replicate appends with a fresh sequence number.
+	if rr.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3", rr.NextSeq)
+	}
+}
+
+func TestWrongFingerprintFrameQuarantined(t *testing.T) {
+	otherFP := strings.Repeat("f", 64)
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(otherFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Splice the foreign frame (valid checksum, wrong owner) into testFP's
+	// chunk file.
+	foreign, err := os.ReadFile(filepath.Join(dir, otherFP+".chunks.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, testFP+".chunks.jsonl"), foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Frames) != 0 || rr.Quarantined != 1 {
+		t.Fatalf("frames=%d quarantined=%d, want 0/1", len(rr.Frames), rr.Quarantined)
+	}
+}
+
+func TestSinkResumeCycle(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: persist replicates 0 and 2 (as if 1 was in flight at the
+	// crash and never landed).
+	var written []int
+	k, err := s.Sink(testFP, 4, SinkHooks{
+		Written: func(persisted int) { written = append(written, persisted) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Emit(0, true, testTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Emit(2, true, testTable(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Persisted() != 2 || len(written) != 2 || written[1] != 2 {
+		t.Fatalf("persisted=%d written=%v, want 2 and [1 2]", k.Persisted(), written)
+	}
+
+	// Second life: the surviving replicates answer Have, the missing ones
+	// don't, and fresh emits append past the survivors.
+	var skipped []int
+	k2, err := s.Sink(testFP, 4, SinkHooks{
+		Skipped: func(rep int) { skipped = append(skipped, rep) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Persisted() != 2 {
+		t.Fatalf("resume persisted = %d, want 2", k2.Persisted())
+	}
+	if tab := k2.Have(0); tab == nil || !tablesEqual(tab, testTable(1)) {
+		t.Fatal("Have(0) did not restore the persisted table")
+	}
+	if tab := k2.Have(1); tab != nil {
+		t.Fatal("Have(1) returned a table for a never-persisted replicate")
+	}
+	if tab := k2.Have(2); tab == nil {
+		t.Fatal("Have(2) lost the persisted table")
+	}
+	if err := k2.Emit(0, false, testTable(1)); err != nil { // resumed: no re-append
+		t.Fatal(err)
+	}
+	if err := k2.Emit(1, true, testTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Emit(3, true, testTable(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Skipped() != 2 || len(skipped) != 2 {
+		t.Fatalf("skipped=%d hooks=%v, want 2 replicates", k2.Skipped(), skipped)
+	}
+	if k2.Persisted() != 4 {
+		t.Fatalf("persisted after completion = %d, want 4", k2.Persisted())
+	}
+
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.ByRep()) != 4 || rr.Quarantined != 0 {
+		t.Fatalf("final replicates=%d quarantined=%d, want 4/0", len(rr.ByRep()), rr.Quarantined)
+	}
+}
+
+func TestSinkQuarantinesOutOfRangeReplicates(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(7, payload); err != nil { // beyond the spec's 4 replicates
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var quarantined int
+	k, err := s.Sink(testFP, 4, SinkHooks{Quarantined: func(n int) { quarantined = n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	if quarantined != 1 {
+		t.Fatalf("quarantined hook = %d, want 1", quarantined)
+	}
+	if k.Persisted() != 1 {
+		t.Fatalf("persisted = %d, want 1", k.Persisted())
+	}
+}
+
+func TestRemoveDeletesChunkAndQuarantineFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(testFP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, testFP+".chunks.jsonl")); !os.IsNotExist(err) {
+		t.Fatal("chunk file survived Remove")
+	}
+	// Removing an absent fingerprint is not an error.
+	if err := s.Remove(testFP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendENOSPCDegradesAndRecovers(t *testing.T) {
+	faulty := faultfs.NewFaulty(nil)
+	s, err := Open(t.TempDir(), Options{FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk fills: the next appends fail (including the resync newline, so
+	// the writer goes torn), but nothing panics and the file stays usable.
+	faulty.Set(faultfs.OpWrite, faultfs.Fault{Err: faultfs.ErrNoSpace})
+	if err := w.Append(1, payload); err == nil {
+		t.Fatal("append on full disk did not error")
+	}
+
+	// Disk heals: appends resume, the torn flag re-frames the next line.
+	faulty.Clear(faultfs.OpWrite)
+	if err := w.Append(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.ByRep()) != 2 || rr.Quarantined != 0 {
+		t.Fatalf("replicates=%d quarantined=%d after ENOSPC recovery, want 2/0",
+			len(rr.ByRep()), rr.Quarantined)
+	}
+}
+
+func TestTornInjectedWriteQuarantinedOnRead(t *testing.T) {
+	faulty := faultfs.NewFaulty(nil)
+	s, err := Open(t.TempDir(), Options{FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	// One torn write (half the frame lands), then the disk heals enough for
+	// the resync newline.
+	faulty.Set(faultfs.OpWrite, faultfs.Fault{Err: faultfs.ErrIO, Torn: true, After: 0})
+	err = w.Append(1, payload)
+	faulty.ClearAll()
+	if err == nil {
+		t.Fatal("torn write did not error")
+	}
+	if err := w.Append(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rr, err := s.Read(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRep := rr.ByRep()
+	if _, ok := byRep[0]; !ok {
+		t.Fatal("frame before the torn write was lost")
+	}
+	if _, ok := byRep[2]; !ok {
+		t.Fatal("frame after the torn write was lost")
+	}
+	if _, ok := byRep[1]; ok {
+		t.Fatal("half-written frame passed verification")
+	}
+}
+
+func TestFsyncFailureSurfacesOnAppend(t *testing.T) {
+	faulty := faultfs.NewFaulty(nil)
+	s, err := Open(t.TempDir(), Options{FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	faulty.Set(faultfs.OpSync, faultfs.Fault{Err: faultfs.ErrIO})
+	payload, _ := EncodeTable(testTable(1))
+	if err := w.Append(0, payload); err == nil {
+		t.Fatal("append with failing fsync reported durability it does not have")
+	}
+}
+
+func TestWriterRejectsBadInput(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenWriter("not-a-fingerprint", 0); err == nil {
+		t.Fatal("invalid fingerprint accepted")
+	}
+	if _, err := s.OpenWriter(testFP, -1); err == nil {
+		t.Fatal("negative start sequence accepted")
+	}
+	w, err := s.OpenWriter(testFP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(-1, []byte(`{}`)); err == nil {
+		t.Fatal("negative replicate accepted")
+	}
+	if err := w.Append(0, []byte(`{broken`)); err == nil {
+		t.Fatal("invalid JSON payload accepted")
+	}
+	if _, err := s.Sink(testFP, 0, SinkHooks{}); err == nil {
+		t.Fatal("zero-replicate sink accepted")
+	}
+}
+
+// TestChecksumCoversEveryField pins the frame authentication property: any
+// mutated field invalidates the sum.
+func TestChecksumCoversEveryField(t *testing.T) {
+	payload, _ := EncodeTable(testTable(1))
+	frame := Frame{Seq: 5, FP: testFP, Rep: 2, Payload: payload}
+	sum, err := frame.checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame.Sum = sum
+	mutations := []func(f *Frame){
+		func(f *Frame) { f.Seq++ },
+		func(f *Frame) { f.Rep++ },
+		func(f *Frame) { f.FP = strings.Repeat("e", 64) },
+		func(f *Frame) { f.Payload = json.RawMessage(`{}`) },
+	}
+	for i, mutate := range mutations {
+		m := frame
+		mutate(&m)
+		got, err := m.checksum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == m.Sum {
+			t.Fatalf("mutation %d not detected by checksum", i)
+		}
+	}
+}

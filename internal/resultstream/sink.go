@@ -1,0 +1,138 @@
+package resultstream
+
+import (
+	"fmt"
+
+	"tempriv/internal/report"
+)
+
+// SinkHooks observe a Sink's activity (telemetry and progress reporting).
+// All hooks fire from the engine's single coordinating goroutine.
+type SinkHooks struct {
+	// Written fires after each fresh frame persists, with the total number
+	// of distinct replicates now persisted (the chunk high-water mark).
+	Written func(persisted int)
+	// Skipped fires for each replicate served from a surviving chunk
+	// instead of recomputed.
+	Skipped func(rep int)
+	// Quarantined fires once at open when n > 0 frames were rejected.
+	Quarantined func(n int)
+	// AppendError observes a failed chunk append. The job proceeds — the
+	// replicate's durability is lost, not its result.
+	AppendError func(err error)
+}
+
+// Sink adapts one fingerprint's chunk state to the replicate engine's sink
+// interface (experiment.ReplicateSink): Have answers resume queries from
+// the verified surviving chunks, Emit persists fresh replicates as they
+// complete. Not safe for concurrent use: the engine calls Have and Emit
+// from its coordinating goroutine only, Emit in replicate order — which is
+// also what keeps a resumed chunk file deterministic.
+type Sink struct {
+	store *Store
+	fp    string
+	hooks SinkHooks
+	have  map[int]*report.Table
+	w     *Writer
+	// persisted is the chunk high-water mark: distinct replicates durable
+	// on disk (survivors plus fresh appends).
+	persisted int
+	// skipped counts Have hits this run.
+	skipped int
+}
+
+// Sink opens the resume state for a fingerprint expecting the given
+// replicate count: surviving chunks are read and verified, corrupt frames
+// quarantined (hooks.Quarantined), and a writer positioned after the last
+// surviving frame. Frames for replicate indices at or beyond replicates
+// are quarantined too — they cannot belong to this spec's seed range.
+func (s *Store) Sink(fingerprint string, replicates int, hooks SinkHooks) (*Sink, error) {
+	if replicates < 1 {
+		return nil, fmt.Errorf("resultstream: sink needs replicates >= 1, got %d", replicates)
+	}
+	rr, err := s.Read(fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	quarantined := rr.Quarantined
+	have := make(map[int]*report.Table)
+	for _, frame := range rr.Frames {
+		if frame.Rep >= replicates {
+			quarantined++
+			continue
+		}
+		tab, err := DecodeTable(frame.Payload)
+		if err != nil {
+			// The checksum held but the payload does not decode — a writer
+			// from a different build or a forged frame. Fail closed.
+			quarantined++
+			continue
+		}
+		have[frame.Rep] = tab
+	}
+	if quarantined > 0 && hooks.Quarantined != nil {
+		hooks.Quarantined(quarantined)
+	}
+	w, err := s.OpenWriter(fingerprint, rr.NextSeq)
+	if err != nil {
+		return nil, err
+	}
+	// A torn tail means the file ends mid-line; the first fresh append must
+	// open with a newline or it would glue onto the fragment and lose both.
+	w.torn = rr.TornTail
+	return &Sink{store: s, fp: fingerprint, hooks: hooks, have: have, w: w, persisted: len(have)}, nil
+}
+
+// Persisted returns the current chunk high-water mark: how many distinct
+// replicates are durable on disk.
+func (k *Sink) Persisted() int { return k.persisted }
+
+// Skipped returns how many replicates this run served from chunks.
+func (k *Sink) Skipped() int { return k.skipped }
+
+// Have returns the surviving table for a replicate, or nil if it must be
+// computed. Implements the resume side of experiment.ReplicateSink.
+func (k *Sink) Have(rep int) *report.Table {
+	tab := k.have[rep]
+	if tab != nil {
+		k.skipped++
+		if k.hooks.Skipped != nil {
+			k.hooks.Skipped(rep)
+		}
+	}
+	return tab
+}
+
+// Emit persists a freshly computed replicate (resumed replicates pass
+// fresh=false and are already durable). A failed append degrades to lost
+// durability for this replicate — the run continues.
+func (k *Sink) Emit(rep int, fresh bool, tab *report.Table) error {
+	if !fresh {
+		return nil
+	}
+	payload, err := EncodeTable(tab)
+	if err == nil {
+		err = k.w.Append(rep, payload)
+	}
+	if err != nil {
+		if k.hooks.AppendError != nil {
+			k.hooks.AppendError(err)
+		}
+		return nil
+	}
+	k.persisted++
+	if k.hooks.Written != nil {
+		k.hooks.Written(k.persisted)
+	}
+	return nil
+}
+
+// Close releases the underlying writer.
+func (k *Sink) Close() error {
+	if k.w == nil {
+		return nil
+	}
+	err := k.w.Close()
+	k.w = nil
+	return err
+}

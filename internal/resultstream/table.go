@@ -1,0 +1,117 @@
+package resultstream
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"encoding/json"
+
+	"tempriv/internal/report"
+)
+
+// tableDoc is the wire form of a report.Table. Values are strings, not JSON
+// numbers, for two reasons: JSON cannot represent NaN/±Inf (tables use NaN
+// for absent cells), and the codec must round-trip every float64 exactly so
+// a resumed run's reduction is bit-identical to an uninterrupted one.
+// strconv's shortest 'g' form is exact by construction (it is defined as
+// the shortest decimal that parses back to the same bits).
+type tableDoc struct {
+	Title     string   `json:"title,omitempty"`
+	RowHeader string   `json:"row_header,omitempty"`
+	Columns   []string `json:"columns"`
+	Rows      []rowDoc `json:"rows"`
+	Notes     []string `json:"notes,omitempty"`
+}
+
+type rowDoc struct {
+	Label  string   `json:"label"`
+	Values []string `json:"values"`
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func parseCell(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// EncodeTable renders a table as its canonical chunk payload: compact JSON
+// with every value in exact (shortest round-trip) decimal form. Equal
+// tables encode to equal bytes.
+func EncodeTable(t *report.Table) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("resultstream: encoding nil table")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("resultstream: encoding table: %w", err)
+	}
+	doc := tableDoc{
+		Title:     t.Title,
+		RowHeader: t.RowHeader,
+		Columns:   t.Columns,
+		Rows:      make([]rowDoc, len(t.Rows)),
+		Notes:     t.Notes,
+	}
+	for i, r := range t.Rows {
+		values := make([]string, len(r.Values))
+		for j, v := range r.Values {
+			values[j] = formatCell(v)
+		}
+		doc.Rows[i] = rowDoc{Label: r.Label, Values: values}
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("resultstream: encoding table: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeTable parses a chunk payload back into the exact table EncodeTable
+// serialized: every float64 is restored bit-for-bit (NaN cells come back as
+// the canonical math.NaN the experiments produce).
+func DecodeTable(data []byte) (*report.Table, error) {
+	var doc tableDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("resultstream: decoding table: %w", err)
+	}
+	t := &report.Table{
+		Title:     doc.Title,
+		RowHeader: doc.RowHeader,
+		Columns:   doc.Columns,
+		Notes:     doc.Notes,
+	}
+	for _, r := range doc.Rows {
+		values := make([]float64, len(r.Values))
+		for j, s := range r.Values {
+			v, err := parseCell(s)
+			if err != nil {
+				return nil, fmt.Errorf("resultstream: decoding table row %q: %w", r.Label, err)
+			}
+			values[j] = v
+		}
+		t.AddRow(r.Label, values...)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("resultstream: decoded table: %w", err)
+	}
+	return t, nil
+}

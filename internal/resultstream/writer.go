@@ -1,0 +1,107 @@
+package resultstream
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tempriv/internal/faultfs"
+)
+
+// Writer appends checksummed frames to one fingerprint's chunk file. Not
+// safe for concurrent use — the replicate engine emits in replicate order
+// from a single goroutine, which is also what keeps chunk files
+// deterministic for a given resume state.
+type Writer struct {
+	store *Store
+	fp    string
+	f     faultfs.File
+	seq   int
+	// sinceSync counts appends since the last fsync (SyncEvery cadence).
+	sinceSync int
+	// torn records that a failed append may have left a partial line; the
+	// next append prepends a newline to restore framing, exactly as the
+	// job journal does.
+	torn bool
+}
+
+// OpenWriter opens (creating as needed) the chunk file for fingerprint in
+// append mode. nextSeq is the first frame's sequence number — 0 for a
+// fresh job, ReadResult.NextSeq when resuming past surviving frames.
+func (s *Store) OpenWriter(fingerprint string, nextSeq int) (*Writer, error) {
+	if !validFingerprint.MatchString(fingerprint) {
+		return nil, fmt.Errorf("resultstream: invalid fingerprint %q", fingerprint)
+	}
+	if nextSeq < 0 {
+		return nil, fmt.Errorf("resultstream: negative start sequence %d", nextSeq)
+	}
+	f, err := s.opts.FS.OpenAppend(s.chunkPath(fingerprint))
+	if err != nil {
+		return nil, fmt.Errorf("resultstream: opening chunk file: %w", err)
+	}
+	return &Writer{store: s, fp: fingerprint, f: f, seq: nextSeq}, nil
+}
+
+// Append persists one replicate's payload as a checksummed frame and
+// advances the sequence. On error the frame is lost (the replicate will
+// recompute after a crash) but the file stays parseable: a best-effort
+// newline re-synchronizes framing after a torn write, and the reader
+// tolerates whatever lands.
+func (w *Writer) Append(rep int, payload []byte) error {
+	if w.f == nil {
+		return fmt.Errorf("resultstream: append on closed writer")
+	}
+	if rep < 0 {
+		return fmt.Errorf("resultstream: negative replicate index %d", rep)
+	}
+	if !json.Valid(payload) {
+		return fmt.Errorf("resultstream: frame payload is not valid JSON")
+	}
+	frame := Frame{Seq: w.seq, FP: w.fp, Rep: rep, Payload: json.RawMessage(payload)}
+	sum, err := frame.checksum()
+	if err != nil {
+		return err
+	}
+	frame.Sum = sum
+	line, err := json.Marshal(frame)
+	if err != nil {
+		return fmt.Errorf("resultstream: marshaling frame %d: %w", frame.Seq, err)
+	}
+	line = append(line, '\n')
+	if w.torn {
+		line = append([]byte("\n"), line...)
+	}
+	if _, err := w.f.Write(line); err != nil {
+		if _, nlErr := w.f.Write([]byte("\n")); nlErr == nil {
+			w.torn = false
+		} else {
+			w.torn = true
+		}
+		return fmt.Errorf("resultstream: appending frame %d: %w", frame.Seq, err)
+	}
+	w.torn = false
+	w.seq++
+	w.sinceSync++
+	if w.store.opts.SyncEvery > 0 && w.sinceSync >= w.store.opts.SyncEvery {
+		w.sinceSync = 0
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("resultstream: fsync after frame %d: %w", frame.Seq, err)
+		}
+	}
+	return nil
+}
+
+// Close fsyncs any unsynced frames and releases the file handle.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.sinceSync > 0 || w.store.opts.SyncEvery < 0 {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -22,6 +22,12 @@ import (
 	"tempriv/internal/traffic"
 )
 
+// ReplicateSink is the engine's streaming seam: per-replicate tables are
+// emitted through it in replicate-index order as they complete, and Have
+// lets a resumed run skip replicates that already persisted (see
+// internal/resultstream and experiment.ReplicateSink, which this aliases).
+type ReplicateSink = experiment.ReplicateSink
+
 // Options tune how a scenario executes without affecting its result bytes.
 type Options struct {
 	// Progress, when set, receives coarse stage updates ("running",
@@ -36,6 +42,12 @@ type Options struct {
 	// (0 = GOMAXPROCS). Execution-only: it never affects result bytes and
 	// never enters the fingerprint.
 	SweepWorkers int
+	// Sink, when set, streams every replicate's table out of the engine as
+	// it completes and answers resume queries (skip replicates the sink
+	// already holds). Execution-only: equal specs produce byte-identical
+	// outcomes with or without a sink, resumed or not — the differential
+	// tests hold the engine to that.
+	Sink ReplicateSink
 }
 
 func (o Options) progress(stage, message string) {
@@ -146,7 +158,15 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		if workers < 1 {
 			workers = 1
 		}
-		tab, err = experiment.ReplicateParallel(e, p, replicates, workers)
+		tab, err = experiment.ReplicateStream(e, p, replicates, workers, opts.Sink)
+	} else if opts.Sink != nil {
+		// Single-replicate scenarios stream through the same seam: a
+		// persisted chunk answers the whole run, a fresh run persists one.
+		if tab = opts.Sink.Have(0); tab != nil {
+			err = opts.Sink.Emit(0, false, tab)
+		} else if tab, err = e.Run(p); err == nil {
+			err = opts.Sink.Emit(0, true, tab)
+		}
 	} else {
 		tab, err = e.Run(p)
 	}

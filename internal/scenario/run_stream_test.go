@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempriv/internal/resultstream"
+)
+
+// openSink opens a chunk-store sink for the spec, failing the test on error.
+func openSink(t *testing.T, store *resultstream.Store, spec Spec) *resultstream.Sink {
+	t.Helper()
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := store.Sink(fp, spec.Replicates(), resultstream.SinkHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sink
+}
+
+func TestRunWithChunkSinkIsByteIdenticalAndResumes(t *testing.T) {
+	spec, err := Parse([]byte(`{"version":1,"simulation":{
+		"topology":{"kind":"line","hops":3},"packets":20,"replicates":3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := resultstream.Open(t.TempDir(), resultstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh run with the chunk sink attached: same bytes, every replicate
+	// persisted.
+	sink := openSink(t, store, spec)
+	streamed, err := Run(context.Background(), spec, Options{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.TableText, baseline.TableText) {
+		t.Fatal("chunk sink changed result bytes")
+	}
+	if sink.Persisted() != 3 || sink.Skipped() != 0 {
+		t.Fatalf("persisted=%d skipped=%d, want 3/0", sink.Persisted(), sink.Skipped())
+	}
+
+	// Second life over the same store: everything resumes, nothing
+	// recomputes, bytes identical.
+	sink2 := openSink(t, store, spec)
+	resumed, err := Run(context.Background(), spec, Options{Sink: sink2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed.TableText, baseline.TableText) {
+		t.Fatal("fully-resumed run is not byte-identical")
+	}
+	if sink2.Skipped() != 3 {
+		t.Fatalf("skipped=%d, want all 3 replicates resumed", sink2.Skipped())
+	}
+}
+
+func TestRunResumesMidJobAfterSimulatedCrash(t *testing.T) {
+	spec, err := Parse([]byte(`{"version":1,"simulation":{
+		"topology":{"kind":"line","hops":3},"packets":20,"replicates":3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := resultstream.Open(dir, resultstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := openSink(t, store, spec)
+	if _, err := Run(context.Background(), spec, Options{Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash after replicate 1: keep the first two frames and a
+	// torn fragment of the third — exactly what SIGKILL mid-append leaves.
+	path := filepath.Join(dir, fp+".chunks.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("expected 3 chunk frames, got %d", len(lines))
+	}
+	torn := append(append([]byte(nil), bytes.Join(lines[:2], nil)...), lines[2][:10]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sink2 := openSink(t, store, spec)
+	recovered, err := Run(context.Background(), spec, Options{Sink: sink2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink2.Skipped() != 2 {
+		t.Fatalf("skipped=%d, want 2 surviving replicates resumed", sink2.Skipped())
+	}
+	if !bytes.Equal(recovered.TableText, baseline.TableText) {
+		t.Fatal("recovered run is not byte-identical to the uninterrupted run")
+	}
+}
+
+func TestRunSingleReplicateUsesSink(t *testing.T) {
+	// replicates=1 takes the non-replicated path; the sink must still see
+	// the one result so single runs are resumable too.
+	spec, err := Parse(validExperimentJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Replicates() != 1 {
+		t.Fatalf("fixture replicates = %d, want 1", spec.Replicates())
+	}
+	baseline, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := resultstream.Open(t.TempDir(), resultstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := openSink(t, store, spec)
+	out, err := Run(context.Background(), spec, Options{Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Persisted() != 1 {
+		t.Fatalf("persisted=%d, want 1", sink.Persisted())
+	}
+	if !bytes.Equal(out.TableText, baseline.TableText) {
+		t.Fatal("sink changed single-replicate bytes")
+	}
+
+	sink2 := openSink(t, store, spec)
+	resumed, err := Run(context.Background(), spec, Options{Sink: sink2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink2.Skipped() != 1 {
+		t.Fatalf("skipped=%d, want the single replicate resumed", sink2.Skipped())
+	}
+	if !bytes.Equal(resumed.TableText, baseline.TableText) {
+		t.Fatal("resumed single-replicate run is not byte-identical")
+	}
+}
+
+func TestSpecReplicates(t *testing.T) {
+	cases := []struct {
+		json string
+		want int
+	}{
+		{`{"version":1,"experiment":{"id":"fig2a"}}`, 1},
+		{`{"version":1,"experiment":{"id":"fig2a","replicates":5}}`, 5},
+		{`{"version":1,"simulation":{"topology":{"kind":"line","hops":3},"packets":20}}`, 1},
+		{`{"version":1,"simulation":{"topology":{"kind":"line","hops":3},"packets":20,"replicates":4}}`, 4},
+	}
+	for _, tc := range cases {
+		spec, err := Parse([]byte(tc.json))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := spec.Replicates(); got != tc.want {
+			t.Fatalf("Replicates(%s) = %d, want %d", strings.TrimSpace(tc.json), got, tc.want)
+		}
+	}
+}

@@ -285,6 +285,22 @@ func (s Spec) Label() string {
 	}
 }
 
+// Replicates returns the spec's across-seed replication count (1 for a
+// single run) — how many chunk frames a fully streamed job persists.
+func (s Spec) Replicates() int {
+	n := 1
+	switch {
+	case s.Experiment != nil:
+		n = s.Experiment.Replicates
+	case s.Simulation != nil:
+		n = s.Simulation.Replicates
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 func (e *ExperimentSpec) normalize() error {
 	if e.ID == "" {
 		return invalidf("experiment.id is required")

@@ -65,7 +65,7 @@ func waitState(t *testing.T, q *jobs.Queue, id string, want jobs.State) {
 
 func TestReadyzLifecycle(t *testing.T) {
 	q, _ := blockedQueue(t, 1, 4)
-	srv := New(q, nil, nil)
+	srv := New(q, nil, nil, nil)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -119,7 +119,7 @@ func TestErrorContract(t *testing.T) {
 	// submission sheds.
 	q, _ := blockedQueue(t, 1, 1)
 	reg := telemetry.NewRegistry()
-	srv := New(q, nil, reg)
+	srv := New(q, nil, nil, reg)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -142,7 +142,7 @@ func TestErrorContract(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	qDrained.Drain(ctx)
 	cancel()
-	tsDrained := httptest.NewServer(New(qDrained, nil, nil))
+	tsDrained := httptest.NewServer(New(qDrained, nil, nil, nil))
 	defer tsDrained.Close()
 
 	shed := strings.Replace(smallScenario, `"seed":1`, `"seed":3`, 1)
@@ -164,7 +164,8 @@ func TestErrorContract(t *testing.T) {
 		{"cancel unknown job", "DELETE", ts.URL + "/v1/jobs/job-999999", "", http.StatusNotFound, false, "no such job"},
 		{"result unknown job", "GET", ts.URL + "/v1/jobs/job-999999/result", "", http.StatusNotFound, false, "no such job"},
 		{"events unknown job", "GET", ts.URL + "/v1/jobs/job-999999/events", "", http.StatusNotFound, false, "no such job"},
-		{"result before done", "GET", ts.URL + "/v1/jobs/" + running.ID + "/result", "", http.StatusConflict, false, "no result"},
+		// The in-flight 409 hints Retry-After so pollers back off politely.
+		{"result before done", "GET", ts.URL + "/v1/jobs/" + running.ID + "/result", "", http.StatusConflict, true, "no result"},
 		{"readyz not ready", "GET", ts.URL + "/readyz", "", http.StatusServiceUnavailable, true, "not ready"},
 		{"mux unknown route", "GET", ts.URL + "/v1/nope", "", http.StatusNotFound, false, ""},
 		{"mux wrong method", "PUT", ts.URL + "/v1/jobs", "{}", http.StatusMethodNotAllowed, false, ""},
@@ -242,12 +243,12 @@ func TestRestoredDoneJobServesResultFromCache(t *testing.T) {
 		State: jobs.StateDone, Attempts: 1,
 		Submitted: time.Now().Add(-time.Hour), Finished: time.Now().Add(-time.Hour),
 	}
-	q := jobs.New(NewRunner(cache, nil, 1), jobs.Options{
+	q := jobs.New(NewRunner(cache, nil, 1, nil), jobs.Options{
 		Workers: 1, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
 		Restore: []jobs.RestoredJob{restored},
 	})
 	defer q.Drain(context.Background())
-	ts := httptest.NewServer(New(q, cache, nil))
+	ts := httptest.NewServer(New(q, cache, nil, nil))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/v1/jobs/job-000042/result")
@@ -277,14 +278,14 @@ func TestRestoredDoneJobWithLostCacheEntryIsGone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := jobs.New(NewRunner(cache, nil, 1), jobs.Options{
+	q := jobs.New(NewRunner(cache, nil, 1, nil), jobs.Options{
 		Workers: 1, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
 		Restore: []jobs.RestoredJob{{
 			ID: "job-000007", Spec: spec, Fingerprint: fp, State: jobs.StateDone, Attempts: 1,
 		}},
 	})
 	defer q.Drain(context.Background())
-	ts := httptest.NewServer(New(q, cache, nil))
+	ts := httptest.NewServer(New(q, cache, nil, nil))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/v1/jobs/job-000007/result")
@@ -312,12 +313,12 @@ func TestChaosSickDiskKeepsServing(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := telemetry.NewRegistry()
-	q := jobs.New(NewRunner(cache, reg, 1), jobs.Options{
+	q := jobs.New(NewRunner(cache, reg, 1, nil), jobs.Options{
 		Workers: 2, QueueDepth: 16,
 		RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
 	})
 	defer q.Drain(context.Background())
-	ts := httptest.NewServer(New(q, cache, reg))
+	ts := httptest.NewServer(New(q, cache, nil, reg))
 	defer ts.Close()
 
 	// Disk goes fully sick: reads EIO, writes ENOSPC.
@@ -382,7 +383,7 @@ func TestChaosSickDiskKeepsServing(t *testing.T) {
 // no handler goroutines are left behind.
 func TestShutdownTerminatesEventStreams(t *testing.T) {
 	q, _ := blockedQueue(t, 1, 8)
-	srv := New(q, nil, nil)
+	srv := New(q, nil, nil, nil)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

@@ -5,7 +5,8 @@
 //	GET  /v1/jobs           list jobs
 //	GET  /v1/jobs/{id}        job status snapshot
 //	DELETE /v1/jobs/{id}      cancel a job
-//	GET  /v1/jobs/{id}/result completed result (tables + manifest)
+//	GET  /v1/jobs/{id}/result completed result (tables + manifest);
+//	                          ?partial=1 streams per-replicate chunks (JSONL)
 //	GET  /v1/jobs/{id}/events progress stream, one JSON object per line
 //	GET  /v1/cache            result-cache effectiveness counters
 //	GET  /healthz             liveness probe (always 200 while the process serves)
@@ -35,11 +36,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"tempriv/internal/jobs"
 	"tempriv/internal/resultcache"
+	"tempriv/internal/resultstream"
 	"tempriv/internal/scenario"
 	"tempriv/internal/telemetry"
 )
@@ -58,13 +62,24 @@ const (
 	ReadyDraining  = "draining"
 )
 
+// defaultEventKeepalive is how often an idle /events stream emits a
+// keepalive line so intermediaries don't reap the connection and the
+// server notices (and drops) clients that went away.
+const defaultEventKeepalive = 15 * time.Second
+
 // Server routes the HTTP API onto a job queue and an optional result cache.
 type Server struct {
-	queue *jobs.Queue
-	cache *resultcache.Cache
-	reg   *telemetry.Registry
-	mux   *http.ServeMux
-	sheds *telemetry.Counter
+	queue  *jobs.Queue
+	cache  *resultcache.Cache
+	chunks *resultstream.Store
+	reg    *telemetry.Registry
+	mux    *http.ServeMux
+	sheds  *telemetry.Counter
+
+	// EventKeepalive overrides the /events keepalive cadence (default
+	// defaultEventKeepalive; set before serving — it is read per request
+	// without locking).
+	EventKeepalive time.Duration
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -74,13 +89,14 @@ type Server struct {
 }
 
 // New assembles the API. cache may be nil (every submission simulates
-// fresh); reg may be nil (no /metrics). The server starts in the
-// ReadyStarting state; the daemon advances it via SetReady as boot
-// proceeds.
-func New(queue *jobs.Queue, cache *resultcache.Cache, reg *telemetry.Registry) *Server {
+// fresh); chunks may be nil (no partial-result serving); reg may be nil
+// (no /metrics). The server starts in the ReadyStarting state; the daemon
+// advances it via SetReady as boot proceeds.
+func New(queue *jobs.Queue, cache *resultcache.Cache, chunks *resultstream.Store, reg *telemetry.Registry) *Server {
 	s := &Server{
 		queue:     queue,
 		cache:     cache,
+		chunks:    chunks,
 		reg:       reg,
 		mux:       http.NewServeMux(),
 		stopCh:    make(chan struct{}),
@@ -148,10 +164,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // result cache by spec fingerprint, re-simulate only on a miss, and store
 // the fresh artifacts for the next identical submission.
 //
+// When chunks is non-nil, every fresh run additionally streams each
+// replicate's table into the chunk store (internal/resultstream) as it
+// completes: a SIGKILL mid-run loses only the replicate in flight, and the
+// re-run (same fingerprint) resumes from the surviving chunks instead of
+// recomputing them — with the final artifacts byte-identical either way,
+// because the chunks feed the same reduction in the same order. Finished
+// chunks are removed once the result is safely in the cache.
+//
 // Storage sickness never fails a job here: the cache converts corrupt
 // entries and I/O errors into misses (quarantining / breaker-bypassing
-// internally), and a failed Put costs only the cache fill.
-func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorkers int) jobs.Runner {
+// internally), a failed Put costs only the cache fill, and a sick chunk
+// store degrades to a plain non-resumable run.
+func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorkers int, chunks *resultstream.Store) jobs.Runner {
 	counter := func(name string) *telemetry.Counter {
 		if reg == nil {
 			return nil
@@ -166,6 +191,9 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 	hits := counter("temprivd_cache_hits_total")
 	misses := counter("temprivd_cache_misses_total")
 	runs := counter("temprivd_runs_total")
+	chunksWritten := counter("tempriv_chunks_written_total")
+	chunksQuarantined := counter("tempriv_chunks_quarantined_total")
+	replicatesSkipped := counter("tempriv_replicates_skipped_on_resume_total")
 	return func(ctx context.Context, job *jobs.Job, progress func(stage, message string)) (*jobs.Result, error) {
 		fp := job.Fingerprint
 		if cache != nil {
@@ -178,6 +206,12 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 			if ok {
 				inc(hits)
 				progress("cache", "hit "+fp[:12])
+				if chunks != nil {
+					// Any chunks for this fingerprint are leftovers from a run
+					// that crashed after its cache fill; the cache entry IS
+					// the result, so they are no longer needed.
+					_ = chunks.Remove(fp)
+				}
 				return &jobs.Result{
 					Fingerprint: fp,
 					CacheHit:    true,
@@ -189,11 +223,52 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 			inc(misses)
 		}
 		inc(runs)
-		out, err := scenario.Run(ctx, job.Spec, scenario.Options{
+		opts := scenario.Options{
 			Progress:         progress,
 			ReplicateWorkers: replicateWorkers,
-		})
+		}
+		var sink *resultstream.Sink
+		if chunks != nil {
+			k, err := chunks.Sink(fp, job.Spec.Replicates(), resultstream.SinkHooks{
+				Written: func(persisted int) {
+					inc(chunksWritten)
+					job.NoteChunks(persisted)
+				},
+				Skipped: func(int) { inc(replicatesSkipped) },
+				Quarantined: func(n int) {
+					if chunksQuarantined != nil {
+						chunksQuarantined.Add(uint64(n))
+					}
+					progress("chunks", fmt.Sprintf("%d corrupt chunk(s) quarantined; their replicates recompute", n))
+				},
+				AppendError: func(err error) {
+					progress("chunks", "append failed (durability degraded): "+err.Error())
+				},
+			})
+			if err != nil {
+				// A sick chunk store must not fail the job: run without
+				// streaming durability, exactly as before this feature.
+				progress("chunks", "chunk store unavailable: "+err.Error())
+			} else {
+				sink = k
+				// Assigned only when non-nil: a typed-nil ReplicateSink would
+				// pass the engine's interface check and then panic on use.
+				opts.Sink = k
+				if n := k.Persisted(); n > 0 {
+					progress("chunks", fmt.Sprintf("resuming: %d replicate chunk(s) survive", n))
+					job.NoteChunks(n)
+				}
+			}
+		}
+		out, err := scenario.Run(ctx, job.Spec, opts)
+		if sink != nil {
+			if cerr := sink.Close(); cerr != nil {
+				progress("chunks", "closing chunk writer: "+cerr.Error())
+			}
+		}
 		if err != nil {
+			// The chunks written so far stay on disk — they are exactly what
+			// a retry or a post-crash re-run resumes from.
 			return nil, err
 		}
 		manifest, err := out.ManifestJSON()
@@ -211,6 +286,10 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 				// The result is in hand; failing to cache it must not fail
 				// the job. Surface the problem as a progress event instead.
 				progress("cache", "store failed: "+err.Error())
+			} else if chunks != nil {
+				// The assembled artifact is durable; the per-replicate chunks
+				// have served their purpose.
+				_ = chunks.Remove(fp)
 			}
 		}
 		return &jobs.Result{
@@ -310,6 +389,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
+	if r.URL.Query().Get("partial") == "1" {
+		s.servePartialResult(w, snap)
+		return
+	}
 	res, ok := s.queue.Result(id)
 	if ok {
 		writeJSON(w, http.StatusOK, resultBody{
@@ -339,13 +422,72 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, errors.New("job completed before a restart and its cached result is no longer available; resubmit the spec"))
 		return
 	}
-	writeError(w, http.StatusConflict, fmt.Errorf("job is %s, no result available", snap.State))
+	// Still in flight: tell the client when to come back, and that the
+	// replicates persisted so far are available under ?partial=1.
+	w.Header().Set("Retry-After", "2")
+	writeError(w, http.StatusConflict, fmt.Errorf("job is %s, no result available yet (persisted partial replicates: ?partial=1)", snap.State))
+}
+
+// partialLine is one line of the ?partial=1 JSONL stream: either a
+// persisted replicate (Rep + Table set) or the trailing completeness
+// marker (Complete et al. set).
+type partialLine struct {
+	Rep   *int            `json:"rep,omitempty"`
+	Table json.RawMessage `json:"table,omitempty"`
+
+	Complete        *bool  `json:"complete,omitempty"`
+	State           string `json:"state,omitempty"`
+	ReplicatesTotal int    `json:"replicates_total,omitempty"`
+	ReplicatesDone  int    `json:"replicates_done,omitempty"`
+}
+
+// servePartialResult streams whatever replicate chunks have been persisted
+// for the job's fingerprint as JSON Lines — one line per replicate in
+// replicate order, then a completeness marker — so a client can consume a
+// long sweep's statistics while the job still runs, and knows exactly how
+// much is in hand after a crash. Incomplete responses carry Retry-After.
+func (s *Server) servePartialResult(w http.ResponseWriter, snap jobs.Snapshot) {
+	if s.chunks == nil {
+		writeError(w, http.StatusNotFound, errors.New("partial results unavailable: no chunk store configured"))
+		return
+	}
+	rr, err := s.chunks.Read(snap.Fingerprint)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("reading chunks: %w", err))
+		return
+	}
+	byRep := rr.ByRep()
+	reps := make([]int, 0, len(byRep))
+	for rep := range byRep {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	complete := snap.State == jobs.StateDone
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	if !complete {
+		w.Header().Set("Retry-After", "2")
+	}
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, rep := range reps {
+		rep := rep
+		_ = enc.Encode(partialLine{Rep: &rep, Table: byRep[rep].Payload})
+	}
+	_ = enc.Encode(partialLine{
+		Complete:        &complete,
+		State:           string(snap.State),
+		ReplicatesTotal: snap.Replicates,
+		ReplicatesDone:  len(reps),
+	})
 }
 
 // handleEvents streams the job's progress as JSON Lines: full history
 // first, then live events until the job finishes, the client leaves, or
 // the server stops (shutdown closes every stream promptly so Shutdown's
-// drain is not hostage to long-lived watchers).
+// drain is not hostage to long-lived watchers). Idle streams emit a
+// {"keepalive":true} line on a timer, which both holds proxies open and
+// detects dead clients — a failed keepalive write ends the handler and
+// releases the watcher instead of leaking it until the job finishes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	history, live, stop, ok := s.queue.Watch(r.PathValue("id"))
 	if !ok {
@@ -371,6 +513,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	keepEvery := s.EventKeepalive
+	if keepEvery <= 0 {
+		keepEvery = defaultEventKeepalive
+	}
+	keep := time.NewTicker(keepEvery)
+	defer keep.Stop()
 	for {
 		select {
 		case ev, open := <-live:
@@ -379,6 +527,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			if !emit(ev) {
 				return
+			}
+			keep.Reset(keepEvery)
+		case <-keep.C:
+			if _, err := io.WriteString(w, "{\"keepalive\":true}\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
 			}
 		case <-s.stopCh:
 			return
