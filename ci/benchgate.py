@@ -34,6 +34,7 @@ ZERO_ALLOC = [
     "BenchmarkKernelScheduleDrain",
     "BenchmarkKernelChurn",
     "BenchmarkForwardHop",
+    "BenchmarkSpanDisabled",
 ]
 
 FASTER_THAN_LEGACY = [

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"tempriv"
+	"tempriv/internal/buildinfo"
 	"tempriv/internal/profiling"
 )
 
@@ -77,9 +78,14 @@ func run(args []string) (err error) {
 		manifestOut  = fs.String("manifest", "", "write the run manifest as JSON to this file")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		version      = fs.Bool("version", false, "print build identity and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("rcadsim"))
+		return nil
 	}
 
 	// Flag validation happens before any output or side effect: bad flags

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"tempriv"
+	"tempriv/internal/buildinfo"
 	"tempriv/internal/profiling"
 	"tempriv/internal/resultcache"
 	"tempriv/internal/resultstream"
@@ -80,9 +81,14 @@ func run(args []string) (err error) {
 		repWorkers    = fs.Int("j", 1, "replication worker goroutines (with -replicate; output stays byte-identical to -j 1)")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		version       = fs.Bool("version", false, "print build identity and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("sweep"))
+		return nil
 	}
 
 	if *list {

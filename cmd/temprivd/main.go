@@ -7,8 +7,19 @@
 //	temprivd -addr localhost:7077 -cache ./cache -journal ./journal
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, /result, /events
-// (JSONL progress stream), DELETE /v1/jobs/{id}, GET /v1/cache, /healthz,
-// /readyz, /metrics (Prometheus text), /debug/pprof.
+// (JSONL progress stream), DELETE /v1/jobs/{id}, GET /v1/traces/{jobID}
+// (end-to-end span tree), GET /v1/cache, /healthz, /readyz, /metrics
+// (Prometheus text), /debug/pprof (disable with -debug-endpoints=false).
+//
+// Observability: every accepted job is traced end to end (ingress → queue →
+// attempts/backoff → cache → engine replicates → chunk persistence); the
+// most recent traces stay queryable at /v1/traces/{jobID} and, with
+// -trace-dir set, every finished trace appends to trace-dir/traces.jsonl.
+// Logs are structured (log/slog; -log-format text|json, -log-level) and
+// carry trace_id/job_id automatically. /metrics additionally exports
+// tempriv_slo_* burn-rate series for the request-latency and cached-result
+// objectives, and tempriv_build_info identifies the running build
+// (-version prints the same identity).
 //
 // Durability: with -journal set, every accepted job and every state change
 // is appended (fsynced) to a write-ahead journal before the HTTP response
@@ -28,16 +39,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"tempriv/internal/buildinfo"
 	"tempriv/internal/jobs"
 	"tempriv/internal/jobstore"
+	"tempriv/internal/obs"
 	"tempriv/internal/resultcache"
 	"tempriv/internal/resultstream"
 	"tempriv/internal/scenario"
@@ -76,9 +91,26 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		runTimeout   = fs.Duration("run-timeout", 10*time.Minute, "per-job wall-clock deadline across all attempts (0 = none)")
 		repWorkers   = fs.Int("j", 1, "replication worker goroutines per job")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		traceDir     = fs.String("trace-dir", "", "directory for the finished-trace JSONL stream (empty = ring buffer only)")
+		traceCap     = fs.Int("trace-cap", obs.DefaultCapacity, "how many recent traces /v1/traces retains")
+		logFormat    = fs.String("log-format", "text", "log output format: text or json")
+		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugEps     = fs.Bool("debug-endpoints", true, "serve /debug/pprof and /debug/vars (disable when exposed to untrusted networks)")
+		version      = fs.Bool("version", false, "print build identity and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("temprivd"))
+		return nil
+	}
+	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *traceCap < 1 {
+		return fmt.Errorf("-trace-cap must be >= 1, got %d", *traceCap)
 	}
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -97,6 +129,42 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 
 	reg := telemetry.NewRegistry()
+	buildinfo.Register(reg)
+
+	// Tracing is always on: the flight-recorder ring is cheap, and a crash
+	// investigation is exactly when the recent traces matter. -trace-dir
+	// additionally streams every finished trace to an append-only JSONL
+	// file that survives the process.
+	traceOpts := obs.Options{Capacity: *traceCap}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("creating trace dir: %w", err)
+		}
+		f, err := os.OpenFile(filepath.Join(*traceDir, "traces.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening trace stream: %w", err)
+		}
+		defer f.Close()
+		traceOpts.Sink = f
+	}
+	tracer := obs.New(traceOpts)
+
+	// Two latency objectives share the span clock: every API request is
+	// fast, and cache hits specifically answer near-instantly (a cached
+	// result that takes as long as a fresh run means the cache is sick).
+	requestSLO, err := obs.NewSLO(reg, obs.SLOOptions{
+		Name: "request", Objective: 0.99, Threshold: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	cachedSLO, err := obs.NewSLO(reg, obs.SLOOptions{
+		Name: "cached_result", Objective: 0.99, Threshold: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
 
 	var cache *resultcache.Cache
 	if *cacheDir != "" {
@@ -170,6 +238,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxRetries: *retries,
 		RunTimeout: *runTimeout,
 		Restore:    restored,
+		Log:        log,
 	}
 	if journal != nil {
 		// Assigned only when non-nil: a typed-nil JournalSink would pass
@@ -185,8 +254,25 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		}
 	}
 
-	queue := jobs.New(server.NewRunner(cache, reg, *repWorkers, chunks), opts)
-	api := server.New(queue, cache, chunks, reg)
+	runner := server.NewRunnerConfig(server.RunnerConfig{
+		Cache:            cache,
+		Registry:         reg,
+		ReplicateWorkers: *repWorkers,
+		Chunks:           chunks,
+		CachedResultSLO:  cachedSLO,
+	})
+	queue := jobs.New(runner, opts)
+	api := server.NewConfig(server.Config{
+		Queue:                 queue,
+		Cache:                 cache,
+		Chunks:                chunks,
+		Registry:              reg,
+		Tracer:                tracer,
+		SLOs:                  obs.SLOSet{requestSLO, cachedSLO},
+		RequestSLO:            requestSLO,
+		Log:                   log,
+		DisableDebugEndpoints: !*debugEps,
+	})
 	api.SetReady(server.ReadyReplaying)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -196,8 +282,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	srv := &http.Server{Handler: api}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Printf("temprivd listening on http://%s (workers=%d, cache=%s, journal=%s, restored=%d)\n",
-		ln.Addr(), *workers, dirLabel(*cacheDir), dirLabel(*journalDir), len(restored))
+	log.LogAttrs(ctx, slog.LevelInfo, "temprivd listening",
+		slog.String("addr", "http://"+ln.Addr().String()),
+		slog.Int("workers", *workers),
+		slog.String("cache", dirLabel(*cacheDir)),
+		slog.String("journal", dirLabel(*journalDir)),
+		slog.String("chunks", dirLabel(*chunksDir)),
+		slog.Int("restored", len(restored)))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -210,7 +301,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if journal != nil {
 		if err := journal.Compact(); err != nil {
 			// Compaction is an optimization; a sick disk must not stop boot.
-			fmt.Fprintln(os.Stderr, "temprivd: journal compaction:", err)
+			log.Warn("journal compaction failed", "error", err)
 		}
 	}
 	api.SetReady(server.ReadyServing)
@@ -224,7 +315,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	// Graceful drain: go not-ready, stop accepting submissions, let
 	// in-flight jobs finish (bounded), close live event streams, then close
 	// the HTTP side — /v1/jobs/{id} stays queryable during the drain window.
-	fmt.Println("temprivd draining...")
+	log.Info("temprivd draining", "timeout", *drainTimeout)
 	api.SetReady(server.ReadyDraining)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -239,7 +330,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
 		return fmt.Errorf("draining: %w", drainErr)
 	}
-	fmt.Println("temprivd stopped")
+	log.Info("temprivd stopped")
 	return nil
 }
 

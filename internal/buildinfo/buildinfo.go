@@ -1,0 +1,81 @@
+// Package buildinfo surfaces what binary is running: module version, Go
+// toolchain and VCS revision, read from the build metadata the Go linker
+// embeds (runtime/debug.ReadBuildInfo). Every long-lived command exposes
+// it twice — a -version flag for humans and a tempriv_build_info metric
+// for scrapers — so an operator can always answer "which build produced
+// this behaviour?".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"tempriv/internal/telemetry"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module version ("(devel)" for a plain go build).
+	Version string
+	// GoVersion is the toolchain that compiled the binary.
+	GoVersion string
+	// Revision is the VCS commit hash ("" when built outside a checkout),
+	// with a "+dirty" suffix when the working tree had local edits.
+	Revision string
+}
+
+// Read extracts the build identity. It degrades gracefully: a binary
+// stripped of build info still reports the runtime's Go version.
+func Read() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && info.Revision != "" {
+		info.Revision += "+dirty"
+	}
+	return info
+}
+
+// String renders the one-line -version output for a command.
+func String(command string) string {
+	i := Read()
+	out := fmt.Sprintf("%s %s (%s)", command, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		out += " " + i.Revision
+	}
+	return out
+}
+
+// Register publishes the identity as the tempriv_build_info gauge — the
+// Prometheus info-metric idiom: constant value 1, identity in the labels,
+// so dashboards can join any series against the build that produced it.
+// Nil-registry safe.
+func Register(reg *telemetry.Registry) {
+	i := Read()
+	labels := map[string]string{
+		"version":    i.Version,
+		"go_version": i.GoVersion,
+	}
+	if i.Revision != "" {
+		labels["revision"] = i.Revision
+	}
+	reg.Info("tempriv_build_info", labels)
+}

@@ -1,0 +1,50 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+
+	"tempriv/internal/telemetry"
+)
+
+func TestReadAlwaysHasGoVersion(t *testing.T) {
+	i := Read()
+	if i.GoVersion == "" {
+		t.Fatal("GoVersion empty")
+	}
+	if i.Version == "" {
+		t.Fatal("Version empty (should degrade to \"unknown\", never \"\")")
+	}
+}
+
+func TestStringIncludesCommandAndVersion(t *testing.T) {
+	out := String("temprivd")
+	if !strings.HasPrefix(out, "temprivd ") {
+		t.Fatalf("String() = %q, want leading command name", out)
+	}
+	if !strings.Contains(out, Read().GoVersion) {
+		t.Fatalf("String() = %q, missing Go version", out)
+	}
+}
+
+func TestRegisterPublishesInfoMetric(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	Register(reg)
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "tempriv_build_info{") || !strings.Contains(out, "} 1\n") {
+		t.Fatalf("/metrics missing build info metric:\n%s", out)
+	}
+	for _, label := range []string{"version=", "go_version="} {
+		if !strings.Contains(out, label) {
+			t.Errorf("build info missing %s label:\n%s", label, out)
+		}
+	}
+}
+
+func TestRegisterNilRegistry(t *testing.T) {
+	Register(nil) // must not panic
+}

@@ -15,10 +15,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"time"
 
+	"tempriv/internal/obs"
 	"tempriv/internal/scenario"
 )
 
@@ -136,6 +138,12 @@ type Job struct {
 	chunkHWM int
 	// queue points back at the owning queue so NoteChunks can take its lock.
 	queue *Queue
+	// span is the job's root trace span (zero when the submission was
+	// untraced — restored jobs, tests); queueSpan times the wait between
+	// acceptance and worker pickup. Zero SpanRefs no-op, so the queue
+	// never branches on whether tracing is enabled.
+	span      obs.SpanRef
+	queueSpan obs.SpanRef
 }
 
 // NoteChunks records that the job's persisted result chunks now cover
@@ -235,6 +243,10 @@ type Options struct {
 	// re-enqueued. IDs are preserved and the ID sequence continues past
 	// the highest restored ID.
 	Restore []RestoredJob
+	// Log, when non-nil, receives structured lifecycle records (accepted,
+	// started, retrying, finished) with trace/job IDs attached via the
+	// record context (see internal/obs.ContextHandler).
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -369,15 +381,27 @@ func (q *Queue) journalTransition(id string, state State, attempt int, cacheHit 
 	}
 }
 
-// Submit validates nothing — the caller passes an already-normalized spec —
-// and enqueues it, returning the job's initial snapshot. The submission is
-// journaled (when a sink is configured) before Submit returns, so an
-// accepted job survives a crash.
+// Submit is SubmitCtx with a background (untraced) context.
 func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
+	return q.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx validates nothing — the caller passes an already-normalized
+// spec — and enqueues it, returning the job's initial snapshot. The
+// submission is journaled (when a sink is configured) before SubmitCtx
+// returns, so an accepted job survives a crash.
+//
+// ctx is for observability only, never cancellation: when it carries a
+// trace span (internal/obs), the job adopts it as its root span, binds the
+// trace to the job ID, and times its queue wait, attempts, backoffs and
+// engine stages under it. The job's execution context stays derived from
+// the queue, so an HTTP client disconnecting does not cancel its job.
+func (q *Queue) SubmitCtx(ctx context.Context, spec scenario.Spec) (Snapshot, error) {
 	fp, err := spec.Fingerprint()
 	if err != nil {
 		return Snapshot{}, err
 	}
+	span := obs.SpanFromContext(ctx)
 	q.mu.Lock()
 	if q.draining {
 		q.mu.Unlock()
@@ -398,7 +422,10 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 		ctx:         jctx,
 		cancel:      jcancel,
 		queue:       q,
+		span:        span,
 	}
+	span.BindJob(j.ID)
+	j.queueSpan = span.Child("queue")
 	// The enqueue happens under the lock so it cannot race Drain's
 	// close(q.pending); the buffer is sized past the admission bound, so
 	// the send never blocks (the default is a backstop, not a policy).
@@ -418,7 +445,21 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 	}
 	snap := q.snapshotLocked(j)
 	q.mu.Unlock()
+	q.logJob(j, slog.LevelInfo, "job accepted",
+		slog.String("fingerprint", fp), slog.String("name", spec.Name))
 	return snap, nil
+}
+
+// logJob emits one structured lifecycle record (no-op without a logger).
+// The record context carries the job's span, so trace_id and job_id
+// attach through the obs.ContextHandler. Never called with q.mu held —
+// the log writer is outside this package's control.
+func (q *Queue) logJob(j *Job, level slog.Level, msg string, attrs ...slog.Attr) {
+	if q.opts.Log == nil {
+		return
+	}
+	ctx := obs.ContextWithSpan(context.Background(), j.span)
+	q.opts.Log.LogAttrs(ctx, level, msg, append(attrs, slog.String("job", j.ID))...)
 }
 
 // Get returns a job's snapshot.
@@ -468,11 +509,12 @@ func (q *Queue) Backlog() int {
 // returns. Canceling a terminal job is a no-op.
 func (q *Queue) Cancel(id string) (Snapshot, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
+		q.mu.Unlock()
 		return Snapshot{}, false
 	}
+	var canceledQueued bool
 	if !j.state.Terminal() {
 		j.canceled = true
 		j.cancel()
@@ -481,11 +523,27 @@ func (q *Queue) Cancel(id string) (Snapshot, bool) {
 			q.appendEventLocked(j, Event{State: StateCanceled, Stage: "canceled", Message: "canceled while queued"})
 			q.journalTransition(j.ID, StateCanceled, j.attempts, false, "canceled while queued")
 			q.finishLocked(j)
+			canceledQueued = true
 		} else {
 			q.appendEventLocked(j, Event{State: j.state, Stage: "cancel-requested"})
 		}
 	}
-	return q.snapshotLocked(j), true
+	snap := q.snapshotLocked(j)
+	q.mu.Unlock()
+	if canceledQueued {
+		j.queueSpan.Annotate("outcome", "canceled")
+		j.queueSpan.End()
+		j.endTrace(StateCanceled)
+		q.logJob(j, slog.LevelInfo, "job canceled while queued")
+	}
+	return snap, true
+}
+
+// endTrace closes the job's root span with its terminal state — finishing
+// the trace (flight-recorder commit + JSONL stream). Zero-span safe.
+func (j *Job) endTrace(state State) {
+	j.span.Annotate("state", string(state))
+	j.span.End()
 }
 
 // Watch returns the job's event history so far and a channel delivering
@@ -582,6 +640,8 @@ func (q *Queue) runOne(j *Job) {
 	q.journalTransition(j.ID, StateRunning, j.attempts+1, false, "")
 	ctx := j.ctx
 	q.mu.Unlock()
+	j.queueSpan.End()
+	q.logJob(j, slog.LevelDebug, "job started")
 
 	// The run deadline spans every attempt: a job cannot occupy a worker
 	// past RunTimeout no matter how its retries interleave.
@@ -603,7 +663,12 @@ func (q *Queue) runOne(j *Job) {
 		q.mu.Lock()
 		j.attempts = attempt + 1
 		q.mu.Unlock()
-		res, err = q.runner(ctx, j, progress)
+		// Each attempt gets its own span; the runner's stage spans (cache,
+		// engine, chunks) hang off it through the context.
+		attSpan := j.span.Child("attempt")
+		attSpan.AnnotateInt("attempt", int64(attempt+1))
+		res, err = q.runner(obs.ContextWithSpan(ctx, attSpan), j, progress)
+		attSpan.EndErr(err)
 		if err == nil || ctx.Err() != nil || !errors.Is(err, ErrTransient) || attempt >= q.opts.MaxRetries {
 			break
 		}
@@ -617,17 +682,23 @@ func (q *Queue) runOne(j *Job) {
 			BackoffMS: delay.Milliseconds(),
 		})
 		q.mu.Unlock()
+		q.logJob(j, slog.LevelWarn, "job retrying after transient failure",
+			slog.Int("attempt", attempt+1), slog.Int64("backoff_ms", delay.Milliseconds()),
+			slog.String("error", err.Error()))
+		backoffSpan := j.span.Child("backoff")
+		backoffSpan.AnnotateInt("attempt", int64(attempt+1))
+		backoffSpan.AnnotateInt("backoff_ms", delay.Milliseconds())
 		select {
 		case <-ctx.Done():
 		case <-time.After(delay):
 		}
+		backoffSpan.End()
 		if ctx.Err() != nil {
 			break
 		}
 	}
 
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j.finished = time.Now()
 	if err != nil && !j.canceled && errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		err = fmt.Errorf("run deadline %v exceeded after %d attempt(s): %w", q.opts.RunTimeout, j.attempts, err)
@@ -653,7 +724,27 @@ func (q *Queue) runOne(j *Job) {
 		q.appendEventLocked(j, Event{State: StateDone, Stage: "done", Message: msg, Attempt: j.attempts})
 		q.journalTransition(j.ID, StateDone, j.attempts, res.CacheHit, "")
 	}
+	state := j.state
+	attempts := j.attempts
+	elapsed := j.finished.Sub(j.started)
 	q.finishLocked(j)
+	q.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		j.span.Annotate("cache_hit", fmt.Sprintf("%t", res.CacheHit))
+		q.logJob(j, slog.LevelInfo, "job done",
+			slog.Bool("cache_hit", res.CacheHit), slog.Int("attempts", attempts),
+			slog.Duration("elapsed", elapsed))
+	case StateFailed:
+		q.logJob(j, slog.LevelError, "job failed",
+			slog.Int("attempts", attempts), slog.String("error", err.Error()),
+			slog.Duration("elapsed", elapsed))
+	default:
+		q.logJob(j, slog.LevelInfo, "job canceled while running",
+			slog.Duration("elapsed", elapsed))
+	}
+	j.endTrace(state)
 }
 
 // appendEventLocked records an event and fans it out to watchers. A watcher

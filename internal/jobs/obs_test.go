@@ -1,0 +1,175 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tempriv/internal/obs"
+)
+
+// treeSpans collects every span named name anywhere under root.
+func treeSpans(root *obs.SpanTree, name string) []*obs.SpanTree {
+	var out []*obs.SpanTree
+	if root == nil {
+		return nil
+	}
+	if root.Name == name {
+		out = append(out, root)
+	}
+	for _, c := range root.Children {
+		out = append(out, treeSpans(c, name)...)
+	}
+	return out
+}
+
+func TestTraceSpansAcrossRetries(t *testing.T) {
+	var attempts atomic.Int32
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		// The attempt span must reach the runner through its context.
+		if !obs.SpanFromContext(ctx).Enabled() {
+			t.Error("runner ctx carries no span")
+		}
+		if attempts.Add(1) < 3 {
+			return nil, fmt.Errorf("%w: flaky backend", ErrTransient)
+		}
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1, MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
+	defer q.Drain(context.Background())
+
+	tracer := obs.New(obs.Options{})
+	ctx, root := tracer.StartTrace(context.Background(), "", "job")
+	s, err := q.SubmitCtx(ctx, testSpec(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = root
+	final := waitTerminal(t, q, s.ID)
+	if final.State != StateDone {
+		t.Fatalf("state = %q, want done", final.State)
+	}
+
+	tree, ok := tracer.ByJob(s.ID)
+	if !ok {
+		t.Fatal("no trace bound to the job ID")
+	}
+	if !tree.Complete {
+		t.Fatal("trace still open after the job finished")
+	}
+	if tree.Root.Attrs["state"] != "done" || tree.Root.Attrs["cache_hit"] != "false" {
+		t.Fatalf("root attrs: %v", tree.Root.Attrs)
+	}
+	if got := treeSpans(tree.Root, "queue"); len(got) != 1 || got[0].DurationNS < 0 {
+		t.Fatalf("queue spans: %+v", got)
+	}
+	atts := treeSpans(tree.Root, "attempt")
+	if len(atts) != 3 {
+		t.Fatalf("%d attempt spans, want 3", len(atts))
+	}
+	for i, a := range atts {
+		if a.Attrs["attempt"] != fmt.Sprint(i+1) {
+			t.Errorf("attempt span %d attrs: %v", i, a.Attrs)
+		}
+		failed := i < 2
+		if _, hasErr := a.Attrs["error"]; hasErr != failed {
+			t.Errorf("attempt %d error annotation = %v, want %v", i+1, hasErr, failed)
+		}
+	}
+	backoffs := treeSpans(tree.Root, "backoff")
+	if len(backoffs) != 2 {
+		t.Fatalf("%d backoff spans, want 2", len(backoffs))
+	}
+	for _, b := range backoffs {
+		if b.Attrs["backoff_ms"] == "" {
+			t.Errorf("backoff span missing backoff_ms: %v", b.Attrs)
+		}
+	}
+}
+
+func TestCancelWhileQueuedEndsTrace(t *testing.T) {
+	block := make(chan struct{})
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		<-block
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1})
+	defer func() {
+		close(block)
+		q.Drain(context.Background())
+	}()
+
+	// Occupy the only worker so the traced job stays queued.
+	if _, err := q.Submit(testSpec(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.New(obs.Options{})
+	ctx, _ := tracer.StartTrace(context.Background(), "", "job")
+	s, err := q.SubmitCtx(ctx, testSpec(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Cancel(s.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	tree, ok := tracer.ByJob(s.ID)
+	if !ok {
+		t.Fatal("no trace for canceled job")
+	}
+	if !tree.Complete {
+		t.Fatal("canceled-while-queued trace left open")
+	}
+	if tree.Root.Attrs["state"] != "canceled" {
+		t.Fatalf("root attrs: %v", tree.Root.Attrs)
+	}
+	queueSpans := treeSpans(tree.Root, "queue")
+	if len(queueSpans) != 1 || queueSpans[0].Attrs["outcome"] != "canceled" {
+		t.Fatalf("queue spans: %+v", queueSpans)
+	}
+}
+
+func TestStructuredLogsCarryJobAndTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := obs.NewLogger(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		return &Result{Fingerprint: job.Fingerprint}, nil
+	}
+	q := New(runner, Options{Workers: 1, Log: log})
+	defer q.Drain(context.Background())
+
+	tracer := obs.New(obs.Options{})
+	ctx, _ := tracer.StartTrace(context.Background(), "log-trace-1", "job")
+	s, err := q.SubmitCtx(ctx, testSpec(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q, s.ID)
+	q.Drain(context.Background())
+
+	out := buf.String()
+	for _, msg := range []string{"job accepted", "job started", "job done"} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, msg) {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no %q log line in:\n%s", msg, out)
+		}
+		if !strings.Contains(line, s.ID) {
+			t.Errorf("%q line missing job ID: %s", msg, line)
+		}
+		if !strings.Contains(line, "log-trace-1") {
+			t.Errorf("%q line missing trace ID: %s", msg, line)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds temprivd's structured logger: slog over a text or JSON
+// handler, wrapped so every record logged with a traced context
+// automatically carries trace_id (and job_id once the trace is bound to a
+// job). format is "text" or "json"; level is one of "debug", "info",
+// "warn", "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var base slog.Handler
+	switch strings.ToLower(format) {
+	case "json":
+		base = slog.NewJSONHandler(w, opts)
+	case "text", "":
+		base = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(ContextHandler(base)), nil
+}
+
+// ContextHandler wraps a slog.Handler so records inherit trace_id/job_id
+// from the span carried by their context — the glue that correlates log
+// lines with traces without threading IDs through every call site.
+func ContextHandler(base slog.Handler) slog.Handler {
+	return ctxHandler{base: base}
+}
+
+type ctxHandler struct {
+	base slog.Handler
+}
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.base.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sp := SpanFromContext(ctx); sp.Enabled() {
+		r = r.Clone()
+		r.AddAttrs(slog.String("trace_id", sp.TraceID()))
+		if job := sp.JobID(); job != "" {
+			r.AddAttrs(slog.String("job_id", job))
+		}
+	}
+	return h.base.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{base: h.base.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{base: h.base.WithGroup(name)}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "yaml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(&buf, "json", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info line emitted at warn level")
+	}
+	if !strings.Contains(out, "visible") {
+		t.Error("warn line missing")
+	}
+}
+
+func TestContextHandlerAddsTraceAndJobIDs(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(Options{})
+	ctx, root := tr.StartTrace(context.Background(), "ctx-trace-1", "job")
+
+	// Before the job binds: trace_id only.
+	log.InfoContext(ctx, "accepted")
+	// After: both IDs.
+	root.BindJob("job-42")
+	log.InfoContext(ctx, "running")
+	// Untraced contexts carry neither.
+	log.InfoContext(context.Background(), "plain")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d log lines, want 3", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != "ctx-trace-1" {
+		t.Errorf("line 0 trace_id = %v", rec["trace_id"])
+	}
+	if _, has := rec["job_id"]; has {
+		t.Error("line 0 has job_id before BindJob")
+	}
+	rec = map[string]any{}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != "ctx-trace-1" || rec["job_id"] != "job-42" {
+		t.Errorf("line 1 ids = %v / %v", rec["trace_id"], rec["job_id"])
+	}
+	rec = map[string]any{}
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := rec["trace_id"]; has {
+		t.Error("untraced line carries a trace_id")
+	}
+}
+
+func TestContextHandlerPreservesWithAttrsAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	base := slog.NewJSONHandler(&buf, nil)
+	log := slog.New(ContextHandler(base)).With("component", "queue").WithGroup("g")
+	tr := New(Options{})
+	ctx, root := tr.StartTrace(context.Background(), "with-attrs-1", "job")
+	defer root.End()
+	log.InfoContext(ctx, "msg", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "queue" {
+		t.Errorf("WithAttrs lost: %v", rec)
+	}
+	g, _ := rec["g"].(map[string]any)
+	if g == nil || g["k"] != "v" {
+		t.Errorf("WithGroup lost: %v", rec)
+	}
+	// The trace ID lands inside the open group — acceptable; what matters
+	// is that it is present somewhere in the record.
+	if !strings.Contains(buf.String(), "with-attrs-1") {
+		t.Errorf("trace_id missing from grouped record: %s", buf.String())
+	}
+}

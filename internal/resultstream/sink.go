@@ -3,12 +3,20 @@ package resultstream
 import (
 	"fmt"
 
+	"tempriv/internal/obs"
 	"tempriv/internal/report"
 )
 
 // SinkHooks observe a Sink's activity (telemetry and progress reporting).
 // All hooks fire from the engine's single coordinating goroutine.
 type SinkHooks struct {
+	// Span, when enabled, parents a "chunk" trace span around every fresh
+	// chunk append (encode + write + any fsync), annotated with the
+	// replicate index — the chunk-persistence stage of a job's trace
+	// (internal/obs). The engine's sink calls are single-goroutine, but no
+	// context flows through the ReplicateSink seam, so the span rides the
+	// hooks instead. The zero SpanRef disables it for free.
+	Span obs.SpanRef
 	// Written fires after each fresh frame persists, with the total number
 	// of distinct replicates now persisted (the chunk high-water mark).
 	Written func(persisted int)
@@ -110,10 +118,13 @@ func (k *Sink) Emit(rep int, fresh bool, tab *report.Table) error {
 	if !fresh {
 		return nil
 	}
+	span := k.hooks.Span.Child("chunk")
+	span.AnnotateInt("rep", int64(rep))
 	payload, err := EncodeTable(tab)
 	if err == nil {
 		err = k.w.Append(rep, payload)
 	}
+	span.EndErr(err)
 	if err != nil {
 		if k.hooks.AppendError != nil {
 			k.hooks.AppendError(err)

@@ -15,6 +15,7 @@ import (
 	"tempriv/internal/experiment"
 	"tempriv/internal/metrics"
 	"tempriv/internal/network"
+	"tempriv/internal/obs"
 	"tempriv/internal/packet"
 	"tempriv/internal/report"
 	"tempriv/internal/routing"
@@ -137,15 +138,28 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	}
 	opts.progress("running", fmt.Sprintf("%s (%d replicate(s), seed %d)", spec.Label(), replicates, seed))
 
+	// The whole execution runs under an "engine" span; each replicate gets
+	// a child span below. Both are free when the context is untraced (the
+	// rcadsim/sweep paths, and temprivd with tracing off) — StartSpan on an
+	// untraced context allocates nothing.
+	ctx, engineSpan := obs.StartSpan(ctx, "engine")
+	engineSpan.AnnotateInt("replicates", int64(replicates))
+	defer engineSpan.End()
+
 	// Wrap the experiment so each replicate checks for cancellation before
-	// starting and reports progress as it completes.
+	// starting, runs under its own trace span, and reports progress as it
+	// completes. Replicates may run on parallel workers; the trace record
+	// is lock-guarded.
 	var done atomic.Int64
 	inner := e.Run
 	e.Run = func(q experiment.Params) (*report.Table, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, repSpan := obs.StartSpan(ctx, "replicate")
+		repSpan.AnnotateInt("rep", int64(q.Seed-seed))
 		tab, err := inner(q)
+		repSpan.EndErr(err)
 		if err == nil && replicates > 1 {
 			opts.progress("replicate", fmt.Sprintf("%d/%d", done.Add(1), replicates))
 		}
@@ -175,13 +189,17 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	}
 
 	opts.progress("rendering", "result tables")
+	_, renderSpan := obs.StartSpan(ctx, "render")
 	var text, csv bytes.Buffer
 	if err := tab.Render(&text); err != nil {
+		renderSpan.EndErr(err)
 		return nil, fmt.Errorf("scenario: rendering table: %w", err)
 	}
 	if err := tab.RenderCSV(&csv); err != nil {
+		renderSpan.EndErr(err)
 		return nil, fmt.Errorf("scenario: rendering CSV: %w", err)
 	}
+	renderSpan.End()
 	return &Outcome{
 		Table:     tab,
 		TableText: text.Bytes(),

@@ -8,17 +8,28 @@
 //	GET  /v1/jobs/{id}/result completed result (tables + manifest);
 //	                          ?partial=1 streams per-replicate chunks (JSONL)
 //	GET  /v1/jobs/{id}/events progress stream, one JSON object per line
+//	GET  /v1/traces/{jobID}   the job's end-to-end trace as a JSON span tree
 //	GET  /v1/cache            result-cache effectiveness counters
 //	GET  /healthz             liveness probe (always 200 while the process serves)
 //	GET  /readyz              readiness probe (503 during journal replay and drain)
 //	GET  /metrics             Prometheus text format (telemetry registry)
-//	GET  /debug/pprof/...     net/http/pprof (reused from the PR-2 wiring)
+//	GET  /debug/pprof/...     net/http/pprof (gated by Config.DisableDebugEndpoints)
 //
 // The server owns no execution logic: submissions validate through
 // internal/scenario and execute through the internal/jobs queue, whose
 // Runner (built here) consults the internal/resultcache first — so a
 // repeated scenario answers from the cache with byte-identical result
 // tables instead of re-simulating.
+//
+// Tracing contract: when a Tracer is configured (internal/obs), every
+// accepted submission mints a trace whose span tree follows the job
+// end-to-end — ingress parsing, queue wait, retry attempts and backoff
+// sleeps, cache consultation, per-replicate engine execution, chunk
+// persistence and the cache fill. Clients may supply their own trace ID in
+// an X-Trace-Id request header (8–64 chars of [A-Za-z0-9._-]; anything
+// else is replaced with a minted ID, never rejected); the effective ID is
+// echoed back in the response's X-Trace-Id header and resolvable at
+// GET /v1/traces/{jobID} while the trace remains in the flight recorder.
 //
 // Error contract: every error response is a JSON document
 // {"error": "...", "status": N} — including the mux's own 404/405s, which
@@ -34,6 +45,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	"tempriv/internal/jobs"
+	"tempriv/internal/obs"
 	"tempriv/internal/resultcache"
 	"tempriv/internal/resultstream"
 	"tempriv/internal/scenario"
@@ -67,14 +80,48 @@ const (
 // server notices (and drops) clients that went away.
 const defaultEventKeepalive = 15 * time.Second
 
+// Config assembles a Server. Every field but Queue is optional; the zero
+// value of each optional field disables its feature at no cost.
+type Config struct {
+	// Queue executes submissions (required).
+	Queue *jobs.Queue
+	// Cache answers repeated scenarios without re-simulating.
+	Cache *resultcache.Cache
+	// Chunks serves partial results and makes runs resumable.
+	Chunks *resultstream.Store
+	// Registry backs /metrics and the server's own counters.
+	Registry *telemetry.Registry
+	// Tracer mints per-job traces at ingress and serves /v1/traces.
+	Tracer *obs.Tracer
+	// SLOs are synced (burn-rate gauges recomputed) before every /metrics
+	// scrape.
+	SLOs obs.SLOSet
+	// RequestSLO observes every API request's latency (the all-traffic
+	// objective; stage-specific SLOs hang off the runner instead).
+	RequestSLO *obs.SLO
+	// Log receives structured request records (method, path, status,
+	// duration) at debug level, 5xx at error level.
+	Log *slog.Logger
+	// DisableDebugEndpoints removes /debug/pprof and /debug/vars from the
+	// mux. The default (false) keeps them registered — the operational
+	// posture every earlier release shipped — while letting deployments
+	// that front temprivd to untrusted networks turn them off
+	// (temprivd -debug-endpoints=false).
+	DisableDebugEndpoints bool
+}
+
 // Server routes the HTTP API onto a job queue and an optional result cache.
 type Server struct {
-	queue  *jobs.Queue
-	cache  *resultcache.Cache
-	chunks *resultstream.Store
-	reg    *telemetry.Registry
-	mux    *http.ServeMux
-	sheds  *telemetry.Counter
+	queue   *jobs.Queue
+	cache   *resultcache.Cache
+	chunks  *resultstream.Store
+	reg     *telemetry.Registry
+	tracer  *obs.Tracer
+	slos    obs.SLOSet
+	reqSLO  *obs.SLO
+	log     *slog.Logger
+	mux     *http.ServeMux
+	sheds   *telemetry.Counter
 
 	// EventKeepalive overrides the /events keepalive cadence (default
 	// defaultEventKeepalive; set before serving — it is read per request
@@ -88,22 +135,31 @@ type Server struct {
 	readiness string
 }
 
-// New assembles the API. cache may be nil (every submission simulates
-// fresh); chunks may be nil (no partial-result serving); reg may be nil
-// (no /metrics). The server starts in the ReadyStarting state; the daemon
-// advances it via SetReady as boot proceeds.
+// New assembles the API from the positional essentials — the pre-tracing
+// constructor, kept for callers that need none of the observability
+// wiring. Equivalent to NewConfig with only those fields set.
 func New(queue *jobs.Queue, cache *resultcache.Cache, chunks *resultstream.Store, reg *telemetry.Registry) *Server {
+	return NewConfig(Config{Queue: queue, Cache: cache, Chunks: chunks, Registry: reg})
+}
+
+// NewConfig assembles the API. The server starts in the ReadyStarting
+// state; the daemon advances it via SetReady as boot proceeds.
+func NewConfig(cfg Config) *Server {
 	s := &Server{
-		queue:     queue,
-		cache:     cache,
-		chunks:    chunks,
-		reg:       reg,
+		queue:     cfg.Queue,
+		cache:     cfg.Cache,
+		chunks:    cfg.Chunks,
+		reg:       cfg.Registry,
+		tracer:    cfg.Tracer,
+		slos:      cfg.SLOs,
+		reqSLO:    cfg.RequestSLO,
+		log:       cfg.Log,
 		mux:       http.NewServeMux(),
 		stopCh:    make(chan struct{}),
 		readiness: ReadyStarting,
 	}
-	if reg != nil {
-		s.sheds = reg.Counter("temprivd_sheds_total")
+	if s.reg != nil {
+		s.sheds = s.reg.Counter("temprivd_sheds_total")
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -111,20 +167,28 @@ func New(queue *jobs.Queue, cache *resultcache.Cache, chunks *resultstream.Store
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/traces/{jobID}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	if reg != nil {
-		s.mux.Handle("GET /metrics", reg)
+	if s.reg != nil {
+		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Burn rates are derived from windowed state, not stored — sync
+			// them so every scrape exports rates as fresh as its counters.
+			s.slos.Sync()
+			s.reg.ServeHTTP(w, r)
+		})
 	}
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.mux.Handle("/debug/vars", expvar.Handler())
+	if !cfg.DisableDebugEndpoints {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.mux.Handle("/debug/vars", expvar.Handler())
+	}
 	return s
 }
 
@@ -152,11 +216,28 @@ func (s *Server) Stop() {
 
 // ServeHTTP implements http.Handler. Responses are filtered so that any
 // plain-text error (the mux's own 404/405) leaves as the JSON error
-// contract instead.
+// contract instead; every request feeds the request SLO and, with a
+// logger configured, leaves one structured access record.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	jw := &jsonErrorWriter{rw: w}
 	s.mux.ServeHTTP(jw, r)
 	jw.finish()
+	elapsed := time.Since(start)
+	s.reqSLO.Observe(elapsed)
+	if s.log != nil {
+		status := jw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		level := slog.LevelDebug
+		if status >= http.StatusInternalServerError {
+			level = slog.LevelError
+		}
+		s.log.LogAttrs(r.Context(), level, "http request",
+			slog.String("method", r.Method), slog.String("path", r.URL.Path),
+			slog.Int("status", status), slog.Duration("elapsed", elapsed))
+	}
 }
 
 // NewRunner builds the queue Runner that gives the server (and anything
@@ -177,6 +258,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // internally), a failed Put costs only the cache fill, and a sick chunk
 // store degrades to a plain non-resumable run.
 func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorkers int, chunks *resultstream.Store) jobs.Runner {
+	return NewRunnerConfig(RunnerConfig{
+		Cache:            cache,
+		Registry:         reg,
+		ReplicateWorkers: replicateWorkers,
+		Chunks:           chunks,
+	})
+}
+
+// RunnerConfig parameterises NewRunnerConfig. Cache, Registry, Chunks and
+// CachedResultSLO are all optional; their zero values disable the
+// corresponding feature.
+type RunnerConfig struct {
+	Cache            *resultcache.Cache
+	Registry         *telemetry.Registry
+	ReplicateWorkers int
+	Chunks           *resultstream.Store
+	// CachedResultSLO observes the latency of every cache-hit answer (the
+	// "cached results are fast" objective). Fresh runs don't feed it — their
+	// latency is governed by replicate count, not by serving health.
+	CachedResultSLO *obs.SLO
+}
+
+// NewRunnerConfig is NewRunner with the full option set.
+func NewRunnerConfig(cfg RunnerConfig) jobs.Runner {
+	cache, reg, chunks := cfg.Cache, cfg.Registry, cfg.Chunks
+	replicateWorkers := cfg.ReplicateWorkers
 	counter := func(name string) *telemetry.Counter {
 		if reg == nil {
 			return nil
@@ -196,7 +303,13 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 	replicatesSkipped := counter("tempriv_replicates_skipped_on_resume_total")
 	return func(ctx context.Context, job *jobs.Job, progress func(stage, message string)) (*jobs.Result, error) {
 		fp := job.Fingerprint
+		// The attempt span arrives via ctx (zero when tracing is off); the
+		// cache and chunk stages hang off it.
+		attempt := obs.SpanFromContext(ctx)
 		if cache != nil {
+			lookupStart := time.Now()
+			cacheSpan := attempt.Child("cache")
+			cacheSpan.Annotate("op", "get")
 			entry, ok, err := cache.Get(fp)
 			if err != nil {
 				// Only a malformed fingerprint reaches here (I/O trouble is
@@ -204,6 +317,8 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 				progress("cache", "get failed: "+err.Error())
 			}
 			if ok {
+				cacheSpan.Annotate("outcome", "hit")
+				cacheSpan.End()
 				inc(hits)
 				progress("cache", "hit "+fp[:12])
 				if chunks != nil {
@@ -212,6 +327,7 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 					// the result, so they are no longer needed.
 					_ = chunks.Remove(fp)
 				}
+				cfg.CachedResultSLO.Observe(time.Since(lookupStart))
 				return &jobs.Result{
 					Fingerprint: fp,
 					CacheHit:    true,
@@ -220,6 +336,8 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 					Manifest:    entry.Manifest,
 				}, nil
 			}
+			cacheSpan.Annotate("outcome", "miss")
+			cacheSpan.EndErr(err)
 			inc(misses)
 		}
 		inc(runs)
@@ -230,6 +348,7 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 		var sink *resultstream.Sink
 		if chunks != nil {
 			k, err := chunks.Sink(fp, job.Spec.Replicates(), resultstream.SinkHooks{
+				Span: attempt,
 				Written: func(persisted int) {
 					inc(chunksWritten)
 					job.NoteChunks(persisted)
@@ -276,12 +395,15 @@ func NewRunner(cache *resultcache.Cache, reg *telemetry.Registry, replicateWorke
 			return nil, err
 		}
 		if cache != nil {
+			putSpan := attempt.Child("cache")
+			putSpan.Annotate("op", "put")
 			err := cache.Put(&resultcache.Entry{
 				Fingerprint: fp,
 				TableText:   out.TableText,
 				TableCSV:    out.TableCSV,
 				Manifest:    manifest,
 			})
+			putSpan.EndErr(err)
 			if err != nil {
 				// The result is in hand; failing to cache it must not fail
 				// the job. Surface the problem as a progress event instead.
@@ -311,33 +433,80 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Mint (or adopt via X-Trace-Id) the job's trace at the door: the root
+	// span outlives this handler — the queue ends it when the job reaches a
+	// terminal state — while the ingress span covers just the parse+submit
+	// work done here. With no tracer configured both refs are zero and every
+	// call below no-ops.
+	ctx, root := s.tracer.StartTrace(r.Context(), r.Header.Get("X-Trace-Id"), "job")
+	if root.Enabled() {
+		w.Header().Set("X-Trace-Id", root.TraceID())
+	}
+	ingress := root.Child("ingress")
+	rejected := func(status int, err error) {
+		// A rejected submission still finishes its trace (it will never
+		// bind to a job, so it is only reachable by trace ID).
+		ingress.EndErr(err)
+		root.AnnotateInt("status", int64(status))
+		root.EndErr(err)
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
+		rejected(http.StatusBadRequest, err)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
 	if len(body) > maxSpecBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		err := fmt.Errorf("spec exceeds %d bytes", maxSpecBytes)
+		rejected(http.StatusRequestEntityTooLarge, err)
+		writeError(w, http.StatusRequestEntityTooLarge, err)
 		return
 	}
 	spec, err := scenario.Parse(body)
 	if err != nil {
+		rejected(http.StatusBadRequest, err)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap, err := s.queue.Submit(spec)
+	snap, err := s.queue.SubmitCtx(ctx, spec)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
+		rejected(http.StatusTooManyRequests, err)
 		s.shed(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, jobs.ErrDraining):
+		rejected(http.StatusServiceUnavailable, err)
 		s.shed(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
+		rejected(http.StatusInternalServerError, err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	ingress.End()
 	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// handleTrace serves a job's span tree from the tracer's flight recorder.
+// Live jobs render with Complete=false and open spans at duration -1; a
+// trace evicted from the ring (or a boot-restored job, which predates its
+// process's tracer) is a 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled"))
+		return
+	}
+	jobID := r.PathValue("jobID")
+	tree, ok := s.tracer.ByJob(jobID)
+	if !ok {
+		if _, exists := s.queue.Get(jobID); exists {
+			writeError(w, http.StatusNotFound, errors.New("no trace retained for this job (evicted from the flight recorder, or the job predates this process)"))
+			return
+		}
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, tree)
 }
 
 // shed rejects a submission with backpressure semantics: counted in
@@ -585,7 +754,7 @@ type jsonErrorWriter struct {
 	rw          http.ResponseWriter
 	wroteHeader bool
 	intercepted bool
-	status      int
+	status      int // the response status, recorded for the access log
 }
 
 func (j *jsonErrorWriter) Header() http.Header { return j.rw.Header() }
@@ -595,6 +764,7 @@ func (j *jsonErrorWriter) WriteHeader(status int) {
 		return
 	}
 	j.wroteHeader = true
+	j.status = status
 	ct := j.rw.Header().Get("Content-Type")
 	if status >= http.StatusBadRequest && !strings.HasPrefix(ct, "application/json") {
 		// Hold the response: finish() rewrites it as the JSON contract.

@@ -30,6 +30,41 @@ func TestProbeFiresEveryInterval(t *testing.T) {
 	}
 }
 
+// TestProbeFiresAtExactFinalInstant pins the sample-boundary contract: when
+// the last real event lands exactly on a probe's fire time, that tick still
+// fires — the final instant of a run gets sampled — and the next tick does
+// not (probes never extend a run past its last real event).
+func TestProbeFiresAtExactFinalInstant(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	eventRan := false
+	s.Every(1.0, func(now float64) {
+		fired = append(fired, now)
+		if now == 3.0 && !eventRan {
+			t.Fatal("boundary tick fired before the same-instant real event")
+		}
+	})
+	s.At(3.0, func() { eventRan = true }) // the run ends exactly on a sample boundary
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("probe fired at %v, want %v", fired, want)
+	}
+	for i, at := range want {
+		if fired[i] != at {
+			t.Fatalf("probe fired at %v, want %v", fired, want)
+		}
+	}
+	if s.Now() != 3.0 {
+		t.Fatalf("clock ended at %v, want 3.0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still queued after Run", s.Pending())
+	}
+}
+
 func TestProbeAloneDoesNotRunForever(t *testing.T) {
 	s := NewScheduler()
 	count := 0

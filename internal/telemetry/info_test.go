@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInfoMetricPromAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Info("tempriv_build_info", map[string]string{
+		"version":    "v1.2.3",
+		"go_version": "go1.24.0",
+		"revision":   "abc123",
+	})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Labels render sorted, value is the constant 1.
+	want := `# TYPE tempriv_build_info gauge
+tempriv_build_info{go_version="go1.24.0",revision="abc123",version="v1.2.3"} 1
+`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("WriteProm output:\n%s\nwant to contain:\n%s", sb.String(), want)
+	}
+
+	snap := reg.Snapshot()
+	labels, ok := snap["tempriv_build_info"].(map[string]string)
+	if !ok || labels["version"] != "v1.2.3" {
+		t.Fatalf("snapshot info metric: %#v", snap["tempriv_build_info"])
+	}
+	// The snapshot copy must be isolated from the registry's state.
+	labels["version"] = "mutated"
+	snap2 := reg.Snapshot()
+	if snap2["tempriv_build_info"].(map[string]string)["version"] != "v1.2.3" {
+		t.Fatal("snapshot mutation leaked into the registry")
+	}
+}
+
+func TestInfoReplaceAndNilRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Info("x_info", map[string]string{"a": "1"})
+	reg.Info("x_info", map[string]string{"b": "2"})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `a="1"`) || !strings.Contains(sb.String(), `b="2"`) {
+		t.Fatalf("re-registering did not replace labels:\n%s", sb.String())
+	}
+
+	var nilReg *Registry
+	nilReg.Info("x_info", map[string]string{"a": "1"}) // must not panic
+}
+
+// TestHistogramConcurrentObserveSnapshot drives Observe from several
+// goroutines while Snapshot, WriteProm and Quantile read concurrently, and
+// then checks nothing was lost. Run with -race this doubles as the data-race
+// gate for the histogram's lock-free update path.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer every read path until the writers finish.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = reg.Snapshot()
+				_ = h.Quantile(0.99)
+				var sb strings.Builder
+				_ = reg.WriteProm(&sb)
+			}
+		}()
+	}
+	var writeWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writeWG.Add(1)
+		go func(g int) {
+			defer writeWG.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) / 1000)
+			}
+		}(g)
+	}
+	writeWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("count = %d after concurrent observes, want %d", got, writers*perG)
+	}
+	// The bucket totals must also account for every observation.
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lat_count 40000") {
+		t.Fatalf("prom output missing exact count:\n%s", sb.String())
+	}
+}

@@ -207,6 +207,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	infos    map[string]map[string]string
 }
 
 // NewRegistry returns an empty metric registry.
@@ -215,7 +216,25 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		infos:    make(map[string]map[string]string),
 	}
+}
+
+// Info publishes an info metric — the Prometheus idiom for identity data:
+// a gauge with constant value 1 whose labels carry the facts (for example
+// tempriv_build_info{version=...,go_version=...} 1). Re-registering a name
+// replaces its labels. No-op on a nil registry.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	copied := make(map[string]string, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = copied
 }
 
 // Counter returns the counter with the given name, creating it on first
@@ -292,6 +311,17 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, name := range sortedKeys(r.gauges) {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, r.gauges[name].Value())
 	}
+	for _, name := range sortedKeys(r.infos) {
+		labels := r.infos[name]
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s{", name, name)
+		for i, k := range sortedKeys(labels) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		}
+		b.WriteString("} 1\n")
+	}
 	for _, name := range sortedKeys(r.hists) {
 		h := r.hists[name]
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
@@ -334,7 +364,14 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.infos))
+	for name, labels := range r.infos {
+		copied := make(map[string]string, len(labels))
+		for k, v := range labels {
+			copied[k] = v
+		}
+		out[name] = copied
+	}
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
