@@ -46,10 +46,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"tempriv/internal/buildinfo"
+	"tempriv/internal/cluster/registry"
+	"tempriv/internal/cluster/ring"
 	"tempriv/internal/jobs"
 	"tempriv/internal/jobstore"
 	"tempriv/internal/obs"
@@ -97,6 +100,17 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		debugEps     = fs.Bool("debug-endpoints", true, "serve /debug/pprof and /debug/vars (disable when exposed to untrusted networks)")
 		version      = fs.Bool("version", false, "print build identity and exit")
+
+		// Cluster mode: register with a temprivgw gateway and heartbeat so
+		// the gateway shards jobs here by fingerprint and hands our jobs to
+		// a ring successor if this process dies. Workers in one cluster
+		// should share -chunks (crash handoff resumes from persisted
+		// replicate chunks) while keeping per-worker -cache and -journal.
+		clusterRegistry  = fs.String("cluster-registry", "", "gateway base URL to register with (empty = standalone)")
+		clusterID        = fs.String("cluster-id", "", "stable worker ID within the cluster (required with -cluster-registry)")
+		clusterURL       = fs.String("cluster-url", "", "advertised base URL for this worker (default http://<listen addr>)")
+		clusterCapacity  = fs.Int("cluster-capacity", 0, "advertised capacity (default: -workers)")
+		clusterHeartbeat = fs.Duration("cluster-heartbeat", 0, "heartbeat interval (0 = a third of the granted lease TTL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +140,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	if *drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+	if *clusterRegistry != "" && *clusterID == "" {
+		return fmt.Errorf("-cluster-registry requires -cluster-id")
+	}
+	if *clusterRegistry == "" && *clusterID != "" {
+		return fmt.Errorf("-cluster-id requires -cluster-registry")
 	}
 
 	reg := telemetry.NewRegistry()
@@ -262,6 +282,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		CachedResultSLO:  cachedSLO,
 	})
 	queue := jobs.New(runner, opts)
+
+	// In cluster mode the heartbeat responses carry the membership list;
+	// the worker mirrors it into a local ring so the API can flag
+	// misdirected submissions (advisory — they still run here).
+	var clusterRing atomic.Pointer[ring.Ring]
+	var clusterOwns func(fp string) (string, bool)
+	if *clusterRegistry != "" {
+		clusterOwns = func(fp string) (string, bool) {
+			r := clusterRing.Load()
+			if r == nil || r.Len() == 0 {
+				return "", false
+			}
+			return r.Owner(fp)
+		}
+	}
+
 	api := server.NewConfig(server.Config{
 		Queue:                 queue,
 		Cache:                 cache,
@@ -272,6 +308,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		RequestSLO:            requestSLO,
 		Log:                   log,
 		DisableDebugEndpoints: !*debugEps,
+		ClusterID:             *clusterID,
+		ClusterOwns:           clusterOwns,
 	})
 	api.SetReady(server.ReadyReplaying)
 
@@ -291,6 +329,43 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		slog.Int("restored", len(restored)))
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	// Join the cluster once the listener is up (the advertised URL must be
+	// reachable before the gateway can route to it). The heartbeat loop
+	// retries through gateway outages and deregisters on shutdown.
+	if *clusterRegistry != "" {
+		selfURL := *clusterURL
+		if selfURL == "" {
+			selfURL = "http://" + ln.Addr().String()
+		}
+		capacity := *clusterCapacity
+		if capacity <= 0 {
+			capacity = *workers
+		}
+		beats := reg.Counter("tempriv_cluster_heartbeats_total")
+		beatErrs := reg.Counter("tempriv_cluster_heartbeat_errors_total")
+		epochGauge := reg.Gauge("tempriv_cluster_epoch")
+		client, err := registry.NewClient(*clusterRegistry, registry.Worker{
+			ID: *clusterID, URL: selfURL, Capacity: capacity,
+		}, registry.ClientOptions{
+			Interval: *clusterHeartbeat,
+			OnMembers: func(ws []registry.Worker, epoch uint64) {
+				clusterRing.Store(ring.New(registry.IDs(ws), 0))
+				epochGauge.Set(float64(epoch))
+			},
+			OnHeartbeat: func() { beats.Inc() },
+			OnError: func(err error) {
+				beatErrs.Inc()
+				log.Warn("cluster heartbeat failed", "registry", *clusterRegistry, "error", err)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		go client.Run(ctx)
+		log.Info("cluster mode enabled", "registry", *clusterRegistry,
+			"id", *clusterID, "url", selfURL, "capacity", capacity)
 	}
 
 	// Finish the replay phase while already listening (so probes can watch

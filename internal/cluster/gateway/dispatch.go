@@ -1,0 +1,193 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tempriv/internal/jobs"
+)
+
+// dispatchResult is what a successful worker submission yields.
+type dispatchResult struct {
+	WorkerID    string
+	WorkerURL   string
+	WorkerJobID string
+	Snapshot    map[string]any // the worker's snapshot, pre-rewrite
+}
+
+// workerError carries a worker's JSON error contract through to the
+// caller so the gateway can forward the original status and message.
+type workerError struct {
+	Status int
+	Msg    string
+}
+
+func (e *workerError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.Status, e.Msg)
+}
+
+// dispatch submits canonical spec bytes to the ring owner for fp, falling
+// over to ring successors when a worker is unreachable or persistently
+// shedding load. A 429/503 with Retry-After is honored (capped at
+// RetryAfterMax) before retrying the same worker — backpressure means the
+// worker is alive and the spec belongs there; moving it would forfeit
+// cache locality — while connection errors and 5xx failures advance to
+// the next successor immediately. At most submitAttempts POSTs total.
+func (g *Gateway) dispatch(ctx context.Context, specJSON []byte, fp, traceID, origin string) (dispatchResult, error) {
+	rg, alive, _ := g.currentRing()
+	candidates := rg.Successors(fp, 0)
+	if len(candidates) == 0 {
+		return dispatchResult{}, &workerError{Status: http.StatusServiceUnavailable, Msg: "no live workers registered"}
+	}
+
+	var lastErr error
+	attempts := 0
+	for ci, id := range candidates {
+		worker, ok := workerByID(alive, id)
+		if !ok {
+			continue
+		}
+		if ci > 0 && g.mFailover != nil {
+			g.mFailover.Inc()
+		}
+		for attempts < g.submitAttempts {
+			attempts++
+			snap, retryAfter, err := g.postJob(ctx, worker.URL, specJSON, traceID, origin)
+			if err == nil {
+				if g.mDispatch != nil {
+					g.mDispatch.Inc()
+				}
+				return dispatchResult{
+					WorkerID:    id,
+					WorkerURL:   worker.URL,
+					WorkerJobID: stringField(snap, "id"),
+					Snapshot:    snap,
+				}, nil
+			}
+			lastErr = err
+			var we *workerError
+			if errors.As(err, &we) && (we.Status == http.StatusTooManyRequests || we.Status == http.StatusServiceUnavailable) {
+				// Backpressure: wait as instructed, then retry this worker.
+				if attempts < g.submitAttempts {
+					if g.mRetryWaits != nil {
+						g.mRetryWaits.Inc()
+					}
+					g.sleep(retryAfter)
+					continue
+				}
+				break
+			}
+			if errors.As(err, &we) && we.Status >= 400 && we.Status < 500 {
+				// The spec itself is bad; every worker will say the same.
+				return dispatchResult{}, err
+			}
+			break // unreachable or 5xx: next successor
+		}
+		if attempts >= g.submitAttempts {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = &workerError{Status: http.StatusServiceUnavailable, Msg: "no candidate worker accepted the job"}
+	}
+	return dispatchResult{}, lastErr
+}
+
+// postJob performs one POST /v1/jobs against a worker. On 429/503 it
+// returns a *workerError plus the Retry-After the worker asked for
+// (capped; defaulting to 1s when absent or unparsable).
+func (g *Gateway) postJob(ctx context.Context, baseURL string, specJSON []byte, traceID, origin string) (map[string]any, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", bytes.NewReader(specJSON))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	if origin != "" {
+		req.Header.Set("X-Tempriv-Origin", origin)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("posting job to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		var snap map[string]any
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); derr != nil {
+			return nil, 0, fmt.Errorf("decoding snapshot from %s: %w", baseURL, derr)
+		}
+		return snap, 0, nil
+	}
+	retryAfter := g.parseRetryAfter(resp.Header.Get("Retry-After"))
+	return nil, retryAfter, decodeWorkerError(resp)
+}
+
+// parseRetryAfter interprets a Retry-After header as delay seconds,
+// clamped to [1s, RetryAfterMax]. HTTP-date forms and garbage fall back
+// to 1s — waiting a beat is always safe.
+func (g *Gateway) parseRetryAfter(h string) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > g.retryAfterMax {
+		d = g.retryAfterMax
+	}
+	return d
+}
+
+// decodeWorkerError lifts a worker's JSON error body into a *workerError,
+// synthesizing a message when the body is not the expected contract.
+func decodeWorkerError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &workerError{Status: resp.StatusCode, Msg: msg}
+}
+
+// stringField pulls a string out of a decoded JSON object ("" if absent).
+func stringField(m map[string]any, key string) string {
+	s, _ := m[key].(string)
+	return s
+}
+
+// rewriteSnapshot presents a worker snapshot as a gateway job: the public
+// ID replaces the worker's, and the placement becomes visible.
+func rewriteSnapshot(snap map[string]any, rt *route) map[string]any {
+	out := make(map[string]any, len(snap)+3)
+	for k, v := range snap {
+		out[k] = v
+	}
+	out["id"] = rt.ID
+	out["worker"] = rt.WorkerID
+	out["worker_job"] = rt.WorkerJobID
+	if rt.Handoffs > 0 {
+		out["handoffs"] = rt.Handoffs
+	}
+	return out
+}
+
+// routeState extracts the job state from a worker snapshot and caches it
+// on the route so the reconcile loop can skip terminal jobs.
+func (g *Gateway) noteState(rt *route, snap map[string]any) {
+	if st := stringField(snap, "state"); st != "" {
+		g.mu.Lock()
+		rt.state = jobs.State(st)
+		g.mu.Unlock()
+	}
+}

@@ -1,0 +1,285 @@
+// Package gateway is the cluster front door: one process that owns the
+// public job API while fanning the actual work out to a fleet of temprivd
+// workers sharded by spec fingerprint on a consistent-hash ring.
+//
+// The gateway embeds the membership registry (workers register and
+// heartbeat against it), rebuilds the ring whenever the membership epoch
+// moves, and keeps a routing table mapping its own job IDs to the worker
+// and worker-side job ID actually running each spec. Placement is by the
+// seed-inclusive spec fingerprint, so identical specs land on the same
+// worker and hit its warm result cache, and membership churn only moves
+// ~1/N of the keyspace.
+//
+// Crash handoff: when a worker's lease expires, the reconcile loop
+// re-dispatches its non-terminal jobs to the ring successor with
+// X-Tempriv-Origin: handoff and the original X-Trace-Id. Workers share a
+// replicate-chunk directory, so the successor resumes from whatever
+// replicates the dead worker had already persisted instead of recomputing
+// the sweep from scratch.
+package gateway
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"tempriv/internal/cluster/registry"
+	"tempriv/internal/cluster/ring"
+	"tempriv/internal/jobs"
+	"tempriv/internal/obs"
+	"tempriv/internal/telemetry"
+)
+
+// Config assembles a Gateway. Registry is the only required field.
+type Config struct {
+	// Registry is the cluster membership registry; the gateway mounts its
+	// HTTP surface (POST /v1/cluster/register etc.) on its own mux and
+	// drives lease expiry from it.
+	Registry *registry.Registry
+	// Telemetry receives tempriv_cluster_* metrics; nil disables them.
+	Telemetry *telemetry.Registry
+	// Tracer records gateway-side spans; nil disables tracing (client
+	// X-Trace-Id headers are still forwarded verbatim).
+	Tracer *obs.Tracer
+	// Log receives structured gateway logs; nil discards them.
+	Log *slog.Logger
+	// Client performs worker requests. Defaults to a client with no
+	// global timeout — per-request deadlines come from contexts, and the
+	// /events and ?partial=1 proxies are long-lived streams.
+	Client *http.Client
+	// Vnodes per worker on the ring (ring.DefaultVnodes when <= 0).
+	Vnodes int
+	// SubmitAttempts bounds how many worker POSTs one dispatch may make
+	// across Retry-After waits and successor failovers (default 4).
+	SubmitAttempts int
+	// RetryAfterMax caps how long the gateway honors a worker's
+	// Retry-After header before retrying (default 5s).
+	RetryAfterMax time.Duration
+	// ReconcileEvery is the Run loop's sweep interval (default 2s).
+	ReconcileEvery time.Duration
+	// Sleep waits between retries; injectable so tests can observe the
+	// honored Retry-After without real delay. Defaults to a
+	// context-aware sleep.
+	Sleep func(d time.Duration)
+}
+
+// Gateway fans job traffic out to registered workers.
+type Gateway struct {
+	reg    *registry.Registry
+	tracer *obs.Tracer
+	log    *slog.Logger
+	client *http.Client
+	mux    *http.ServeMux
+
+	vnodes         int
+	submitAttempts int
+	retryAfterMax  time.Duration
+	reconcileEvery time.Duration
+	sleep          func(time.Duration)
+
+	mu        sync.Mutex
+	routes    map[string]*route // gateway job ID -> route
+	order     []string          // insertion order of gateway job IDs
+	nextID    uint64
+	ringEpoch uint64
+	ringCache *ring.Ring
+
+	// Metrics (nil when no telemetry registry is configured).
+	mDispatch    *telemetry.Counter // jobs dispatched to a worker
+	mFailover    *telemetry.Counter // dispatch fell through to a successor
+	mRetryWaits  *telemetry.Counter // Retry-After waits honored
+	mHandoffs    *telemetry.Counter // crash handoffs performed
+	mHandoffFail *telemetry.Counter // handoffs that found no live worker
+	gWorkers     *telemetry.Gauge   // live workers
+	gRoutes      *telemetry.Gauge   // routes in the table
+}
+
+// route is one entry in the gateway's routing table: the mapping from the
+// gateway-minted public job ID to wherever the job currently lives.
+type route struct {
+	ID          string // gateway job ID ("gw-000001")
+	WorkerID    string
+	WorkerURL   string
+	WorkerJobID string
+	Fingerprint string
+	SpecJSON    []byte // canonical spec bytes, kept for re-dispatch
+	TraceID     string // forwarded on every request for this job
+	Origin      string
+	Submitted   time.Time
+	Handoffs    int
+	// notes are synthetic events (seq -1) the gateway prepends to the
+	// worker's event stream so a watcher sees crash handoffs inline.
+	notes []jobs.Event
+	// state is the last state observed from a worker; the reconcile loop
+	// refreshes it so handoff can skip terminal jobs.
+	state jobs.State
+}
+
+// New builds a Gateway and its HTTP surface.
+func New(cfg Config) *Gateway {
+	if cfg.Registry == nil {
+		panic("gateway: Config.Registry is required")
+	}
+	g := &Gateway{
+		reg:            cfg.Registry,
+		tracer:         cfg.Tracer,
+		log:            cfg.Log,
+		client:         cfg.Client,
+		vnodes:         cfg.Vnodes,
+		submitAttempts: cfg.SubmitAttempts,
+		retryAfterMax:  cfg.RetryAfterMax,
+		reconcileEvery: cfg.ReconcileEvery,
+		sleep:          cfg.Sleep,
+		routes:         make(map[string]*route),
+		mux:            http.NewServeMux(),
+	}
+	if g.client == nil {
+		g.client = &http.Client{}
+	}
+	if g.submitAttempts <= 0 {
+		g.submitAttempts = 4
+	}
+	if g.retryAfterMax <= 0 {
+		g.retryAfterMax = 5 * time.Second
+	}
+	if g.reconcileEvery <= 0 {
+		g.reconcileEvery = 2 * time.Second
+	}
+	if g.sleep == nil {
+		g.sleep = time.Sleep
+	}
+	if cfg.Telemetry != nil {
+		g.mDispatch = cfg.Telemetry.Counter("tempriv_cluster_dispatch_total")
+		g.mFailover = cfg.Telemetry.Counter("tempriv_cluster_dispatch_failover_total")
+		g.mRetryWaits = cfg.Telemetry.Counter("tempriv_cluster_retry_after_waits_total")
+		g.mHandoffs = cfg.Telemetry.Counter("tempriv_cluster_handoffs_total")
+		g.mHandoffFail = cfg.Telemetry.Counter("tempriv_cluster_handoff_failures_total")
+		g.gWorkers = cfg.Telemetry.Gauge("tempriv_cluster_workers")
+		g.gRoutes = cfg.Telemetry.Gauge("tempriv_cluster_routes")
+	}
+
+	g.reg.Mount(g.mux)
+	g.mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	g.mux.HandleFunc("GET /v1/jobs", g.handleList)
+	g.mux.HandleFunc("GET /v1/jobs/{id}", g.handleStatus)
+	g.mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	g.mux.HandleFunc("GET /v1/cluster", g.handleCluster)
+	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	g.mux.HandleFunc("GET /readyz", g.handleReady)
+	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry
+		g.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			reg.ServeHTTP(w, r)
+		})
+	}
+	return g
+}
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// currentRing returns the ring for the live membership, rebuilding only
+// when the registry epoch has moved since the last build. The returned
+// worker list is the ring's source membership (sorted by ID).
+func (g *Gateway) currentRing() (*ring.Ring, []registry.Worker, uint64) {
+	alive, epoch := g.reg.Alive()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ringCache == nil || epoch != g.ringEpoch || g.ringCache.Len() != len(alive) {
+		g.ringCache = ring.New(registry.IDs(alive), g.vnodes)
+		g.ringEpoch = epoch
+	}
+	if g.gWorkers != nil {
+		g.gWorkers.Set(float64(len(alive)))
+	}
+	return g.ringCache, alive, epoch
+}
+
+// workerByID resolves a worker ID to its registration in ws.
+func workerByID(ws []registry.Worker, id string) (registry.Worker, bool) {
+	for _, w := range ws {
+		if w.ID == id {
+			return w, true
+		}
+	}
+	return registry.Worker{}, false
+}
+
+// lookup fetches a route by gateway job ID.
+func (g *Gateway) lookup(id string) (*route, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rt, ok := g.routes[id]
+	return rt, ok
+}
+
+// mintID allocates the next gateway job ID.
+func (g *Gateway) mintID() string {
+	g.nextID++
+	return fmt.Sprintf("gw-%06d", g.nextID)
+}
+
+// insertRoute registers a freshly dispatched route.
+func (g *Gateway) insertRoute(rt *route) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.routes[rt.ID] = rt
+	g.order = append(g.order, rt.ID)
+	if g.gRoutes != nil {
+		g.gRoutes.Set(float64(len(g.routes)))
+	}
+}
+
+// snapshotRoutes returns the routing table in insertion order.
+func (g *Gateway) snapshotRoutes() []*route {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*route, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.routes[id])
+	}
+	return out
+}
+
+// Routes reports the number of tracked jobs (tests and /v1/cluster).
+func (g *Gateway) Routes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.routes)
+}
+
+// clusterView is the GET /v1/cluster document.
+type clusterView struct {
+	Epoch   uint64            `json:"epoch"`
+	Workers []registry.Worker `json:"workers"`
+	Ring    []string          `json:"ring"`
+	Jobs    int               `json:"jobs"`
+}
+
+func (g *Gateway) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	rg, alive, epoch := g.currentRing()
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ID < alive[j].ID })
+	writeJSON(w, http.StatusOK, clusterView{
+		Epoch:   epoch,
+		Workers: alive,
+		Ring:    rg.Members(),
+		Jobs:    g.Routes(),
+	})
+}
+
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	_, alive, _ := g.currentRing()
+	if len(alive) == 0 {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no live workers registered"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "workers": len(alive)})
+}

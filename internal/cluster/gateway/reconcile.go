@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tempriv/internal/jobs"
+)
+
+// Run drives the reconcile loop until ctx is canceled: expire leases,
+// hand a dead worker's jobs to its ring successors, and refresh cached
+// states so terminal jobs stop being reconsidered.
+func (g *Gateway) Run(ctx context.Context) {
+	t := time.NewTicker(g.reconcileEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.ReconcileOnce(ctx)
+		}
+	}
+}
+
+// ReconcileOnce performs one sweep-and-repair pass. Exported so tests
+// (and operators via signal handlers, if they wish) can drive the loop
+// deterministically. It returns how many jobs were handed off.
+func (g *Gateway) ReconcileOnce(ctx context.Context) int {
+	// Expire leases first so the ring reflects reality. Sweep returns the
+	// workers that just died; routes pointing at any non-live worker are
+	// handoff candidates (this also catches workers that expired while
+	// the gateway was not looking).
+	expired := g.reg.Sweep()
+	for _, w := range expired {
+		if g.log != nil {
+			g.log.Warn("worker lease expired", "worker", w.ID, "url", w.URL)
+		}
+	}
+	_, alive, _ := g.currentRing()
+	live := make(map[string]bool, len(alive))
+	for _, w := range alive {
+		live[w.ID] = true
+	}
+
+	g.refreshTerminalStates(ctx, live)
+
+	// Every route stranded on a dead worker moves — including jobs that
+	// had already finished there: their result bytes lived in the dead
+	// worker's cache, and determinism (plus the shared chunk directory)
+	// makes the successor's re-run cheap and byte-identical. Only a
+	// canceled job stays dead; reviving it would undo the user's cancel.
+	handed := 0
+	for _, rt := range g.snapshotRoutes() {
+		g.mu.Lock()
+		needsHome := !live[rt.WorkerID] && rt.state != jobs.StateCanceled
+		g.mu.Unlock()
+		if !needsHome {
+			continue
+		}
+		if g.handoff(ctx, rt) {
+			handed++
+		}
+	}
+	return handed
+}
+
+// handoff re-dispatches one orphaned route to the ring's current owner
+// for its fingerprint. The successor resumes from the replicate chunks
+// the dead worker already persisted (workers share the chunk directory),
+// so a handoff recomputes only the missing replicates. Reports success.
+func (g *Gateway) handoff(ctx context.Context, rt *route) bool {
+	g.mu.Lock()
+	from := rt.WorkerID
+	spec, fp, traceID := rt.SpecJSON, rt.Fingerprint, rt.TraceID
+	g.mu.Unlock()
+
+	res, err := g.dispatch(ctx, spec, fp, traceID, jobs.OriginHandoff)
+	if err != nil {
+		if g.mHandoffFail != nil {
+			g.mHandoffFail.Inc()
+		}
+		if g.log != nil {
+			g.log.Error("handoff failed", "job", rt.ID, "from", from, "err", err)
+		}
+		return false
+	}
+	if g.mHandoffs != nil {
+		g.mHandoffs.Inc()
+	}
+
+	g.mu.Lock()
+	rt.WorkerID = res.WorkerID
+	rt.WorkerURL = res.WorkerURL
+	rt.WorkerJobID = res.WorkerJobID
+	rt.Handoffs++
+	rt.state = jobs.StateQueued
+	rt.notes = append(rt.notes, jobs.Event{
+		Seq:     -1,
+		State:   jobs.StateQueued,
+		Stage:   "handoff",
+		Message: fmt.Sprintf("worker %s lost its lease; re-dispatched to %s (attempt %d)", from, res.WorkerID, rt.Handoffs),
+	})
+	g.mu.Unlock()
+	g.noteState(rt, res.Snapshot)
+
+	if g.log != nil {
+		g.log.Info("handed off job", "job", rt.ID, "from", from, "to", res.WorkerID, "worker_job", res.WorkerJobID)
+	}
+	return true
+}
+
+// refreshTerminalStates asks each live worker which of the gateway's
+// non-terminal jobs have finished — one ?state=done,failed,canceled
+// listing per worker — and caches the answers, so the routing table's
+// view converges even when no client is polling (and a cancel observed
+// here keeps that job from ever being revived by a handoff).
+func (g *Gateway) refreshTerminalStates(ctx context.Context, live map[string]bool) {
+	pending := make(map[string][]*route)
+	for _, rt := range g.snapshotRoutes() {
+		g.mu.Lock()
+		interesting := live[rt.WorkerID] && !rt.state.Terminal()
+		g.mu.Unlock()
+		if interesting {
+			pending[rt.WorkerID] = append(pending[rt.WorkerID], rt)
+		}
+	}
+	for workerID, rts := range pending {
+		snaps, err := g.fetchWorkerList(ctx, rts[0].WorkerURL, "done,failed,canceled")
+		if err != nil {
+			if g.log != nil {
+				g.log.Warn("terminal-state refresh failed", "worker", workerID, "err", err)
+			}
+			continue
+		}
+		byWorkerJob := make(map[string]map[string]any, len(snaps))
+		for _, snap := range snaps {
+			byWorkerJob[stringField(snap, "id")] = snap
+		}
+		for _, rt := range rts {
+			if snap, ok := byWorkerJob[rt.WorkerJobID]; ok {
+				g.noteState(rt, snap)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// HTTP surface of the bulletin board. The gateway mounts Handler on its
+// mux; workers talk to it through Client (client.go).
+//
+//	POST   /v1/cluster/register      register or heartbeat (body: Worker)
+//	GET    /v1/cluster/workers       live membership + epoch
+//	DELETE /v1/cluster/workers/{id}  immediate deregistration
+//
+// Register doubles as the heartbeat so a worker needs exactly one
+// request shape, and every response carries the full live membership —
+// that is what lets each worker derive the same consistent-hash ring the
+// gateway routes by, without a second discovery protocol.
+
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxRegisterBytes bounds a registration document.
+const maxRegisterBytes = 16 << 10
+
+// RegisterResponse answers both registrations and membership queries.
+type RegisterResponse struct {
+	// TTLMillis is the lease duration; the worker must heartbeat well
+	// within it (the client uses TTL/3).
+	TTLMillis int64 `json:"ttl_ms"`
+	// Epoch is the membership epoch after this request; it changes iff
+	// the alive set changed.
+	Epoch uint64 `json:"epoch"`
+	// Workers is the full live membership, sorted by ID.
+	Workers []Worker `json:"workers"`
+}
+
+// Mount registers the bulletin-board routes on mux.
+func (r *Registry) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/register", r.handleRegister)
+	mux.HandleFunc("GET /v1/cluster/workers", r.handleWorkers)
+	mux.HandleFunc("DELETE /v1/cluster/workers/{id}", r.handleDeregister)
+}
+
+func (r *Registry) handleRegister(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxRegisterBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxRegisterBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("registration exceeds %d bytes", maxRegisterBytes))
+		return
+	}
+	var worker Worker
+	if err := json.Unmarshal(body, &worker); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing registration: %w", err))
+		return
+	}
+	ttl, _, err := r.Register(worker)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	alive, epoch := r.Alive()
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		TTLMillis: ttl.Milliseconds(),
+		Epoch:     epoch,
+		Workers:   alive,
+	})
+}
+
+func (r *Registry) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	alive, epoch := r.Alive()
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		TTLMillis: r.ttl.Milliseconds(),
+		Epoch:     epoch,
+		Workers:   alive,
+	})
+}
+
+func (r *Registry) handleDeregister(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if !r.Deregister(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such worker %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deregistered": id})
+}
+
+// writeJSON and writeError mirror internal/server's uniform JSON error
+// contract so cluster endpoints answer exactly like job endpoints.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}{err.Error(), status})
+}
+
+// errStatus extracts the error message from a non-2xx registry response.
+func errStatus(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Errorf("registry: %s (HTTP %d)", body.Error, resp.StatusCode)
+	}
+	return errors.New("registry: HTTP " + resp.Status)
+}

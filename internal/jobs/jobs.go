@@ -50,6 +50,13 @@ func (s State) Terminal() bool {
 // permanently.
 var ErrTransient = errors.New("transient failure")
 
+// OriginHandoff marks a submission that the cluster gateway re-dispatched
+// from a dead worker (internal/cluster/gateway): the job is not a new
+// client request but the continuation of one accepted elsewhere. The
+// origin travels through events, snapshots and the journal so operators
+// can tell organic load from crash-recovery load.
+const OriginHandoff = "handoff"
+
 // ErrQueueFull is returned by Submit when the pending queue is at capacity.
 var ErrQueueFull = errors.New("jobs: queue full")
 
@@ -79,8 +86,10 @@ type Runner func(ctx context.Context, job *Job, progress func(stage, message str
 // (a sick journal degrades durability, not serving — see
 // internal/jobstore).
 type JournalSink interface {
-	// Submitted records an accepted job before Submit returns.
-	Submitted(id, fingerprint string, spec scenario.Spec, at time.Time)
+	// Submitted records an accepted job before Submit returns. origin is
+	// the submission's provenance ("" for a direct client submission,
+	// OriginHandoff for a cluster crash handoff).
+	Submitted(id, fingerprint string, spec scenario.Spec, origin string, at time.Time)
 	// Transition records a state change. attempt is the attempt count so
 	// far; cacheHit and errMsg qualify terminal states.
 	Transition(id string, state State, attempt int, cacheHit bool, errMsg string, at time.Time)
@@ -116,6 +125,9 @@ type Job struct {
 	Spec scenario.Spec
 	// Fingerprint is Spec.Fingerprint(), computed at submission.
 	Fingerprint string
+	// Origin is the submission's provenance ("" = direct client
+	// submission; OriginHandoff = cluster crash handoff).
+	Origin string
 
 	state     State
 	attempts  int
@@ -190,6 +202,9 @@ type Snapshot struct {
 	// let clients gauge partial-result progress (see /result?partial=1).
 	Replicates      int `json:"replicates,omitempty"`
 	ChunksPersisted int `json:"chunks_persisted,omitempty"`
+	// Origin marks non-organic submissions (jobs.OriginHandoff for a
+	// cluster crash handoff); empty for direct client submissions.
+	Origin string `json:"origin,omitempty"`
 }
 
 // RestoredJob re-creates one journal-replayed job at queue construction
@@ -212,6 +227,8 @@ type RestoredJob struct {
 	// non-terminal job with ChunkHWM > 0 resumes from the surviving chunks
 	// instead of recomputing them.
 	ChunkHWM int
+	// Origin is the journaled submission provenance (see Job.Origin).
+	Origin string
 }
 
 // Options configure a Queue.
@@ -338,6 +355,7 @@ func (q *Queue) restore(r RestoredJob) {
 		ID:          r.ID,
 		Spec:        r.Spec,
 		Fingerprint: r.Fingerprint,
+		Origin:      r.Origin,
 		attempts:    r.Attempts,
 		submitted:   r.Submitted,
 		finished:    r.Finished,
@@ -386,17 +404,25 @@ func (q *Queue) Submit(spec scenario.Spec) (Snapshot, error) {
 	return q.SubmitCtx(context.Background(), spec)
 }
 
-// SubmitCtx validates nothing — the caller passes an already-normalized
+// SubmitCtx is SubmitOrigin with an empty (direct-submission) origin.
+func (q *Queue) SubmitCtx(ctx context.Context, spec scenario.Spec) (Snapshot, error) {
+	return q.SubmitOrigin(ctx, spec, "")
+}
+
+// SubmitOrigin validates nothing — the caller passes an already-normalized
 // spec — and enqueues it, returning the job's initial snapshot. The
-// submission is journaled (when a sink is configured) before SubmitCtx
-// returns, so an accepted job survives a crash.
+// submission is journaled (when a sink is configured) before SubmitOrigin
+// returns, so an accepted job survives a crash. origin tags the
+// submission's provenance ("" for a direct client submission,
+// OriginHandoff for a cluster crash handoff); it travels through the
+// queued event, every snapshot and the journal.
 //
 // ctx is for observability only, never cancellation: when it carries a
 // trace span (internal/obs), the job adopts it as its root span, binds the
 // trace to the job ID, and times its queue wait, attempts, backoffs and
 // engine stages under it. The job's execution context stays derived from
 // the queue, so an HTTP client disconnecting does not cancel its job.
-func (q *Queue) SubmitCtx(ctx context.Context, spec scenario.Spec) (Snapshot, error) {
+func (q *Queue) SubmitOrigin(ctx context.Context, spec scenario.Spec, origin string) (Snapshot, error) {
 	fp, err := spec.Fingerprint()
 	if err != nil {
 		return Snapshot{}, err
@@ -417,6 +443,7 @@ func (q *Queue) SubmitCtx(ctx context.Context, spec scenario.Spec) (Snapshot, er
 		ID:          fmt.Sprintf("job-%06d", q.nextID),
 		Spec:        spec,
 		Fingerprint: fp,
+		Origin:      origin,
 		state:       StateQueued,
 		submitted:   time.Now(),
 		ctx:         jctx,
@@ -439,14 +466,21 @@ func (q *Queue) SubmitCtx(ctx context.Context, spec scenario.Spec) (Snapshot, er
 	q.queued++
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
-	q.appendEventLocked(j, Event{State: StateQueued, Stage: "queued"})
+	queuedEv := Event{State: StateQueued, Stage: "queued"}
+	if origin != "" {
+		queuedEv.Message = "origin: " + origin
+	}
+	q.appendEventLocked(j, queuedEv)
 	if q.opts.Journal != nil {
-		q.opts.Journal.Submitted(j.ID, fp, spec, j.submitted)
+		q.opts.Journal.Submitted(j.ID, fp, spec, origin, j.submitted)
 	}
 	snap := q.snapshotLocked(j)
 	q.mu.Unlock()
-	q.logJob(j, slog.LevelInfo, "job accepted",
-		slog.String("fingerprint", fp), slog.String("name", spec.Name))
+	attrs := []slog.Attr{slog.String("fingerprint", fp), slog.String("name", spec.Name)}
+	if origin != "" {
+		attrs = append(attrs, slog.String("origin", origin))
+	}
+	q.logJob(j, slog.LevelInfo, "job accepted", attrs...)
 	return snap, nil
 }
 
@@ -783,6 +817,7 @@ func (q *Queue) snapshotLocked(j *Job) Snapshot {
 		Finished:        j.finished,
 		Replicates:      j.Spec.Replicates(),
 		ChunksPersisted: j.chunkHWM,
+		Origin:          j.Origin,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()

@@ -732,9 +732,12 @@ type recordingSink struct {
 	chunks []string
 }
 
-func (r *recordingSink) Submitted(id, fp string, spec scenario.Spec, at time.Time) {
+func (r *recordingSink) Submitted(id, fp string, spec scenario.Spec, origin string, at time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if origin != "" {
+		id += "(" + origin + ")"
+	}
 	r.subs = append(r.subs, id)
 }
 

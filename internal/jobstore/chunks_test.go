@@ -17,7 +17,7 @@ func TestChunkRecordsReplay(t *testing.T) {
 	}
 	spec := testSpec(t, 1)
 	fp, _ := spec.Fingerprint()
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	j.Transition("job-000001", jobs.StateRunning, 1, false, "", ts(2))
 	j.Chunk("job-000001", 2, ts(3))
 	j.Chunk("job-000001", 5, ts(4))
@@ -45,7 +45,7 @@ func TestChunkRecordsIgnoredForTerminalOrUnknownJobs(t *testing.T) {
 	}
 	spec := testSpec(t, 2)
 	fp, _ := spec.Fingerprint()
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	j.Transition("job-000001", jobs.StateDone, 1, false, "", ts(2))
 	j.Chunk("job-000001", 4, ts(3)) // after terminal: the result is cached
 	j.Chunk("job-000099", 4, ts(4)) // unknown job
@@ -74,7 +74,7 @@ func TestChunkRecordRejectsBadHWM(t *testing.T) {
 	}
 	spec := testSpec(t, 3)
 	fp, _ := spec.Fingerprint()
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	j.Close()
 
 	// A zero/negative HWM line is corruption, not state.
@@ -111,10 +111,10 @@ func TestCompactionPreservesChunkHighWaterMark(t *testing.T) {
 	spec := testSpec(t, 4)
 	fp, _ := spec.Fingerprint()
 	// A live job mid-run with chunks, and a done job (whose chunks are moot).
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	j.Transition("job-000001", jobs.StateRunning, 1, false, "", ts(2))
 	j.Chunk("job-000001", 7, ts(3))
-	j.Submitted("job-000002", fp, spec, ts(4))
+	j.Submitted("job-000002", fp, spec, "", ts(4))
 	j.Transition("job-000002", jobs.StateRunning, 1, false, "", ts(5))
 	j.Chunk("job-000002", 1, ts(6))
 	j.Transition("job-000002", jobs.StateDone, 1, false, "", ts(7))

@@ -59,9 +59,11 @@ type Record struct {
 	// Job is the queue-assigned job ID.
 	Job string `json:"job"`
 	// FP and Spec are set on submit records: the scenario fingerprint and
-	// its canonical JSON.
-	FP   string          `json:"fp,omitempty"`
-	Spec json.RawMessage `json:"spec,omitempty"`
+	// its canonical JSON. Origin, when present, is the submission's
+	// provenance (jobs.OriginHandoff for a cluster crash handoff).
+	FP     string          `json:"fp,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Origin string          `json:"origin,omitempty"`
 	// State, Attempt, CacheHit and Error are set on state records.
 	State    string `json:"state,omitempty"`
 	Attempt  int    `json:"attempt,omitempty"`
@@ -89,6 +91,8 @@ type ReplayedJob struct {
 	// ChunkHWM is the job's last journaled result-chunk high-water mark
 	// (monotonic across records; 0 when no chunks were recorded).
 	ChunkHWM int
+	// Origin is the journaled submission provenance (see jobs.Job.Origin).
+	Origin string
 }
 
 // Stats counts journal health since Open.
@@ -248,6 +252,7 @@ func (j *Journal) apply(line []byte) {
 			SpecJSON:    append([]byte(nil), rec.Spec...),
 			State:       jobs.StateQueued,
 			Submitted:   rec.TS,
+			Origin:      rec.Origin,
 		}
 		j.order = append(j.order, rec.Job)
 	case "state":
@@ -329,7 +334,7 @@ func (j *Journal) Stats() Stats {
 
 // Submitted implements jobs.JournalSink: it durably records an accepted
 // job before the submission response is sent.
-func (j *Journal) Submitted(id, fingerprint string, spec scenario.Spec, at time.Time) {
+func (j *Journal) Submitted(id, fingerprint string, spec scenario.Spec, origin string, at time.Time) {
 	canon, err := spec.CanonicalJSON()
 	if err != nil {
 		j.noteAppendError(fmt.Errorf("jobstore: canonicalizing spec for %s: %w", id, err))
@@ -344,10 +349,11 @@ func (j *Journal) Submitted(id, fingerprint string, spec scenario.Spec, at time.
 			SpecJSON:    canon,
 			State:       jobs.StateQueued,
 			Submitted:   at,
+			Origin:      origin,
 		}
 		j.order = append(j.order, id)
 	}
-	j.appendLocked(Record{T: "submit", Job: id, FP: fingerprint, Spec: canon, TS: at})
+	j.appendLocked(Record{T: "submit", Job: id, FP: fingerprint, Spec: canon, Origin: origin, TS: at})
 }
 
 // Transition implements jobs.JournalSink: it records a job state change.
@@ -478,7 +484,7 @@ func (j *Journal) compactLocked() error {
 	var buf []byte
 	for _, id := range j.order {
 		job := j.jobs[id]
-		sub, err := json.Marshal(Record{T: "submit", Job: id, FP: job.Fingerprint, Spec: job.SpecJSON, TS: job.Submitted})
+		sub, err := json.Marshal(Record{T: "submit", Job: id, FP: job.Fingerprint, Spec: job.SpecJSON, Origin: job.Origin, TS: job.Submitted})
 		if err != nil {
 			return fmt.Errorf("jobstore: compacting %s: %w", id, err)
 		}

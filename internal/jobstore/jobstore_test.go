@@ -39,9 +39,9 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	j.Transition("job-000001", jobs.StateRunning, 1, false, "", ts(2))
-	j.Submitted("job-000002", fp, spec, ts(3))
+	j.Submitted("job-000002", fp, spec, "", ts(3))
 	j.Transition("job-000001", jobs.StateDone, 1, true, "", ts(4))
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestReplayTornTailSkipped(t *testing.T) {
 	}
 	spec := testSpec(t, 2)
 	fp, _ := spec.Fingerprint()
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	j.Close()
 
 	// Simulate a crash mid-append: a half record with no trailing newline.
@@ -172,7 +172,7 @@ func TestCompactionDropsOldTerminalKeepsLive(t *testing.T) {
 	fp, _ := spec.Fingerprint()
 	for i := 1; i <= 5; i++ {
 		id := fmt.Sprintf("job-%06d", i)
-		j.Submitted(id, fp, spec, ts(i))
+		j.Submitted(id, fp, spec, "", ts(i))
 		if i <= 4 { // first four finish; job 5 stays queued
 			j.Transition(id, jobs.StateDone, 1, false, "", ts(10+i))
 		}
@@ -227,7 +227,7 @@ func TestAutoCompaction(t *testing.T) {
 	fp, _ := spec.Fingerprint()
 	for i := 1; i <= 20; i++ {
 		id := fmt.Sprintf("job-%06d", i)
-		j.Submitted(id, fp, spec, ts(i))
+		j.Submitted(id, fp, spec, "", ts(i))
 		j.Transition(id, jobs.StateDone, 1, false, "", ts(i))
 	}
 	if st := j.Stats(); st.Compactions == 0 {
@@ -251,7 +251,7 @@ func TestAppendFaultDegradesNotFails(t *testing.T) {
 	fp, _ := spec.Fingerprint()
 
 	fs.Set(faultfs.OpWrite, faultfs.Fault{Err: faultfs.ErrNoSpace})
-	j.Submitted("job-000001", fp, spec, ts(1)) // append lost, aggregate kept
+	j.Submitted("job-000001", fp, spec, "", ts(1)) // append lost, aggregate kept
 	if st := j.Stats(); st.AppendErrors != 1 || hookErrs != 1 {
 		t.Fatalf("stats = %+v, hook = %d", st, hookErrs)
 	}
@@ -283,7 +283,7 @@ func TestFsyncFaultCounted(t *testing.T) {
 	fs.Set(faultfs.OpSync, faultfs.Fault{Err: faultfs.ErrIO})
 	spec := testSpec(t, 7)
 	fp, _ := spec.Fingerprint()
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 	if st := j.Stats(); st.AppendErrors != 1 || st.Appends != 0 {
 		t.Fatalf("stats = %+v, want fsync failure counted as append error", st)
 	}
@@ -298,13 +298,13 @@ func TestTornAppendRecoversFraming(t *testing.T) {
 	}
 	spec := testSpec(t, 8)
 	fp, _ := spec.Fingerprint()
-	j.Submitted("job-000001", fp, spec, ts(1))
+	j.Submitted("job-000001", fp, spec, "", ts(1))
 
 	// One torn append, then a healthy one.
 	fs.Set(faultfs.OpWrite, faultfs.Fault{Err: faultfs.ErrNoSpace, Torn: true, After: 0, PathSubstr: journalFile})
-	j.Submitted("job-000002", fp, spec, ts(2))
+	j.Submitted("job-000002", fp, spec, "", ts(2))
 	fs.ClearAll()
-	j.Submitted("job-000003", fp, spec, ts(3))
+	j.Submitted("job-000003", fp, spec, "", ts(3))
 	j.Close()
 
 	j2, err := Open(dir, Options{})
@@ -345,5 +345,43 @@ func TestRecordJSONShape(t *testing.T) {
 		if !strings.Contains(string(b), key) {
 			t.Errorf("record %s missing %s", b, key)
 		}
+	}
+}
+
+func TestOriginSurvivesReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, 9)
+	fp, _ := spec.Fingerprint()
+	j.Submitted("job-000001", fp, spec, jobs.OriginHandoff, ts(1))
+	j.Submitted("job-000002", fp, spec, "", ts(2))
+	j.Transition("job-000001", jobs.StateDone, 1, false, "", ts(3))
+	j.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := j2.Jobs()
+	if len(got) != 2 || got[0].Origin != jobs.OriginHandoff || got[1].Origin != "" {
+		t.Fatalf("replayed origins wrong: %+v", got)
+	}
+
+	// Compaction rewrites submit records; origin must not be dropped.
+	if err := j2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	got = j3.Jobs()
+	if len(got) != 2 || got[0].Origin != jobs.OriginHandoff || got[1].Origin != "" {
+		t.Fatalf("post-compaction origins wrong: %+v", got)
 	}
 }

@@ -108,6 +108,19 @@ type Config struct {
 	// that front temprivd to untrusted networks turn them off
 	// (temprivd -debug-endpoints=false).
 	DisableDebugEndpoints bool
+	// ClusterID and ClusterOwns give a cluster-member worker its
+	// ownership check: when both are set, every submission's fingerprint
+	// is looked up on the worker's locally derived consistent-hash ring
+	// (internal/cluster/ring, membership from the registry lease client).
+	// A submission this worker does not own is still accepted — the job
+	// runs correctly anywhere, only cache locality suffers — but it is
+	// counted (tempriv_cluster_misdirected_total), annotated on the trace,
+	// and answered with an X-Tempriv-Owner header naming the expected
+	// owner so the gateway can spot stale routing. ClusterOwns returns
+	// the owning worker ID and whether membership is known yet (false
+	// during startup = no check).
+	ClusterID   string
+	ClusterOwns func(fingerprint string) (owner string, known bool)
 }
 
 // Server routes the HTTP API onto a job queue and an optional result cache.
@@ -122,6 +135,10 @@ type Server struct {
 	log     *slog.Logger
 	mux     *http.ServeMux
 	sheds   *telemetry.Counter
+
+	clusterID   string
+	clusterOwns func(fingerprint string) (owner string, known bool)
+	misdirected *telemetry.Counter
 
 	// EventKeepalive overrides the /events keepalive cadence (default
 	// defaultEventKeepalive; set before serving — it is read per request
@@ -158,8 +175,13 @@ func NewConfig(cfg Config) *Server {
 		stopCh:    make(chan struct{}),
 		readiness: ReadyStarting,
 	}
+	s.clusterID = cfg.ClusterID
+	s.clusterOwns = cfg.ClusterOwns
 	if s.reg != nil {
 		s.sheds = s.reg.Counter("temprivd_sheds_total")
+		if s.clusterOwns != nil {
+			s.misdirected = s.reg.Counter("tempriv_cluster_misdirected_total")
+		}
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -468,7 +490,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap, err := s.queue.SubmitCtx(ctx, spec)
+	// Cluster ownership check: a misdirected spec (stale gateway ring,
+	// direct submission to the wrong worker) is accepted anyway — it runs
+	// correctly here, just without cache locality — but the mismatch is
+	// counted, traced and surfaced so the router can correct itself.
+	if s.clusterOwns != nil {
+		if fp, fpErr := spec.Fingerprint(); fpErr == nil {
+			if owner, known := s.clusterOwns(fp); known && owner != "" {
+				w.Header().Set("X-Tempriv-Owner", owner)
+				if owner != s.clusterID {
+					if s.misdirected != nil {
+						s.misdirected.Inc()
+					}
+					root.Annotate("misdirected_owner", owner)
+					if s.log != nil {
+						s.log.Warn("accepted a job this worker does not own",
+							"owner", owner, "self", s.clusterID, "fingerprint", fp)
+					}
+				}
+			}
+		}
+	}
+	snap, err := s.queue.SubmitOrigin(ctx, spec, submitOrigin(r))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		rejected(http.StatusTooManyRequests, err)
@@ -518,8 +561,47 @@ func (s *Server) shed(w http.ResponseWriter, status int, err error) {
 	writeError(w, status, err)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.queue.List()})
+// submitOrigin extracts a submission's provenance from the
+// X-Tempriv-Origin header. Only known origin tokens are honored — an
+// arbitrary client string must not flow into events, logs and the
+// journal.
+func submitOrigin(r *http.Request) string {
+	if r.Header.Get("X-Tempriv-Origin") == jobs.OriginHandoff {
+		return jobs.OriginHandoff
+	}
+	return ""
+}
+
+// handleList serves GET /v1/jobs, optionally filtered by ?state= — a
+// comma-separated list of job states ("done,failed,canceled"). The
+// cluster gateway's reconciliation loop uses exactly that terminal
+// filter to refresh its routing table after a worker lease expires, and
+// operators use it to find stuck or failed jobs without paging through
+// history. An unknown state is a 400 (fail closed, like the rest of the
+// validation surface).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	list := s.queue.List()
+	if raw := r.URL.Query().Get("state"); raw != "" {
+		want := make(map[jobs.State]bool)
+		for _, part := range strings.Split(raw, ",") {
+			st := jobs.State(strings.TrimSpace(part))
+			switch st {
+			case jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+				want[st] = true
+			default:
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown state %q (valid: queued, running, done, failed, canceled)", part))
+				return
+			}
+		}
+		filtered := make([]jobs.Snapshot, 0, len(list))
+		for _, snap := range list {
+			if want[snap.State] {
+				filtered = append(filtered, snap)
+			}
+		}
+		list = filtered
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
