@@ -2,9 +2,9 @@
 """Benchmark regression gate.
 
 Reads `go test -bench` output on stdin and enforces the performance
-invariants this repo commits to (BENCH_4.json, BENCH_6.json). All
-comparisons are *relative, same-machine* — CI hardware varies run to run,
-so the gate never compares against wall-clock numbers measured elsewhere:
+invariants this repo commits to (BENCH_4.json, BENCH_6.json, BENCH_9.json).
+
+Same-machine relative gates (always on):
 
   1. The engine fast paths stay allocation-free: the kernel schedule/fire,
      drain, and churn benchmarks and the lossless forwarding hop must
@@ -15,13 +15,28 @@ so the gate never compares against wall-clock numbers measured elsewhere:
      sink attached must stay within STREAM_OVERHEAD_MAX of the nil-sink
      (monolithic) path.
 
-Usage:  go test -run '^$' -bench ... -benchmem ./... | python3 ci/benchgate.py
+History gates (with --history BENCH_*.json ...): the committed BENCH files
+are walked recursively for {"name", "ns_per_op", "allocs_per_op"} leaves.
+For every gated fast path that appears in the history:
+
+  4. allocs/op may never exceed the committed number (allocations are
+     machine-independent — any increase is a real regression).
+  5. ns/op may not exceed the best committed number by more than
+     HISTORY_SLOWDOWN_MAX. Wall-clock comparisons across machines are
+     noisy, so this margin is generous and only the *fast paths* — tight
+     loops whose cost is dominated by instruction count, not memory or I/O
+     — are held to it.
+
+Usage:  go test -run '^$' -bench ... -benchmem ./... \
+          | python3 ci/benchgate.py [--history BENCH_4.json BENCH_6.json ...]
 """
 
+import json
 import re
 import sys
 
 STREAM_OVERHEAD_MAX = 1.50  # chunk-sink path may cost at most +50%
+HISTORY_SLOWDOWN_MAX = 1.20  # fast paths may cost at most +20% vs best committed
 
 # name -> (ns_per_op, bytes_per_op, allocs_per_op)
 BENCH_RE = re.compile(
@@ -43,8 +58,60 @@ FASTER_THAN_LEGACY = [
     ("BenchmarkKernelChurn", "BenchmarkLegacyChurn"),
 ]
 
+# Fast paths gated against committed history: kernel and forwarding only.
+# Everything else in the BENCH files (chunk I/O, replication end-to-end) is
+# dominated by fsync or workload size and is covered by the relative gates.
+HISTORY_GATED = set(ZERO_ALLOC)
+
+
+def walk_history(node, out):
+    """Collect {"name", "ns_per_op"[, "allocs_per_op"]} leaves recursively."""
+    if isinstance(node, dict):
+        if "name" in node and "ns_per_op" in node:
+            out.append(node)
+        for v in node.values():
+            walk_history(v, out)
+    elif isinstance(node, list):
+        for v in node:
+            walk_history(v, out)
+    return out
+
+
+def load_history(paths, failures):
+    """best committed numbers per gated benchmark: name -> (min ns, min allocs)."""
+    best = {}
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            failures.append(f"history file {path}: {e}")
+            continue
+        for leaf in walk_history(doc, []):
+            name = leaf["name"]
+            if name not in HISTORY_GATED:
+                continue
+            ns = float(leaf["ns_per_op"])
+            allocs = leaf.get("allocs_per_op")
+            prev_ns, prev_allocs = best.get(name, (float("inf"), None))
+            ns = min(ns, prev_ns)
+            if allocs is not None:
+                allocs = int(allocs) if prev_allocs is None else min(int(allocs), prev_allocs)
+            else:
+                allocs = prev_allocs
+            best[name] = (ns, allocs)
+    return best
+
 
 def main():
+    args = sys.argv[1:]
+    history_paths = []
+    if args and args[0] == "--history":
+        history_paths = args[1:]
+    elif args:
+        print(f"benchgate: unknown arguments {args}", file=sys.stderr)
+        sys.exit(2)
+
     results = {}
     for line in sys.stdin:
         m = BENCH_RE.match(line.strip())
@@ -66,7 +133,7 @@ def main():
 
     for name in ZERO_ALLOC:
         r = need(name)
-        if r and r[1] not in (0, None) :
+        if r and r[1] not in (0, None):
             failures.append(f"{name}: {r[1]} allocs/op, fast path must stay 0")
         if r and r[1] is None:
             failures.append(f"{name}: no allocs/op reported (run with -benchmem)")
@@ -89,6 +156,29 @@ def main():
             )
         else:
             print(f"benchgate: streaming overhead {ratio:.2f}x (limit {STREAM_OVERHEAD_MAX:.2f}x)")
+
+    if history_paths:
+        best = load_history(history_paths, failures)
+        if not best:
+            failures.append(f"no gated benchmarks found in history files {history_paths}")
+        for name, (best_ns, best_allocs) in sorted(best.items()):
+            r = results.get(name)
+            if r is None:
+                # The relative gates already report missing fast paths.
+                continue
+            ns, allocs = r
+            if best_allocs is not None and allocs is not None and allocs > best_allocs:
+                failures.append(
+                    f"{name}: {allocs} allocs/op vs {best_allocs} committed — "
+                    f"allocations are machine-independent, this is a real regression"
+                )
+            if ns > best_ns * HISTORY_SLOWDOWN_MAX:
+                failures.append(
+                    f"{name}: {ns:.1f} ns/op vs best committed {best_ns:.1f} "
+                    f"(limit {HISTORY_SLOWDOWN_MAX:.2f}x = {best_ns * HISTORY_SLOWDOWN_MAX:.1f})"
+                )
+        if not failures:
+            print(f"benchgate: history OK ({len(best)} fast paths vs {len(history_paths)} committed files)")
 
     if failures:
         for f in failures:

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -55,6 +56,7 @@ func run(args []string) (err error) {
 		threshold    = fs.Float64("threshold", 0.1, "adaptive adversary Erlang-loss threshold")
 		tau          = fs.Float64("tau", 1, "per-hop transmission delay τ")
 		seed         = fs.Uint64("seed", 1, "random seed")
+		replicate    = fs.Int("replicate", 1, "run seeds seed..seed+n-1 through one reused engine and append a replicate summary")
 		sealed       = fs.Bool("seal", false, "encrypt payloads end-to-end (AES-CTR+HMAC)")
 		rateControl  = fs.Bool("rate-control", false, "enable the §4 per-node delay planner")
 		targetLoss   = fs.Float64("target-loss", 0.1, "rate controller's Erlang-loss target α")
@@ -103,6 +105,12 @@ func run(args []string) (err error) {
 		sampleEvery: *sampleEvery,
 	}); err != nil {
 		return err
+	}
+	if *replicate < 1 {
+		return fmt.Errorf("-replicate must be >= 1, got %d", *replicate)
+	}
+	if *replicate > 1 && (*traceFile != "" || *telemetryOut != "" || *promOut != "") {
+		return errors.New("-replicate > 1 cannot be combined with -trace, -telemetry or -prom (observers would interleave runs)")
 	}
 
 	// Buffered outputs are flushed and closed on every exit path, error
@@ -242,7 +250,25 @@ func run(args []string) (err error) {
 		fmt.Printf("debug server listening on http://%s (pprof, /debug/vars, /metrics)\n", srv.Addr())
 	}
 
-	res, err := tempriv.Run(cfg)
+	// With -replicate, all seeds run through one reused engine: topology,
+	// routes, buffers, scheduler and packet arena are built once. Engine
+	// reuse is byte-identical to fresh runs, so the base seed's report is
+	// unchanged; the extra seeds only feed the replicate summary.
+	var eng *tempriv.Engine
+	if *replicate > 1 {
+		if eng, err = tempriv.NewEngine(cfg); err != nil {
+			return err
+		}
+	}
+	runOnce := func(s uint64) (*tempriv.Result, error) {
+		c := cfg
+		c.Seed = s
+		if eng != nil {
+			return eng.Run(c)
+		}
+		return tempriv.Run(c)
+	}
+	res, err := runOnce(*seed)
 	if err != nil {
 		return err
 	}
@@ -257,6 +283,11 @@ func run(args []string) (err error) {
 	}
 
 	printReport(res, sources, perFlow, est.Name())
+	if *replicate > 1 {
+		if err := printReplicateSummary(runOnce, est, res, perFlow, sources, *seed, *replicate); err != nil {
+			return err
+		}
+	}
 	if tracer != nil {
 		if err := tracer.Err(); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
@@ -539,4 +570,70 @@ func printReport(res *tempriv.Result, sources []tempriv.NodeID, perFlow map[temp
 	if res.SealFailures > 0 {
 		fmt.Printf("WARNING: %d payload authentication failures\n", res.SealFailures)
 	}
+}
+
+// meanStd is a Welford accumulator for the replicate summary.
+type meanStd struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (w *meanStd) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *meanStd) std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// printReplicateSummary runs seeds base+1..base+n-1 through runOnce (which
+// reuses the engine built for the base seed), scores each against the same
+// adversary, and prints per-flow mean ± sample stddev of the headline
+// metrics across all n seeds.
+func printReplicateSummary(runOnce func(uint64) (*tempriv.Result, error), est tempriv.Estimator,
+	first *tempriv.Result, firstMSE map[tempriv.NodeID]*tempriv.MSE, sources []tempriv.NodeID, base uint64, n int) error {
+	lat := make([]meanStd, len(sources))
+	mse := make([]meanStd, len(sources))
+	var delivered, dropped meanStd
+	fold := func(res *tempriv.Result, perFlow map[tempriv.NodeID]*tempriv.MSE) {
+		var del, drop float64
+		for i, s := range sources {
+			f := res.Flows[s]
+			lat[i].add(f.Latency.Mean)
+			if m, ok := perFlow[s]; ok {
+				mse[i].add(m.Value())
+			}
+			del += float64(f.Delivered)
+			drop += float64(f.Dropped())
+		}
+		delivered.add(del)
+		dropped.add(drop)
+	}
+	fold(first, firstMSE)
+	for i := 1; i < n; i++ {
+		res, err := runOnce(base + uint64(i))
+		if err != nil {
+			return fmt.Errorf("replicate seed %d: %w", base+uint64(i), err)
+		}
+		perFlow, err := tempriv.ScoreAdversaryPerFlow(est, res)
+		if err != nil {
+			return err
+		}
+		fold(res, perFlow)
+	}
+	fmt.Printf("\nreplicates: %d seeds (%d..%d), one engine reused across runs\n", n, base, base+uint64(n)-1)
+	for i := range sources {
+		fmt.Printf("S%-7d lat-mean %.1f ± %.1f   %s-MSE %.4g ± %.3g\n",
+			i+1, lat[i].mean, lat[i].std(), est.Name(), mse[i].mean, mse[i].std())
+	}
+	fmt.Printf("totals: delivered %.1f ± %.1f, dropped %.1f ± %.1f per run\n",
+		delivered.mean, delivered.std(), dropped.mean, dropped.std())
+	return nil
 }

@@ -134,3 +134,19 @@ func TestRejectsInvalidFlagValues(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicateFlagRunsMultipleSeeds(t *testing.T) {
+	if err := run([]string{"-packets", "50", "-topo", "line", "-hops", "4", "-replicate", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateFlagValidation(t *testing.T) {
+	if err := run([]string{"-packets", "20", "-replicate", "0"}); err == nil {
+		t.Fatal("-replicate 0 accepted")
+	}
+	tmp := t.TempDir()
+	if err := run([]string{"-packets", "20", "-replicate", "2", "-trace", tmp + "/t.jsonl"}); err == nil {
+		t.Fatal("-replicate with -trace accepted")
+	}
+}

@@ -12,10 +12,13 @@
 //
 //	sweep -exp fig3 -packets 200 -interarrivals 2,10,20
 //
-// Replication across seeds, parallelised over 4 worker goroutines (the
-// output is byte-identical to the serial -j 1 form):
+// Replication across seeds is partitioned over worker goroutines — one per
+// CPU by default — each reusing a pool of arena-backed simulation engines,
+// with a deterministic merge so the output is byte-identical to the serial
+// -j 1 form (and to -fresh-engines, which disables engine reuse):
 //
-//	sweep -exp fig2b -replicate 8 -j 4
+//	sweep -exp fig2b -replicate 8        # -j defaults to all CPUs
+//	sweep -exp fig2b -replicate 8 -j 1   # force the serial path
 //
 // Result caching — repeated sweeps of identical scenarios reuse the
 // fingerprint-keyed result cache (the same engine and cache cmd/temprivd
@@ -78,7 +81,9 @@ func run(args []string) (err error) {
 		capacity      = fs.Int("capacity", 0, "buffer slots k (0 = paper default 10)")
 		workers       = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		replicate     = fs.Int("replicate", 1, "run each experiment under N consecutive seeds and report mean ± 95% CI")
-		repWorkers    = fs.Int("j", 1, "replication worker goroutines (with -replicate; output stays byte-identical to -j 1)")
+		repWorkers    = fs.Int("j", 0, "replication worker goroutines (0 = one per CPU; output stays byte-identical to -j 1)")
+		freshEngines  = fs.Bool("fresh-engines", false, "build every simulation engine from scratch instead of reusing pooled engines (slower; bytes identical)")
+		keepChunks    = fs.Bool("keep-chunks", false, "with -resume, keep each experiment's replicate chunks after it completes instead of removing them")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 		memProfile    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		version       = fs.Bool("version", false, "print build identity and exit")
@@ -101,8 +106,11 @@ func run(args []string) (err error) {
 	// Everything below validates before the first byte of stdout: bad flags
 	// produce one stderr diagnostic and a non-zero exit, never a partial
 	// table.
-	if *repWorkers < 1 {
-		return fmt.Errorf("-j must be >= 1, got %d", *repWorkers)
+	if *repWorkers < 0 {
+		return fmt.Errorf("-j must be >= 0, got %d", *repWorkers)
+	}
+	if *repWorkers == 0 {
+		*repWorkers = runtime.GOMAXPROCS(0)
 	}
 	if *replicate < 1 {
 		return fmt.Errorf("-replicate must be >= 1, got %d", *replicate)
@@ -237,8 +245,9 @@ func run(args []string) (err error) {
 		}
 		if text == nil {
 			runOpts := scenario.Options{
-				ReplicateWorkers: *repWorkers,
-				SweepWorkers:     *workers,
+				ReplicateWorkers:   *repWorkers,
+				SweepWorkers:       *workers,
+				DisableEngineReuse: *freshEngines,
 			}
 			var sink *resultstream.Sink
 			if chunks != nil {
@@ -271,7 +280,7 @@ func run(args []string) (err error) {
 			if err != nil {
 				return fmt.Errorf("running %s: %w", e.ID, err)
 			}
-			if chunks != nil {
+			if chunks != nil && !*keepChunks {
 				// The experiment completed; its per-replicate chunks have
 				// served their purpose.
 				if err := chunks.Remove(fp); err != nil {

@@ -81,8 +81,8 @@ func TestReplicateParallelFlag(t *testing.T) {
 }
 
 func TestRejectsBadWorkerCount(t *testing.T) {
-	if err := run([]string{"-exp", "fig2b", "-replicate", "2", "-j", "0"}); err == nil {
-		t.Fatal("-j 0 accepted")
+	if err := run([]string{"-exp", "fig2b", "-replicate", "2", "-j", "-1"}); err == nil {
+		t.Fatal("-j -1 accepted")
 	}
 }
 

@@ -92,7 +92,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		queueDepth   = fs.Int("queue-depth", 64, "max queued jobs before 429")
 		retries      = fs.Int("retries", 2, "transient-failure retries per job")
 		runTimeout   = fs.Duration("run-timeout", 10*time.Minute, "per-job wall-clock deadline across all attempts (0 = none)")
-		repWorkers   = fs.Int("j", 1, "replication worker goroutines per job")
+		repWorkers   = fs.Int("j", 1, "replication worker goroutines per job (0 = one per CPU)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		traceDir     = fs.String("trace-dir", "", "directory for the finished-trace JSONL stream (empty = ring buffer only)")
 		traceCap     = fs.Int("trace-cap", obs.DefaultCapacity, "how many recent traces /v1/traces retains")
@@ -129,8 +129,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	if *workers < 1 || *queueDepth < 1 || *repWorkers < 1 {
-		return fmt.Errorf("-workers, -queue-depth and -j must be >= 1")
+	if *repWorkers == 0 {
+		*repWorkers = runtime.GOMAXPROCS(0)
+	}
+	if *workers < 1 || *queueDepth < 1 || *repWorkers < 0 {
+		return fmt.Errorf("-workers, -queue-depth and -j must be >= 1 (or 0 for auto)")
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)

@@ -207,7 +207,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		{"-workers", "-1"},
 		{"-queue-depth", "0"},
 		{"-retries", "-1"},
-		{"-j", "0"},
+		{"-j", "-1"},
 		{"-run-timeout", "-1s"},
 		{"-drain-timeout", "0s"},
 	}

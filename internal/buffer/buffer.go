@@ -95,7 +95,16 @@ type Entry struct {
 
 	timer sim.Timer
 	index int // position in the owning buffer's entries slice
+
+	// owner and fireFn are bound once when the entry is first minted by its
+	// buffer; recycled entries keep them, so a steady-state Admit schedules a
+	// pre-existing func value and allocates nothing.
+	owner  *base
+	fireFn func()
 }
+
+// fire is the entry's release-timer callback: the sampled delay expired.
+func (e *Entry) fire() { e.owner.release(e, false) }
 
 // RemainingAt returns the delay remaining at time now.
 func (e *Entry) RemainingAt(now float64) float64 { return e.ReleaseAt - now }
@@ -208,6 +217,7 @@ type base struct {
 	sched   *sim.Scheduler
 	forward Forward
 	entries []*Entry
+	free    []*Entry // recycled entries; steady-state Admit allocates nothing
 	stats   Stats
 }
 
@@ -235,12 +245,33 @@ func (b *base) observeOccupancy() {
 	}
 }
 
+// acquireEntry pops a recycled entry or mints one with its release callback
+// bound.
+func (b *base) acquireEntry() *Entry {
+	if k := len(b.free); k > 0 {
+		e := b.free[k-1]
+		b.free[k-1] = nil
+		b.free = b.free[:k-1]
+		return e
+	}
+	e := &Entry{owner: b}
+	e.fireFn = e.fire
+	return e
+}
+
+// recycleEntry drops the entry's packet reference and returns it to the pool.
+func (b *base) recycleEntry(e *Entry) {
+	e.Packet = nil
+	b.free = append(b.free, e)
+}
+
 // insert buffers p until now+delay and schedules its release.
 func (b *base) insert(p *packet.Packet, delay float64) *Entry {
 	now := b.sched.Now()
-	e := &Entry{Packet: p, ArrivedAt: now, ReleaseAt: now + delay, index: len(b.entries)}
+	e := b.acquireEntry()
+	e.Packet, e.ArrivedAt, e.ReleaseAt, e.index = p, now, now+delay, len(b.entries)
 	b.entries = append(b.entries, e)
-	e.timer = b.sched.At(e.ReleaseAt, func() { b.release(e, false) })
+	e.timer = b.sched.At(e.ReleaseAt, e.fireFn)
 	b.observeOccupancy()
 	return e
 }
@@ -255,7 +286,10 @@ func (b *base) remove(e *Entry) {
 }
 
 // release forwards a buffered packet, due either to its timer expiring
-// (preempted == false) or to preemption (preempted == true).
+// (preempted == false) or to preemption (preempted == true). The entry is
+// recycled before the forward call so downstream processing that lands a
+// packet back in this buffer (a preemption cascade, a short loop) reuses it
+// immediately — mirroring the kernel's release-before-run idiom.
 func (b *base) release(e *Entry, preempted bool) {
 	if preempted {
 		b.sched.Cancel(e.timer)
@@ -264,7 +298,9 @@ func (b *base) release(e *Entry, preempted bool) {
 	b.stats.Departures++
 	b.stats.HeldDelays.Add(b.sched.Now() - e.ArrivedAt)
 	b.observeOccupancy()
-	b.forward(e.Packet, preempted)
+	p := e.Packet
+	b.recycleEntry(e)
+	b.forward(p, preempted)
 }
 
 // Evacuate cancels every pending release and removes all buffered packets,
@@ -274,16 +310,30 @@ func (b *base) release(e *Entry, preempted bool) {
 // their accounting.
 func (b *base) Evacuate() []*packet.Packet {
 	out := make([]*packet.Packet, 0, len(b.entries))
-	for _, e := range b.entries {
+	for i, e := range b.entries {
 		b.sched.Cancel(e.timer)
 		out = append(out, e.Packet)
-	}
-	for i := range b.entries {
+		b.recycleEntry(e)
 		b.entries[i] = nil
 	}
 	b.entries = b.entries[:0]
 	b.observeOccupancy()
 	return out
+}
+
+// Reset rearms the buffer for a fresh run on a reset scheduler: any leftover
+// entries are recycled (their release timers died with the scheduler reset)
+// and the stats restart from zero, in place, so the pointer Stats returned
+// stays valid. The entry pool survives — a reset buffer re-enters steady
+// state warm. Policies holding private randomness (Preemptive) must
+// additionally be reseeded by their owner; see core.RCAD.Reset.
+func (b *base) Reset() {
+	for i, e := range b.entries {
+		b.recycleEntry(e)
+		b.entries[i] = nil
+	}
+	b.entries = b.entries[:0]
+	b.stats = Stats{}
 }
 
 // Unlimited buffers every packet for its full sampled delay (M/M/∞).

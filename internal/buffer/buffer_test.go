@@ -564,3 +564,118 @@ func TestTandemBuffersBothPoisson(t *testing.T) {
 		t.Fatalf("second buffer occupancy %v, want ≈ %v (Burke tandem)", occ2, lambda*mean2)
 	}
 }
+
+// TestResetClearsStateAndWarmsPool drives a buffer through a full run,
+// resets it alongside its scheduler, and requires a second run to replay a
+// fresh buffer's behaviour exactly while the steady-state admit/release
+// cycle stays allocation-free on the warmed entry pool.
+func TestResetClearsStateAndWarmsPool(t *testing.T) {
+	sched := sim.NewScheduler()
+	fwd, out := collector(sched)
+	buf, err := NewDropTail(sched, fwd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() {
+		for i := 0; i < 20; i++ {
+			i := i
+			sched.At(float64(i), func() { buf.Admit(packet.New(1, uint32(i), sched.Now()), 3) })
+		}
+		if err := sched.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load()
+	want := append([]delivery(nil), (*out)...)
+	wantStats := *buf.Stats()
+
+	sched.Reset()
+	buf.Reset()
+	if got := *buf.Stats(); got != (Stats{}) {
+		t.Fatalf("stats after Reset: %+v", got)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("occupancy after Reset: %d", buf.Len())
+	}
+	*out = (*out)[:0]
+	load()
+	if len(*out) != len(want) {
+		t.Fatalf("replay delivered %d packets, fresh delivered %d", len(*out), len(want))
+	}
+	for i := range want {
+		if (*out)[i] != want[i] {
+			t.Fatalf("replay delivery %d = %+v, fresh %+v", i, (*out)[i], want[i])
+		}
+	}
+	if got := *buf.Stats(); got != wantStats {
+		t.Fatalf("replay stats %+v, fresh %+v", got, wantStats)
+	}
+
+	// Steady state on the warm pool: admit/release cycles allocate nothing.
+	sched.Reset()
+	buf.Reset()
+	p := packet.New(1, 0, 0)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf.Admit(p, 1)
+		for sched.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm admit/release cycle allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestResetSurvivesMidFlightEntries resets a buffer that still holds
+// packets (timers pending) and checks the entries are recycled, not leaked
+// into the next run.
+func TestResetSurvivesMidFlightEntries(t *testing.T) {
+	sched := sim.NewScheduler()
+	fwd, out := collector(sched)
+	buf, err := NewUnlimited(sched, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.At(0, func() {
+		for i := 0; i < 8; i++ {
+			buf.Admit(packet.New(1, uint32(i), 0), 100)
+		}
+	})
+	if err := sched.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("occupancy before reset = %d, want 8", buf.Len())
+	}
+	sched.Reset()
+	buf.Reset()
+	if buf.Len() != 0 {
+		t.Fatalf("occupancy after reset = %d", buf.Len())
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*out) != 0 {
+		t.Fatalf("pre-reset packets delivered after reset: %d", len(*out))
+	}
+}
+
+// BenchmarkWarmAdmitRelease measures the pooled admit/release fast path the
+// engine hits for every forwarded packet once the entry pool is warm.
+func BenchmarkWarmAdmitRelease(b *testing.B) {
+	sched := sim.NewScheduler()
+	buf, err := NewUnlimited(sched, func(*packet.Packet, bool) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := packet.New(1, 0, 0)
+	buf.Admit(p, 1)
+	for sched.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Admit(p, 1)
+		for sched.Step() {
+		}
+	}
+}

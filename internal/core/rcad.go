@@ -108,6 +108,23 @@ func (r *RCAD) OnPacket(now float64, p *packet.Packet) {
 	r.buf.Admit(p, d)
 }
 
+// Reset rearms the engine for a fresh run on a reset scheduler. dist becomes
+// the delay distribution (distributions are stateless parameter holders, so
+// passing either the construction value or an equal fresh one is fine) and
+// src's state is copied into the engine's random stream in place — the
+// preemptive buffer shares that same Source, so victim selection is reseeded
+// with it. The buffer empties (its entry pool survives, warm) and the rate
+// controller's arrival-rate estimate restarts with its planned-delay cap
+// re-derived from dist.
+func (r *RCAD) Reset(dist delay.Distribution, src *rng.Source) {
+	r.dist = dist
+	r.src.SetTo(src)
+	r.buf.Reset()
+	if r.ctrl != nil {
+		r.ctrl.Reset(dist.Mean())
+	}
+}
+
 // Stats returns the node's buffer counters (occupancy, preemptions, realised
 // delays).
 func (r *RCAD) Stats() *buffer.Stats { return r.buf.Stats() }
@@ -172,6 +189,17 @@ func NewRateController(k int, alpha, smoothing, maxMean float64) (*RateControlle
 		return nil, fmt.Errorf("core: planning utilization: %w", err)
 	}
 	return &RateController{capacity: k, rhoStar: rhoStar, smoothing: smoothing, maxMean: maxMean}, nil
+}
+
+// Reset clears the controller's observation state — the EWMA rate estimate
+// restarts from "nothing observed" — and re-caps the planned mean delay at
+// maxMean, restoring the as-constructed plan. The Erlang design point
+// (capacity, target loss, ρ*) is configuration, not state, and is kept.
+func (c *RateController) Reset(maxMean float64) {
+	c.haveLast = false
+	c.last = 0
+	c.ewmaGap = 0
+	c.maxMean = maxMean
 }
 
 // Observe records a packet arrival at time now, updating the rate estimate.

@@ -54,7 +54,7 @@ func AblVictim(p Params) (*report.Table, error) {
 		for k, s := range sources {
 			srcs[k] = network.Source{Node: s, Process: proc, Count: p.Packets}
 		}
-		res, err := network.Run(network.Config{
+		res, err := network.RunCached(p.Engines, network.Config{
 			Topology:          topo,
 			Sources:           srcs,
 			Policy:            network.PolicyRCAD,
@@ -147,7 +147,7 @@ func AblDist(p Params) (*report.Table, error) {
 		for k, s := range sources {
 			srcs[k] = network.Source{Node: s, Process: proc, Count: p.Packets}
 		}
-		res, err := network.Run(network.Config{
+		res, err := network.RunCached(p.Engines, network.Config{
 			Topology:          topo,
 			Sources:           srcs,
 			Policy:            policy,
@@ -357,7 +357,7 @@ func AblDecomp(p Params) (*report.Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := network.Run(network.Config{
+		res, err := network.RunCached(p.Engines, network.Config{
 			Topology:          topo,
 			Sources:           []network.Source{{Node: packet.NodeID(hops), Process: proc, Count: p.Packets}},
 			Policy:            network.PolicyUnlimited,

@@ -46,6 +46,14 @@ type Params struct {
 	Threshold float64
 	// Workers bounds sweep parallelism; defaults to GOMAXPROCS.
 	Workers int
+	// Engines optionally pools reusable simulation engines across the
+	// experiment's runs (see network.EngineCache): structurally identical
+	// simulations then share routes, pools and the packet arena instead of
+	// rebuilding them per run. Execution-only — engine reuse never affects
+	// result bytes — and safe to share across parallel sweep workers (the
+	// cache checks engines out). Replication installs per-worker caches
+	// automatically; see ReplicateRun.
+	Engines *network.EngineCache
 }
 
 // Defaults returns the paper's evaluation parameters (§5.2).
@@ -217,7 +225,7 @@ func figure1Run(p Params, policy network.PolicyKind, interarrival float64) (*net
 	for i, s := range sources {
 		srcs[i] = network.Source{Node: s, Process: proc, Count: p.Packets}
 	}
-	res, err := network.Run(network.Config{
+	res, err := network.RunCached(p.Engines, network.Config{
 		Topology:          topo,
 		Sources:           srcs,
 		Policy:            policy,

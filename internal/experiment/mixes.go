@@ -89,7 +89,7 @@ func AblMix(p Params) (*report.Table, error) {
 		for k, s := range sources {
 			srcs[k] = network.Source{Node: s, Process: proc, Count: p.Packets}
 		}
-		res, err := network.Run(network.Config{
+		res, err := network.RunCached(p.Engines, network.Config{
 			Topology:          topo,
 			Sources:           srcs,
 			Policy:            sc.policy,

@@ -56,7 +56,7 @@ func Occupancy(p Params) (*report.Table, error) {
 	every := window / occupancyRows
 
 	mem := &telemetry.Memory{}
-	res, err := network.Run(network.Config{
+	res, err := network.RunCached(p.Engines, network.Config{
 		Topology:          topo,
 		Sources:           srcs,
 		Policy:            network.PolicyRCAD,

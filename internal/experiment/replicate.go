@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"tempriv/internal/metrics"
+	"tempriv/internal/network"
 	"tempriv/internal/report"
 )
 
@@ -49,6 +51,38 @@ func ReplicateParallel(e Experiment, p Params, n, workers int) (*report.Table, e
 	return ReplicateStream(e, p, n, workers, nil)
 }
 
+// ReplicateConfig tunes how ReplicateRun executes. Every field is
+// execution-only: the output table is byte-identical for any setting.
+type ReplicateConfig struct {
+	// Workers bounds replication parallelism. Zero or negative means one
+	// worker per available CPU (runtime.GOMAXPROCS(0)); 1 forces the serial
+	// path.
+	Workers int
+	// Sink, when set, streams per-replicate tables and answers resume
+	// queries; see ReplicateSink.
+	Sink ReplicateSink
+	// FreshEngines disables per-worker engine reuse: every replicate builds
+	// its simulations from scratch, exactly as a plain run does. The knob
+	// exists for the differential tests and for debugging; results are
+	// byte-identical either way.
+	FreshEngines bool
+}
+
+// ReplicateRun is the full-control replication entry point: n replicates of
+// e under seeds p.Seed … p.Seed+n−1, partitioned over rc.Workers goroutines
+// (defaulting to one per CPU), each worker reusing its own pool of
+// arena-backed simulation engines across the replicates it draws, with the
+// per-replicate tables merged into the Welford reduction — and streamed to
+// rc.Sink — in strict replicate order. The deterministic seq-ordered merge
+// makes the output byte-identical to the serial, fresh-engine path.
+func ReplicateRun(e Experiment, p Params, n int, rc ReplicateConfig) (*report.Table, error) {
+	workers := rc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return replicateStream(e, p, n, workers, rc.Sink, rc.FreshEngines)
+}
+
 // ReplicateStream is the streaming execution path every replicated run now
 // flows through: replicate tables are folded into the running Welford
 // reduction (and handed to sink) in replicate-index order as they
@@ -58,6 +92,12 @@ func ReplicateParallel(e Experiment, p Params, n, workers int) (*report.Table, e
 // recomputed, and the reduction stays byte-identical because the same
 // tables enter it in the same order either way.
 func ReplicateStream(e Experiment, p Params, n, workers int, sink ReplicateSink) (*report.Table, error) {
+	return replicateStream(e, p, n, workers, sink, false)
+}
+
+// replicateStream is the one replication engine behind Replicate,
+// ReplicateParallel, ReplicateStream and ReplicateRun.
+func replicateStream(e Experiment, p Params, n, workers int, sink ReplicateSink, freshEngines bool) (*report.Table, error) {
 	if e.Run == nil {
 		return nil, errors.New("experiment: replicate of experiment without Run")
 	}
@@ -102,9 +142,20 @@ func ReplicateStream(e Experiment, p Params, n, workers int, sink ReplicateSink)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a private engine cache: the replicates it
+			// draws reuse one arena-backed engine per simulation structure
+			// instead of rebuilding it per seed. Reuse is byte-invisible
+			// (the engine rearm contract), so this changes wall-clock only.
+			cache := p.Engines
+			if freshEngines {
+				cache = nil
+			} else if cache == nil {
+				cache = network.NewEngineCache()
+			}
 			for rep := range reps {
 				q := p
 				q.Seed = p.Seed + uint64(rep)
+				q.Engines = cache
 				tab, err := e.Run(q)
 				if err == nil {
 					err = tab.Validate()

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"tempriv/internal/network"
 	"tempriv/internal/report"
 )
 
@@ -203,5 +204,49 @@ func TestReplicateRealExperiment(t *testing.T) {
 	}
 	if rcadCI > 0.5*rcadMean {
 		t.Fatalf("RCAD CI %v implausibly wide vs mean %v", rcadCI, rcadMean)
+	}
+}
+
+// TestReplicateEngineReuseMatchesFresh is the engine-reuse differential at
+// the experiment layer: the same replicated sweep run three ways — fresh
+// engines per replicate, per-worker reused engines, and a caller-shared
+// engine cache — must render byte-identical tables. Engine reuse is a pure
+// execution optimisation; any byte of divergence is state leaking across a
+// rearm.
+func TestReplicateEngineReuseMatchesFresh(t *testing.T) {
+	e, err := ByID("fig2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Packets = 120
+	p.Interarrivals = []float64{2, 10}
+	const n = 4
+
+	fresh, err := ReplicateRun(e, p, n, ReplicateConfig{Workers: 1, FreshEngines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, fresh)
+
+	for _, workers := range []int{1, 2, 4} {
+		reused, err := ReplicateRun(e, p, n, ReplicateConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(t, reused); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d with engine reuse differs from fresh engines:\n--- reused ---\n%s\n--- fresh ---\n%s",
+				workers, got, want)
+		}
+	}
+
+	shared := p
+	shared.Engines = network.NewEngineCache()
+	cached, err := ReplicateRun(e, shared, n, ReplicateConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(t, cached); !bytes.Equal(got, want) {
+		t.Fatalf("caller-shared engine cache diverged from fresh engines:\n--- cached ---\n%s\n--- fresh ---\n%s", got, want)
 	}
 }

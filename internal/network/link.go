@@ -149,7 +149,7 @@ func (r *runner) maybeDuplicate(n *node, dest packet.NodeID, p *packet.Packet, t
 	if try >= r.cfg.ARQ.MaxRetries {
 		return // the sender gives up; the frame was in fact delivered
 	}
-	dup := p.Clone()
+	dup := r.clonePacket(p)
 	f := r.acquireFlight(n, dup, dest, try)
 	r.sched.After(r.cfg.ARQ.wait(try), f.retryFn)
 }

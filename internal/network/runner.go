@@ -6,7 +6,6 @@ package network
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"tempriv/internal/buffer"
 	"tempriv/internal/core"
@@ -30,6 +29,9 @@ type node struct {
 	src    *rng.Source
 	link   *linkChannel // nil when Config.Channel is nil (reliable link)
 	dead   bool
+	// parent0 is the routing parent the build assigned, restored by rearm so
+	// a route repair in one run never leaks into the next.
+	parent0 packet.NodeID
 }
 
 // runner holds one simulation's full state.
@@ -49,117 +51,109 @@ type runner struct {
 	// flights recycles the in-flight frame records of the link layer so the
 	// per-hop fast path never allocates. See link.go.
 	flights []*flight
+	// arena bump-allocates the run's packets from reusable slabs; rearm
+	// rewinds it, so a reused engine creates packets without touching the
+	// heap. See engine.go.
+	arena pktArena
 	// tele is the telemetry attachment; nil when Config.Telemetry is nil,
 	// and every hook on a nil *telemetryState is a no-op.
 	tele *telemetryState
+	// edges0 is the construction topology's sorted edge set — the structural
+	// identity rearm checks when a later run passes a different Topology
+	// value.
+	edges0 [][2]int
+	// ran records that at least one run completed, so rearm knows when
+	// custom-policy factories must be re-invoked.
+	ran bool
 }
 
 // Run validates cfg, executes the simulation to completion, and returns the
-// result.
+// result. It is the one-shot form of the engine lifecycle: every run —
+// fresh or on a reused Engine — flows through the identical rearm-and-go
+// path, which is what makes engine reuse byte-identical by construction.
 func Run(cfg Config) (*Result, error) {
-	r, err := newRunner(cfg)
+	e, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.scheduleSources(); err != nil {
-		return nil, err
-	}
-	r.scheduleFailures()
-	r.attachSampler()
-	start := time.Now()
-	if err := r.sched.Run(); err != nil {
-		return nil, fmt.Errorf("network: simulation: %w", err)
-	}
-	wall := time.Since(start).Seconds()
-	if r.tele != nil && r.tele.err != nil {
-		return nil, fmt.Errorf("network: telemetry emitter: %w", r.tele.err)
-	}
-	r.finalize()
-	m, err := r.buildManifest(wall)
-	if err != nil {
-		return nil, err
-	}
-	r.result.Manifest = m
-	return r.result, nil
+	return e.Run(cfg)
 }
 
-func newRunner(cfg Config) (*runner, error) {
+// resolveConfig validates cfg and fills its defaults, returning the resolved
+// copy every engine run adopts. It is idempotent: resolving an already
+// resolved config is a no-op.
+func resolveConfig(cfg Config) (Config, error) {
 	if cfg.Topology == nil {
-		return nil, errors.New("network: nil topology")
+		return cfg, errors.New("network: nil topology")
 	}
 	if len(cfg.Sources) == 0 {
-		return nil, errors.New("network: no sources")
+		return cfg, errors.New("network: no sources")
 	}
 	switch cfg.Policy {
 	case PolicyForward:
 	case PolicyUnlimited, PolicyDropTail, PolicyRCAD:
 		if cfg.Delay == nil {
-			return nil, fmt.Errorf("network: policy %v requires a delay distribution", cfg.Policy)
+			return cfg, fmt.Errorf("network: policy %v requires a delay distribution", cfg.Policy)
 		}
 	case PolicyCustom:
 		if cfg.CustomPolicy == nil {
-			return nil, errors.New("network: PolicyCustom requires a CustomPolicy factory")
+			return cfg, errors.New("network: PolicyCustom requires a CustomPolicy factory")
 		}
 		if cfg.Delay == nil {
 			cfg.Delay = delay.None{} // batching mixes ignore sampled delays
 		}
 	default:
-		return nil, fmt.Errorf("network: unknown policy %d", int(cfg.Policy))
+		return cfg, fmt.Errorf("network: unknown policy %d", int(cfg.Policy))
 	}
 	if cfg.TransmissionDelay < 0 {
-		return nil, fmt.Errorf("network: negative transmission delay %v", cfg.TransmissionDelay)
+		return cfg, fmt.Errorf("network: negative transmission delay %v", cfg.TransmissionDelay)
 	}
 	if cfg.Horizon < 0 {
-		return nil, fmt.Errorf("network: negative horizon %v", cfg.Horizon)
+		return cfg, fmt.Errorf("network: negative horizon %v", cfg.Horizon)
 	}
 	if err := cfg.Telemetry.Validate(); err != nil {
-		return nil, fmt.Errorf("network: %w", err)
+		return cfg, fmt.Errorf("network: %w", err)
 	}
 	seenSources := make(map[packet.NodeID]bool, len(cfg.Sources))
 	for i, s := range cfg.Sources {
 		if !cfg.Topology.HasNode(s.Node) {
-			return nil, fmt.Errorf("network: source %d at unknown node %v", i, s.Node)
+			return cfg, fmt.Errorf("network: source %d at unknown node %v", i, s.Node)
 		}
 		if seenSources[s.Node] {
 			// Flow identity is the origin node (the adversary's view), so
 			// two sources on one node would merge their flow accounting
 			// silently.
-			return nil, fmt.Errorf("network: duplicate source on node %v", s.Node)
+			return cfg, fmt.Errorf("network: duplicate source on node %v", s.Node)
 		}
 		seenSources[s.Node] = true
 		if s.Node == topology.Sink {
-			return nil, fmt.Errorf("network: source %d is the sink", i)
+			return cfg, fmt.Errorf("network: source %d is the sink", i)
 		}
 		if s.Process == nil {
-			return nil, fmt.Errorf("network: source %d has nil traffic process", i)
+			return cfg, fmt.Errorf("network: source %d has nil traffic process", i)
 		}
 		if s.Count < 0 {
-			return nil, fmt.Errorf("network: source %d has negative count", i)
+			return cfg, fmt.Errorf("network: source %d has negative count", i)
 		}
 		if s.Count == 0 && cfg.Horizon <= 0 {
-			return nil, fmt.Errorf("network: source %d is unbounded (count 0) without a horizon", i)
+			return cfg, fmt.Errorf("network: source %d is unbounded (count 0) without a horizon", i)
 		}
 	}
 	if cfg.RateControl != nil {
 		if cfg.Policy != PolicyRCAD {
-			return nil, errors.New("network: rate control requires PolicyRCAD")
+			return cfg, errors.New("network: rate control requires PolicyRCAD")
 		}
 	}
 	for i, f := range cfg.NodeFailures {
 		if !cfg.Topology.HasNode(f.Node) {
-			return nil, fmt.Errorf("network: failure %d targets unknown node %v", i, f.Node)
+			return cfg, fmt.Errorf("network: failure %d targets unknown node %v", i, f.Node)
 		}
 		if f.Node == topology.Sink {
-			return nil, fmt.Errorf("network: failure %d targets the sink", i)
+			return cfg, fmt.Errorf("network: failure %d targets the sink", i)
 		}
 		if f.At < 0 {
-			return nil, fmt.Errorf("network: failure %d has negative time %v", i, f.At)
+			return cfg, fmt.Errorf("network: failure %d has negative time %v", i, f.At)
 		}
-	}
-
-	routes, err := routing.BuildTree(cfg.Topology)
-	if err != nil {
-		return nil, fmt.Errorf("network: building routes: %w", err)
 	}
 
 	if cfg.TransmissionDelay == 0 {
@@ -174,16 +168,28 @@ func newRunner(cfg Config) (*runner, error) {
 	if cfg.ARQ != nil {
 		resolved, err := cfg.ARQ.validate(cfg.TransmissionDelay)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		cfg.ARQ = &resolved
 	}
 	if cfg.Channel != nil {
 		resolved, err := cfg.Channel.validate(cfg.ARQ != nil)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		cfg.Channel = &resolved
+	}
+	return cfg, nil
+}
+
+// newRunner builds the structural state of an engine from an already
+// resolved config: routes, per-node policies, links, and the reusable pools.
+// The built structure is what survives across runs; everything run-scoped is
+// (re)armed by rearm.
+func newRunner(cfg Config) (*runner, error) {
+	routes, err := routing.BuildTree(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("network: building routes: %w", err)
 	}
 
 	r := &runner{
@@ -192,6 +198,7 @@ func newRunner(cfg Config) (*runner, error) {
 		routes: routes,
 		nodes:  make(map[packet.NodeID]*node),
 		dead:   make(map[packet.NodeID]bool),
+		edges0: sortedEdges(cfg.Topology),
 		result: &Result{
 			Flows: make(map[packet.NodeID]*FlowStats),
 			Nodes: make(map[packet.NodeID]*NodeStats),
@@ -217,10 +224,11 @@ func newRunner(cfg Config) (*runner, error) {
 			return nil, fmt.Errorf("network: node %v has no route to the sink", id)
 		}
 		n := &node{
-			id:     id,
-			parent: parent,
-			dist:   cfg.Delay,
-			src:    master.SplitIndexed("node", int(id)),
+			id:      id,
+			parent:  parent,
+			parent0: parent,
+			dist:    cfg.Delay,
+			src:     master.SplitIndexed("node", int(id)),
 		}
 		if d, ok := cfg.PerNodeDelay[id]; ok {
 			n.dist = d

@@ -69,7 +69,7 @@ func (r *runner) createPacket(s Source, seq uint32) {
 		return
 	}
 	now := r.sched.Now()
-	p := packet.New(s.Node, seq, now)
+	p := r.newPacket(s.Node, seq, now)
 	if r.keyring != nil {
 		reading := packet.Reading{Value: float64(seq), AppSeq: seq, CreatedAt: now}
 		if err := p.SealReading(r.keyring, reading); err != nil {

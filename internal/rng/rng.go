@@ -78,6 +78,13 @@ func (s *Source) SplitIndexed(name string, index int) *Source {
 	return s.Split(fmt.Sprintf("%s/%d", name, index))
 }
 
+// SetTo overwrites s's state with o's, reseeding s in place. Long-lived
+// components that hold a *Source (a node's buffering policy, a link's channel
+// state) can be rewound to a fresh substream between engine runs without
+// re-plumbing the pointer: after SetTo, s produces exactly the stream a
+// freshly split o would.
+func (s *Source) SetTo(o *Source) { s.state = o.state }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits (xoshiro256** step).

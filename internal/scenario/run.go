@@ -49,6 +49,12 @@ type Options struct {
 	// outcomes with or without a sink, resumed or not — the differential
 	// tests hold the engine to that.
 	Sink ReplicateSink
+	// DisableEngineReuse makes every simulation build its engine from
+	// scratch instead of reusing pooled arena-backed engines across the
+	// scenario's runs and replicates. Execution-only — reuse never affects
+	// result bytes (the differential tests hold it to that); the knob
+	// exists for debugging and for those tests.
+	DisableEngineReuse bool
 }
 
 func (o Options) progress(stage, message string) {
@@ -136,6 +142,12 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 	if opts.SweepWorkers > 0 {
 		p.Workers = opts.SweepWorkers
 	}
+	if !opts.DisableEngineReuse {
+		// One cache for the whole scenario: sweep points inside a single
+		// replicate share engines too (the cache's checkout discipline makes
+		// it safe under the sweep's parallelFor workers).
+		p.Engines = network.NewEngineCache()
+	}
 	opts.progress("running", fmt.Sprintf("%s (%d replicate(s), seed %d)", spec.Label(), replicates, seed))
 
 	// The whole execution runs under an "engine" span; each replicate gets
@@ -172,7 +184,11 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		if workers < 1 {
 			workers = 1
 		}
-		tab, err = experiment.ReplicateStream(e, p, replicates, workers, opts.Sink)
+		tab, err = experiment.ReplicateRun(e, p, replicates, experiment.ReplicateConfig{
+			Workers:      workers,
+			Sink:         opts.Sink,
+			FreshEngines: opts.DisableEngineReuse,
+		})
 	} else if opts.Sink != nil {
 		// Single-replicate scenarios stream through the same seam: a
 		// persisted chunk answers the whole run, a fresh run persists one.
@@ -245,14 +261,14 @@ func simExperiment(m *SimulationSpec) experiment.Experiment {
 		Title: title,
 		Paper: "scenario",
 		Run: func(p experiment.Params) (*report.Table, error) {
-			return runSimulation(m, p.Seed, title)
+			return runSimulation(m, p.Seed, title, p.Engines)
 		},
 	}
 }
 
 // runSimulation executes one seed of a simulation scenario and tabulates
 // per-flow delivery, latency and adversary-MSE results.
-func runSimulation(m *SimulationSpec, seed uint64, title string) (*report.Table, error) {
+func runSimulation(m *SimulationSpec, seed uint64, title string, engines *network.EngineCache) (*report.Table, error) {
 	topo, sources, err := buildTopology(m.Topology)
 	if err != nil {
 		return nil, err
@@ -311,7 +327,7 @@ func runSimulation(m *SimulationSpec, seed uint64, title string) (*report.Table,
 		cfg.Sources = append(cfg.Sources, network.Source{Node: s, Process: proc, Count: m.Packets})
 	}
 
-	res, err := network.Run(cfg)
+	res, err := network.RunCached(engines, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: simulating: %w", err)
 	}

@@ -296,3 +296,41 @@ func TestCanonicalJSONRoundTrips(t *testing.T) {
 		t.Fatal("canonical form is not valid JSON")
 	}
 }
+
+// TestRunEngineReuseDifferential runs representative scenarios with engine
+// reuse enabled (the default) and disabled, serial and parallel, and
+// requires byte-identical renderings. This is the scenario-layer guarantee
+// behind sweep's -fresh-engines escape hatch: reuse may never change output.
+func TestRunEngineReuseDifferential(t *testing.T) {
+	specs := map[string][]byte{
+		"experiment-replicated": []byte(`{"version":1,"experiment":{
+			"id":"fig2b","packets":60,"interarrivals":[5],"replicates":3,"seed":2}}`),
+		"simulation-replicated": []byte(`{"version":1,"simulation":{
+			"topology":{"kind":"line","hops":3},"packets":20,"replicates":3}}`),
+	}
+	for name, doc := range specs {
+		t.Run(name, func(t *testing.T) {
+			spec, err := Parse(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline, err := Run(context.Background(), spec, Options{DisableEngineReuse: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []Options{
+				{},
+				{ReplicateWorkers: 3},
+				{ReplicateWorkers: 3, DisableEngineReuse: true},
+			} {
+				out, err := Run(context.Background(), spec, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(out.TableText, baseline.TableText) || !bytes.Equal(out.TableCSV, baseline.TableCSV) {
+					t.Fatalf("opts %+v changed result bytes vs fresh-engine serial baseline", opts)
+				}
+			}
+		})
+	}
+}

@@ -100,6 +100,32 @@ func NewScheduler() *Scheduler {
 // Now returns the current simulated time.
 func (s *Scheduler) Now() float64 { return s.now }
 
+// Reset drains the scheduler and rearms it for a fresh run: the clock returns
+// to 0, the sequence and fired counters restart, any still-queued timers are
+// cancelled, and a Stop is cleared. The timer-node free list survives — that
+// is the point: a reset scheduler re-enters steady state with its pools warm,
+// so the next run's At/fire/At churn allocates nothing from the first event.
+// Every Timer handle issued before the reset goes inert (the generation bump
+// on release), exactly as if it had been cancelled.
+//
+// Reset must not be called from inside an event callback; it is a
+// between-runs lifecycle operation, the drain half of the engine's
+// drain-and-rearm cycle.
+func (s *Scheduler) Reset() {
+	s.Shutdown() // joins any spawned processes; a no-op without Spawn
+	s.host = nil
+	for i, t := range s.queue {
+		s.queue[i] = nil
+		s.release(t)
+	}
+	s.queue = s.queue[:0]
+	s.periodicPending = 0
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+}
+
 // Pending returns the number of events still queued. Cancellation is eager —
 // Cancel removes the timer from the heap immediately — so cancelled events
 // are never counted here.

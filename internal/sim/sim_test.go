@@ -391,3 +391,104 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 		s.Step()
 	}
 }
+
+// TestResetReplaysIdentically is the drain-and-rearm property: a scheduler
+// that ran a full workload and was Reset must replay a fresh workload exactly
+// as a brand-new scheduler would — same firing order, same clock, same
+// counters — with stale Timer handles from before the reset gone inert.
+func TestResetReplaysIdentically(t *testing.T) {
+	workload := func(s *Scheduler, seed uint64) (order []float64, stale []Timer) {
+		src := rng.New(seed)
+		for i := 0; i < 40; i++ {
+			at := 50 * src.Float64()
+			stale = append(stale, s.At(at, func() { order = append(order, at) }))
+		}
+		// Cancel a deterministic subset so the free list sees churn.
+		for i, tm := range stale {
+			if i%3 == 0 {
+				s.Cancel(tm)
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("workload run: %v", err)
+		}
+		return order, stale
+	}
+
+	fresh := NewScheduler()
+	wantOrder, _ := workload(fresh, 42)
+	wantNow, wantFired := fresh.Now(), fresh.Fired()
+
+	reused := NewScheduler()
+	_, stale := workload(reused, 7) // different seed: different churn pattern
+	reused.Stop()
+	reused.Reset()
+
+	if reused.Now() != 0 || reused.Fired() != 0 || reused.Pending() != 0 || reused.Stopped() {
+		t.Fatalf("Reset left state behind: now=%v fired=%d pending=%d stopped=%v",
+			reused.Now(), reused.Fired(), reused.Pending(), reused.Stopped())
+	}
+	gotOrder, _ := workload(reused, 42)
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("reset scheduler fired %d events, fresh fired %d", len(gotOrder), len(wantOrder))
+	}
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("event %d fired at %v on reset scheduler, %v on fresh", i, gotOrder[i], wantOrder[i])
+		}
+	}
+	if reused.Now() != wantNow || reused.Fired() != wantFired {
+		t.Fatalf("reset scheduler clock/counter diverged: now %v vs %v, fired %d vs %d",
+			reused.Now(), wantNow, reused.Fired(), wantFired)
+	}
+
+	// Handles issued before the reset are inert, even though their nodes were
+	// recycled into the replay workload.
+	for _, tm := range stale {
+		if reused.Cancel(tm) || reused.Reschedule(tm, 99) {
+			t.Fatal("stale pre-reset timer handle still live after Reset")
+		}
+	}
+}
+
+// TestResetMidRunDrainsQueue resets with timers still pending (the RunUntil
+// case) and verifies the queued events are dropped, not replayed.
+func TestResetMidRunDrainsQueue(t *testing.T) {
+	s := NewScheduler()
+	lateFired := false
+	s.At(1, func() {})
+	s.At(100, func() { lateFired = true })
+	if err := s.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending before reset = %d, want 1", s.Pending())
+	}
+	s.Reset()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after reset = %d, want 0", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lateFired {
+		t.Fatal("event queued before Reset fired after it")
+	}
+}
+
+// BenchmarkResetReuse measures the steady-state cost of the reset cycle the
+// engine pays between replicates: schedule a burst, run it, reset.
+func BenchmarkResetReuse(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			s.At(float64(j), func() {})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		s.Reset()
+	}
+}

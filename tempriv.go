@@ -257,6 +257,37 @@ const (
 // k = 10, shortest-remaining victim selection).
 func Run(cfg Config) (*Result, error) { return network.Run(cfg) }
 
+// Engine is a reusable simulation instance: one Engine runs many configs
+// that share the same structural shape (topology, policy kind, capacity,
+// victim rule, rate-control setting), reusing its built routes, buffers,
+// scheduler and packet arena across runs. Engine.Run(cfg) produces results
+// byte-identical to Run(cfg); reuse is purely an execution optimisation.
+// An Engine is not safe for concurrent use; give each goroutine its own,
+// or share an EngineCache.
+type Engine = network.Engine
+
+// NewEngine builds a reusable Engine for cfg's structural shape without
+// running it. Pass each run's full Config to Engine.Run — per-run state
+// (seed, traffic processes, delay distributions, failures) is adopted
+// fresh every run.
+func NewEngine(cfg Config) (*Engine, error) { return network.NewEngine(cfg) }
+
+// EngineCache pools Engines by structural shape so sweeps over seeds or
+// traffic parameters rebuild nothing. Safe for concurrent use: engines are
+// checked out exclusively for the duration of a run.
+type EngineCache = network.EngineCache
+
+// NewEngineCache returns an empty engine cache for use with RunCached.
+func NewEngineCache() *EngineCache { return network.NewEngineCache() }
+
+// RunCached is Run through an EngineCache: structurally matching configs
+// reuse a pooled engine. A nil cache, a custom policy, or an attached
+// tracer/telemetry observer falls back to a fresh engine per run. Results
+// are byte-identical to Run either way.
+func RunCached(cache *EngineCache, cfg Config) (*Result, error) {
+	return network.RunCached(cache, cfg)
+}
+
 // NewLineTopology builds the §3.3 line network: a single source `hops` hops
 // from the sink, node i being i hops out.
 func NewLineTopology(hops int) (*Topology, error) { return topology.Line(hops) }
