@@ -2,7 +2,8 @@
 """Benchmark regression gate.
 
 Reads `go test -bench` output on stdin and enforces the performance
-invariants this repo commits to (BENCH_4.json, BENCH_6.json, BENCH_9.json).
+invariants this repo commits to (BENCH_4.json, BENCH_6.json, BENCH_9.json,
+BENCH_10.json).
 
 Same-machine relative gates (always on):
 
@@ -26,6 +27,11 @@ For every gated fast path that appears in the history:
      noisy, so this margin is generous and only the *fast paths* — tight
      loops whose cost is dominated by instruction count, not memory or I/O
      — are held to it.
+  6. Committed {"bench": "cluster_throughput"} leaves (ci/cluster_throughput.sh
+     output) with ratio_gated=true must keep the 1->3 worker scaling_ratio
+     at or above CLUSTER_SCALING_MIN. Ratios measured on machines with
+     fewer than 3 CPUs are recorded but exempt — timesharing one core
+     cannot demonstrate scaling.
 
 Usage:  go test -run '^$' -bench ... -benchmem ./... \
           | python3 ci/benchgate.py [--history BENCH_4.json BENCH_6.json ...]
@@ -37,6 +43,7 @@ import sys
 
 STREAM_OVERHEAD_MAX = 1.50  # chunk-sink path may cost at most +50%
 HISTORY_SLOWDOWN_MAX = 1.20  # fast paths may cost at most +20% vs best committed
+CLUSTER_SCALING_MIN = 1.5  # 1->3 worker throughput floor (near-linear would be ~3x)
 
 # name -> (ns_per_op, bytes_per_op, allocs_per_op)
 BENCH_RE = re.compile(
@@ -64,22 +71,27 @@ FASTER_THAN_LEGACY = [
 HISTORY_GATED = set(ZERO_ALLOC)
 
 
-def walk_history(node, out):
-    """Collect {"name", "ns_per_op"[, "allocs_per_op"]} leaves recursively."""
+def walk_history(node, out, cluster):
+    """Collect {"name", "ns_per_op"[, "allocs_per_op"]} leaves and
+    {"bench": "cluster_throughput", ...} leaves recursively."""
     if isinstance(node, dict):
         if "name" in node and "ns_per_op" in node:
             out.append(node)
+        if node.get("bench") == "cluster_throughput" and "scaling_ratio" in node:
+            cluster.append(node)
         for v in node.values():
-            walk_history(v, out)
+            walk_history(v, out, cluster)
     elif isinstance(node, list):
         for v in node:
-            walk_history(v, out)
+            walk_history(v, out, cluster)
     return out
 
 
 def load_history(paths, failures):
-    """best committed numbers per gated benchmark: name -> (min ns, min allocs)."""
+    """best committed numbers per gated benchmark: name -> (min ns, min allocs);
+    plus every committed cluster_throughput leaf as (path, leaf) pairs."""
     best = {}
+    cluster_leaves = []
     for path in paths:
         try:
             with open(path) as f:
@@ -87,7 +99,11 @@ def load_history(paths, failures):
         except (OSError, ValueError) as e:
             failures.append(f"history file {path}: {e}")
             continue
-        for leaf in walk_history(doc, []):
+        cluster = []
+        leaves = []
+        walk_history(doc, leaves, cluster)
+        cluster_leaves.extend((path, leaf) for leaf in cluster)
+        for leaf in leaves:
             name = leaf["name"]
             if name not in HISTORY_GATED:
                 continue
@@ -100,7 +116,34 @@ def load_history(paths, failures):
             else:
                 allocs = prev_allocs
             best[name] = (ns, allocs)
-    return best
+    return best, cluster_leaves
+
+
+def gate_cluster(cluster_leaves, failures):
+    """Committed 1->3 worker scaling ratios must clear CLUSTER_SCALING_MIN.
+
+    Only leaves marked ratio_gated=true count: ci/cluster_throughput.sh
+    sets that flag when the measuring machine had >= 3 CPUs. A ratio from
+    a 1-core box measures scheduler timesharing, not scaling, and is
+    committed for the record but exempt.
+    """
+    gated, before = 0, len(failures)
+    for path, leaf in cluster_leaves:
+        ratio = float(leaf["scaling_ratio"])
+        if not leaf.get("ratio_gated", leaf.get("cpus", 0) >= 3):
+            print(
+                f"benchgate: cluster_throughput in {path}: ratio {ratio:.2f}x "
+                f"not gated ({leaf.get('cpus', '?')} cpu(s))"
+            )
+            continue
+        gated += 1
+        if ratio < CLUSTER_SCALING_MIN:
+            failures.append(
+                f"cluster_throughput in {path}: 1->3 worker scaling {ratio:.2f}x "
+                f"below floor {CLUSTER_SCALING_MIN:.2f}x"
+            )
+    if gated and len(failures) == before:
+        print(f"benchgate: cluster scaling OK ({gated} gated ratio(s) >= {CLUSTER_SCALING_MIN:.2f}x)")
 
 
 def main():
@@ -158,7 +201,8 @@ def main():
             print(f"benchgate: streaming overhead {ratio:.2f}x (limit {STREAM_OVERHEAD_MAX:.2f}x)")
 
     if history_paths:
-        best = load_history(history_paths, failures)
+        best, cluster_leaves = load_history(history_paths, failures)
+        gate_cluster(cluster_leaves, failures)
         if not best:
             failures.append(f"no gated benchmarks found in history files {history_paths}")
         for name, (best_ns, best_allocs) in sorted(best.items()):

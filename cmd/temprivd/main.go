@@ -51,6 +51,8 @@ import (
 	"time"
 
 	"tempriv/internal/buildinfo"
+	"tempriv/internal/cluster/chaostransport"
+	"tempriv/internal/cluster/peering"
 	"tempriv/internal/cluster/registry"
 	"tempriv/internal/cluster/ring"
 	"tempriv/internal/jobs"
@@ -277,20 +279,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		}
 	}
 
-	runner := server.NewRunnerConfig(server.RunnerConfig{
-		Cache:            cache,
-		Registry:         reg,
-		ReplicateWorkers: *repWorkers,
-		Chunks:           chunks,
-		CachedResultSLO:  cachedSLO,
-	})
-	queue := jobs.New(runner, opts)
-
 	// In cluster mode the heartbeat responses carry the membership list;
 	// the worker mirrors it into a local ring so the API can flag
 	// misdirected submissions (advisory — they still run here).
 	var clusterRing atomic.Pointer[ring.Ring]
 	var clusterOwns func(fp string) (string, bool)
+	var peerStore *peering.Store
+	var replicator *peering.Replicator
 	if *clusterRegistry != "" {
 		clusterOwns = func(fp string) (string, bool) {
 			r := clusterRing.Load()
@@ -299,7 +294,48 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			}
 			return r.Owner(fp)
 		}
+
+		// Result peering: hold replicas peers push to us, and push every
+		// result we finish to our ring successor (write-behind, retried)
+		// so the gateway can serve our jobs from the replica — zero
+		// recompute — if this process dies. TEMPRIV_CHAOS optionally
+		// injects partitions/latency into the worker→worker replication
+		// path for fault drills.
+		peerStore = peering.NewStore(peering.StoreOptions{})
+		peerClient := &http.Client{Timeout: 10 * time.Second}
+		if spec := os.Getenv("TEMPRIV_CHAOS"); spec != "" {
+			rt, err := chaostransport.Wrap(http.DefaultTransport, spec)
+			if err != nil {
+				return fmt.Errorf("TEMPRIV_CHAOS: %w", err)
+			}
+			peerClient.Transport = rt
+			log.Warn("chaos transport armed on peer replication", "spec", spec)
+		}
+		replicator = peering.NewReplicator(peering.ReplicatorOptions{
+			SelfID:    *clusterID,
+			Client:    peerClient,
+			Log:       log,
+			Telemetry: reg,
+		})
+		opts.OnDone = func(snap jobs.Snapshot, res *jobs.Result) {
+			replicator.Offer(peering.Replica{
+				Fingerprint: snap.Fingerprint,
+				TableText:   res.TableText,
+				TableCSV:    res.TableCSV,
+				Manifest:    res.Manifest,
+			})
+		}
+		go replicator.Run(ctx)
 	}
+
+	runner := server.NewRunnerConfig(server.RunnerConfig{
+		Cache:            cache,
+		Registry:         reg,
+		ReplicateWorkers: *repWorkers,
+		Chunks:           chunks,
+		CachedResultSLO:  cachedSLO,
+	})
+	queue := jobs.New(runner, opts)
 
 	api := server.NewConfig(server.Config{
 		Queue:                 queue,
@@ -313,6 +349,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		DisableDebugEndpoints: !*debugEps,
 		ClusterID:             *clusterID,
 		ClusterOwns:           clusterOwns,
+		Peers:                 peerStore,
 	})
 	api.SetReady(server.ReadyReplaying)
 
@@ -356,6 +393,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			OnMembers: func(ws []registry.Worker, epoch uint64) {
 				clusterRing.Store(ring.New(registry.IDs(ws), 0))
 				epochGauge.Set(float64(epoch))
+				if replicator != nil {
+					replicator.SetMembers(ws)
+				}
 			},
 			OnHeartbeat: func() { beats.Inc() },
 			OnError: func(err error) {

@@ -14,9 +14,23 @@
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id} (+ /result with
 // ?partial=1, /events with synthetic seq:-1 handoff lines), DELETE
-// /v1/jobs/{id}, GET /v1/cluster (membership + ring), POST
-// /v1/cluster/register, GET /v1/cluster/workers, /healthz, /readyz (503
-// until a worker registers), /metrics (tempriv_cluster_* series).
+// /v1/jobs/{id}, GET /v1/cluster (membership + ring + per-worker
+// health), POST /v1/cluster/register, GET /v1/cluster/workers,
+// /healthz, /readyz (503 until a worker registers), /metrics
+// (tempriv_cluster_* series).
+//
+// Partition tolerance: the gateway scores every worker from its own
+// request outcomes, ejects a worker whose rolling error rate crosses the
+// threshold (re-admitting it through a half-open probe), hedges slow
+// full-result reads against a peer replica, and sheds submissions with
+// 503 + Retry-After when every candidate is ejected, backpressured, or
+// saturated past its advertised capacity. Finished results are served
+// from ring-successor replicas after a crash when available (zero
+// recompute), falling back to chunk-resume re-dispatch.
+//
+// -chaos (or TEMPRIV_CHAOS) arms a deterministic fault-injecting
+// transport on the gateway's worker requests for drills:
+// "partition=host:port;latency=host:port:300ms;slow=host:port:50ms".
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"time"
 
 	"tempriv/internal/buildinfo"
+	"tempriv/internal/cluster/chaostransport"
 	"tempriv/internal/cluster/gateway"
 	"tempriv/internal/cluster/registry"
 	"tempriv/internal/obs"
@@ -59,6 +74,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		reconcileEvery = fs.Duration("reconcile-every", 2*time.Second, "how often to sweep leases and hand off orphaned jobs")
 		submitAttempts = fs.Int("submit-attempts", 4, "max worker POSTs per dispatch across backpressure retries and failovers")
 		retryAfterMax  = fs.Duration("retry-after-max", 5*time.Second, "cap on honoring a worker's Retry-After")
+		ejectThreshold = fs.Float64("eject-threshold", 0, "rolling error rate that ejects a worker (0 = default 0.5)")
+		ejectCooldown  = fs.Duration("eject-cooldown", 0, "wait before an ejected worker gets a half-open probe (0 = default 10s)")
+		hedgeDelay     = fs.Duration("hedge-delay", 0, "fixed hedged-read delay for full results (0 = auto from cluster p99; negative disables)")
+		shedFactor     = fs.Float64("shed-factor", 0, "outstanding-routes-per-worker bound as a multiple of advertised capacity (0 = default 4)")
+		chaos          = fs.String("chaos", os.Getenv("TEMPRIV_CHAOS"), "fault-injection spec for worker requests (default $TEMPRIV_CHAOS)")
 		traceCap       = fs.Int("trace-cap", obs.DefaultCapacity, "how many recent gateway traces to retain")
 		logFormat      = fs.String("log-format", "text", "log output format: text or json")
 		logLevel       = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -86,16 +106,34 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	buildinfo.Register(reg)
 	tracer := obs.New(obs.Options{Capacity: *traceCap})
 
+	// No global timeout: /events and ?partial=1 proxies are long-lived
+	// streams. -chaos wraps the transport so drills can partition or slow
+	// the gateway→worker path deterministically.
+	client := &http.Client{}
+	if *chaos != "" {
+		rt, err := chaostransport.Wrap(http.DefaultTransport, *chaos)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		client.Transport = rt
+		log.Warn("chaos transport armed on worker requests", "spec", *chaos)
+	}
+
 	members := registry.New(registry.Options{LeaseTTL: *leaseTTL})
 	gw := gateway.New(gateway.Config{
 		Registry:       members,
 		Telemetry:      reg,
 		Tracer:         tracer,
 		Log:            log,
+		Client:         client,
 		Vnodes:         *vnodes,
 		SubmitAttempts: *submitAttempts,
 		RetryAfterMax:  *retryAfterMax,
 		ReconcileEvery: *reconcileEvery,
+		EjectThreshold: *ejectThreshold,
+		EjectCooldown:  *ejectCooldown,
+		HedgeDelay:     *hedgeDelay,
+		ShedFactor:     *shedFactor,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

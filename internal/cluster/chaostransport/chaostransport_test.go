@@ -1,0 +1,168 @@
+package chaostransport
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatalf("reading body: %v", rerr)
+	}
+	return resp, string(body), nil
+}
+
+func TestPartitionRefusesMatchingHost(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "other")
+	}))
+	defer other.Close()
+
+	tr := New(nil)
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr.Set(Rule{Match: host, Mode: ModePartition})
+	client := &http.Client{Transport: tr}
+
+	if _, _, err := get(t, client, srv.URL); err == nil {
+		t.Fatal("partitioned host answered")
+	} else if !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("error does not name the partition: %v", err)
+	}
+	if _, body, err := get(t, client, other.URL); err != nil || body != "other" {
+		t.Fatalf("non-matching host affected: body=%q err=%v", body, err)
+	}
+	if n := tr.Injected(host, ModePartition); n != 1 {
+		t.Fatalf("Injected = %d, want 1", n)
+	}
+}
+
+func TestAfterLetsRequestsThroughFirst(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	tr := New(nil)
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr.Set(Rule{Match: host, Mode: ModePartition, After: 2})
+	client := &http.Client{Transport: tr}
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := get(t, client, srv.URL); err != nil {
+			t.Fatalf("request %d should pass: %v", i+1, err)
+		}
+	}
+	if _, _, err := get(t, client, srv.URL); err == nil {
+		t.Fatal("third request should hit the partition")
+	}
+	if n := tr.Injected(host, ModePartition); n != 1 {
+		t.Fatalf("Injected = %d, want 1", n)
+	}
+}
+
+func TestLatencySleepsBeforeForwarding(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	tr := New(nil)
+	var slept []time.Duration
+	tr.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr.Set(Rule{Match: host, Mode: ModeLatency, Delay: 250 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+
+	if _, body, err := get(t, client, srv.URL); err != nil || body != "ok" {
+		t.Fatalf("latency rule broke the request: body=%q err=%v", body, err)
+	}
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Fatalf("slept %v, want one 250ms sleep", slept)
+	}
+}
+
+func TestSlowDripsBodyInChunks(t *testing.T) {
+	payload := strings.Repeat("x", 3*slowChunk)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	tr := New(nil)
+	var sleeps int
+	tr.SetSleep(func(time.Duration) { sleeps++ })
+	host := strings.TrimPrefix(srv.URL, "http://")
+	tr.Set(Rule{Match: host, Mode: ModeSlow, Delay: 50 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+
+	_, body, err := get(t, client, srv.URL)
+	if err != nil {
+		t.Fatalf("slow rule broke the request: %v", err)
+	}
+	if body != payload {
+		t.Fatalf("body corrupted: got %d bytes, want %d", len(body), len(payload))
+	}
+	if sleeps < 2 {
+		t.Fatalf("body arrived in %d sleeps, want >= 2 (dripped)", sleeps)
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("partition=127.0.0.1:7183; latency=127.0.0.1:7182:300ms ;slow=:7184:50ms;partition=10.0.0.9:after2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Match: "127.0.0.1:7183", Mode: ModePartition},
+		{Match: "127.0.0.1:7182", Mode: ModeLatency, Delay: 300 * time.Millisecond},
+		{Match: ":7184", Mode: ModeSlow, Delay: 50 * time.Millisecond},
+		{Match: "10.0.0.9", Mode: ModePartition, After: 2},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d: %+v", len(rules), len(want), rules)
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"teleport=127.0.0.1:7183",
+		"latency=127.0.0.1:7182", // missing required delay
+		"partition=",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestWrapEmptySpecIsInert(t *testing.T) {
+	inner := http.DefaultTransport
+	rt, err := Wrap(inner, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != inner {
+		t.Fatal("empty spec should return the inner transport unchanged")
+	}
+	if _, err := Wrap(inner, "latency=x"); err == nil {
+		t.Fatal("bad spec should fail Wrap")
+	}
+}

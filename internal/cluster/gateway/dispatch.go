@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"tempriv/internal/cluster/registry"
 	"tempriv/internal/jobs"
 )
 
@@ -24,9 +25,13 @@ type dispatchResult struct {
 
 // workerError carries a worker's JSON error contract through to the
 // caller so the gateway can forward the original status and message.
+// RetryAfter, when set, becomes the response's Retry-After header — the
+// gateway's load-shedding answer tells the client when capacity should
+// free up rather than a blanket one-second hint.
 type workerError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *workerError) Error() string {
@@ -40,6 +45,13 @@ func (e *workerError) Error() string {
 // worker is alive and the spec belongs there; moving it would forfeit
 // cache locality — while connection errors and 5xx failures advance to
 // the next successor immediately. At most submitAttempts POSTs total.
+//
+// Candidates the health tracker has ejected are skipped outright, as are
+// workers inside an advertised Retry-After window or already carrying
+// Capacity×ShedFactor outstanding routes. When that filtering leaves no
+// candidate at all, the gateway sheds the submission itself — 503 plus a
+// Retry-After derived from the nearest backpressure window — instead of
+// burning attempts against workers it already knows are unavailable.
 func (g *Gateway) dispatch(ctx context.Context, specJSON []byte, fp, traceID, origin string) (dispatchResult, error) {
 	rg, alive, _ := g.currentRing()
 	candidates := rg.Successors(fp, 0)
@@ -49,18 +61,40 @@ func (g *Gateway) dispatch(ctx context.Context, specJSON []byte, fp, traceID, or
 
 	var lastErr error
 	attempts := 0
-	for ci, id := range candidates {
+	tried := 0
+	skipped := 0
+	var shedWait time.Duration
+	for _, id := range candidates {
 		worker, ok := workerByID(alive, id)
 		if !ok {
 			continue
 		}
-		if ci > 0 && g.mFailover != nil {
+		if !g.health.allow(id) {
+			skipped++
+			continue
+		}
+		if remain, busy := g.health.backpressured(id); busy {
+			skipped++
+			if remain > shedWait {
+				shedWait = remain
+			}
+			continue
+		}
+		if g.saturated(worker) {
+			skipped++
+			continue
+		}
+		if tried > 0 && g.mFailover != nil {
 			g.mFailover.Inc()
 		}
+		tried++
 		for attempts < g.submitAttempts {
 			attempts++
+			start := g.clock()
 			snap, retryAfter, err := g.postJob(ctx, worker.URL, specJSON, traceID, origin)
+			latency := g.clock().Sub(start)
 			if err == nil {
+				g.health.observe(id, latency, false)
 				if g.mDispatch != nil {
 					g.mDispatch.Inc()
 				}
@@ -74,7 +108,11 @@ func (g *Gateway) dispatch(ctx context.Context, specJSON []byte, fp, traceID, or
 			lastErr = err
 			var we *workerError
 			if errors.As(err, &we) && (we.Status == http.StatusTooManyRequests || we.Status == http.StatusServiceUnavailable) {
-				// Backpressure: wait as instructed, then retry this worker.
+				// Backpressure: the worker is alive and healthy, it just
+				// asked for breathing room — never an ejection signal.
+				g.health.observe(id, latency, false)
+				g.health.observeBackpressure(id, retryAfter)
+				// Wait as instructed, then retry this worker.
 				if attempts < g.submitAttempts {
 					if g.mRetryWaits != nil {
 						g.mRetryWaits.Inc()
@@ -86,18 +124,67 @@ func (g *Gateway) dispatch(ctx context.Context, specJSON []byte, fp, traceID, or
 			}
 			if errors.As(err, &we) && we.Status >= 400 && we.Status < 500 {
 				// The spec itself is bad; every worker will say the same.
+				g.health.observe(id, latency, false)
 				return dispatchResult{}, err
 			}
-			break // unreachable or 5xx: next successor
+			// Unreachable or 5xx: a real failure, then the next successor.
+			g.health.observe(id, latency, true)
+			break
 		}
 		if attempts >= g.submitAttempts {
 			break
+		}
+	}
+	if tried == 0 && skipped > 0 {
+		// Every live candidate is ejected, backpressured, or saturated:
+		// shed at the gateway before spending a single worker round-trip.
+		if g.mSheds != nil {
+			g.mSheds.Inc()
+		}
+		if shedWait <= 0 {
+			shedWait = time.Second
+		}
+		if shedWait > g.retryAfterMax {
+			shedWait = g.retryAfterMax
+		}
+		return dispatchResult{}, &workerError{
+			Status:     http.StatusServiceUnavailable,
+			Msg:        fmt.Sprintf("all %d candidate workers are ejected, backpressured, or saturated", skipped),
+			RetryAfter: shedWait,
 		}
 	}
 	if lastErr == nil {
 		lastErr = &workerError{Status: http.StatusServiceUnavailable, Msg: "no candidate worker accepted the job"}
 	}
 	return dispatchResult{}, lastErr
+}
+
+// saturated reports whether a worker already carries its fair share of
+// in-flight routes: advertised capacity × ShedFactor. Workers that do not
+// advertise capacity are never considered saturated.
+func (g *Gateway) saturated(w registry.Worker) bool {
+	if w.Capacity <= 0 {
+		return false
+	}
+	limit := int(float64(w.Capacity) * g.shedFactor)
+	if limit < 1 {
+		limit = 1
+	}
+	return g.outstanding(w.ID) >= limit
+}
+
+// outstanding counts the non-terminal routes currently assigned to a
+// worker — the gateway's own view of that worker's queue depth.
+func (g *Gateway) outstanding(workerID string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, rt := range g.routes {
+		if rt.WorkerID == workerID && !rt.peerServed && !rt.state.Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // postJob performs one POST /v1/jobs against a worker. On 429/503 it

@@ -64,6 +64,39 @@ type Config struct {
 	// honored Retry-After without real delay. Defaults to a
 	// context-aware sleep.
 	Sleep func(d time.Duration)
+	// Clock is the health tracker's time source (default time.Now);
+	// injectable so tests drive ejection cooldowns deterministically.
+	Clock func() time.Time
+
+	// Per-worker health scoring and ejection (see health.go). Every
+	// worker request feeds a rolling window of HealthWindow samples
+	// (default 32); a worker whose window error rate reaches
+	// EjectThreshold (default 0.5) across at least EjectMinSamples
+	// samples (default 3) is ejected, then re-admitted via a half-open
+	// probe after EjectCooldown (default 10s).
+	HealthWindow    int
+	EjectThreshold  float64
+	EjectMinSamples int
+	EjectCooldown   time.Duration
+	// EjectHandoffAfter: a route stranded on a worker that has stayed
+	// ejected this long is handed off as if its lease had expired —
+	// the cure for asymmetric partitions, where the worker's heartbeats
+	// still arrive so the lease never dies (default 3×EjectCooldown).
+	EjectHandoffAfter time.Duration
+	// HedgeDelay fixes the hedged /result read delay; 0 means p99-based
+	// auto (2× the cluster-wide p99, clamped to [25ms, 2s]). Negative
+	// disables hedging.
+	HedgeDelay time.Duration
+	// ShedFactor bounds outstanding (non-terminal) routes per worker at
+	// advertised-capacity × ShedFactor (default 4). When every candidate
+	// for a submission is saturated, backpressured, or ejected, the
+	// gateway sheds with 503 + Retry-After instead of queueing.
+	ShedFactor float64
+	// EventKeepalive is how often the /events proxy emits a keepalive
+	// line while waiting out a worker failover (default 5s);
+	// FailoverWait bounds that wait (default 60s).
+	EventKeepalive time.Duration
+	FailoverWait   time.Duration
 }
 
 // Gateway fans job traffic out to registered workers.
@@ -79,6 +112,14 @@ type Gateway struct {
 	retryAfterMax  time.Duration
 	reconcileEvery time.Duration
 	sleep          func(time.Duration)
+	clock          func() time.Time
+
+	health            *healthTracker
+	ejectHandoffAfter time.Duration
+	hedgeDelay        time.Duration
+	shedFactor        float64
+	eventKeepalive    time.Duration
+	failoverWait      time.Duration
 
 	mu        sync.Mutex
 	routes    map[string]*route // gateway job ID -> route
@@ -88,13 +129,20 @@ type Gateway struct {
 	ringCache *ring.Ring
 
 	// Metrics (nil when no telemetry registry is configured).
-	mDispatch    *telemetry.Counter // jobs dispatched to a worker
-	mFailover    *telemetry.Counter // dispatch fell through to a successor
-	mRetryWaits  *telemetry.Counter // Retry-After waits honored
-	mHandoffs    *telemetry.Counter // crash handoffs performed
-	mHandoffFail *telemetry.Counter // handoffs that found no live worker
-	gWorkers     *telemetry.Gauge   // live workers
-	gRoutes      *telemetry.Gauge   // routes in the table
+	mDispatch     *telemetry.Counter // jobs dispatched to a worker
+	mFailover     *telemetry.Counter // dispatch fell through to a successor
+	mRetryWaits   *telemetry.Counter // Retry-After waits honored
+	mHandoffs     *telemetry.Counter // crash handoffs performed
+	mHandoffFail  *telemetry.Counter // handoffs that found no live worker
+	mPeerServed   *telemetry.Counter // handoffs served from a peer replica
+	mPeerFallback *telemetry.Counter // handoffs that fell back to re-dispatch
+	mEjections    *telemetry.Counter // workers ejected by health scoring
+	mHedged       *telemetry.Counter // hedged /result reads launched
+	mHedgeWins    *telemetry.Counter // hedges that answered first
+	mSheds        *telemetry.Counter // submissions shed at the gateway
+	gWorkers      *telemetry.Gauge   // live workers
+	gRoutes       *telemetry.Gauge   // routes in the table
+	gEjected      *telemetry.Gauge   // workers currently ejected/probing
 }
 
 // route is one entry in the gateway's routing table: the mapping from the
@@ -116,6 +164,12 @@ type route struct {
 	// state is the last state observed from a worker; the reconcile loop
 	// refreshes it so handoff can skip terminal jobs.
 	state jobs.State
+	// peerServed marks a route whose result is served from a ring
+	// successor's replica after a crash handoff: WorkerID/WorkerURL name
+	// the replica holder, WorkerJobID is empty (no job runs anywhere),
+	// and peerSnap is the synthesized done snapshot status serves.
+	peerServed bool
+	peerSnap   map[string]any
 }
 
 // New builds a Gateway and its HTTP surface.
@@ -151,14 +205,62 @@ func New(cfg Config) *Gateway {
 	if g.sleep == nil {
 		g.sleep = time.Sleep
 	}
+	g.clock = cfg.Clock
+	if g.clock == nil {
+		g.clock = time.Now
+	}
+	g.health = newHealthTracker(cfg.HealthWindow, cfg.EjectThreshold, cfg.EjectMinSamples, cfg.EjectCooldown, g.clock)
+	g.ejectHandoffAfter = cfg.EjectHandoffAfter
+	if g.ejectHandoffAfter <= 0 {
+		g.ejectHandoffAfter = 3 * g.health.cooldown
+	}
+	g.hedgeDelay = cfg.HedgeDelay
+	g.shedFactor = cfg.ShedFactor
+	if g.shedFactor <= 0 {
+		g.shedFactor = 4
+	}
+	g.eventKeepalive = cfg.EventKeepalive
+	if g.eventKeepalive <= 0 {
+		g.eventKeepalive = 5 * time.Second
+	}
+	g.failoverWait = cfg.FailoverWait
+	if g.failoverWait <= 0 {
+		g.failoverWait = 60 * time.Second
+	}
 	if cfg.Telemetry != nil {
 		g.mDispatch = cfg.Telemetry.Counter("tempriv_cluster_dispatch_total")
 		g.mFailover = cfg.Telemetry.Counter("tempriv_cluster_dispatch_failover_total")
 		g.mRetryWaits = cfg.Telemetry.Counter("tempriv_cluster_retry_after_waits_total")
 		g.mHandoffs = cfg.Telemetry.Counter("tempriv_cluster_handoffs_total")
 		g.mHandoffFail = cfg.Telemetry.Counter("tempriv_cluster_handoff_failures_total")
+		g.mPeerServed = cfg.Telemetry.Counter("tempriv_cluster_peer_served_total")
+		g.mPeerFallback = cfg.Telemetry.Counter("tempriv_cluster_peer_fallbacks_total")
+		g.mEjections = cfg.Telemetry.Counter("tempriv_cluster_ejections_total")
+		g.mHedged = cfg.Telemetry.Counter("tempriv_cluster_hedged_reads_total")
+		g.mHedgeWins = cfg.Telemetry.Counter("tempriv_cluster_hedge_wins_total")
+		g.mSheds = cfg.Telemetry.Counter("tempriv_sheds_total")
 		g.gWorkers = cfg.Telemetry.Gauge("tempriv_cluster_workers")
 		g.gRoutes = cfg.Telemetry.Gauge("tempriv_cluster_routes")
+		g.gEjected = cfg.Telemetry.Gauge("tempriv_cluster_ejected_workers")
+	}
+	g.health.onEject = func(id string) {
+		if g.mEjections != nil {
+			g.mEjections.Inc()
+		}
+		if g.gEjected != nil {
+			g.gEjected.Set(float64(g.health.ejectedCount()))
+		}
+		if g.log != nil {
+			g.log.Warn("worker ejected by health scoring", "worker", id)
+		}
+	}
+	g.health.onRestore = func(id string) {
+		if g.gEjected != nil {
+			g.gEjected.Set(float64(g.health.ejectedCount()))
+		}
+		if g.log != nil {
+			g.log.Info("worker restored after half-open probe", "worker", id)
+		}
 	}
 
 	g.reg.Mount(g.mux)
@@ -258,10 +360,11 @@ func (g *Gateway) Routes() int {
 
 // clusterView is the GET /v1/cluster document.
 type clusterView struct {
-	Epoch   uint64            `json:"epoch"`
-	Workers []registry.Worker `json:"workers"`
-	Ring    []string          `json:"ring"`
-	Jobs    int               `json:"jobs"`
+	Epoch   uint64                `json:"epoch"`
+	Workers []registry.Worker     `json:"workers"`
+	Ring    []string              `json:"ring"`
+	Jobs    int                   `json:"jobs"`
+	Health  map[string]healthView `json:"health,omitempty"`
 }
 
 func (g *Gateway) handleCluster(w http.ResponseWriter, _ *http.Request) {
@@ -272,6 +375,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, _ *http.Request) {
 		Workers: alive,
 		Ring:    rg.Members(),
 		Jobs:    g.Routes(),
+		Health:  g.health.view(),
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"tempriv/internal/cluster/peering"
 	"tempriv/internal/cluster/registry"
 	"tempriv/internal/cluster/ring"
 	"tempriv/internal/jobs"
@@ -64,10 +65,11 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 // worker is one in-process temprivd API instance.
 type worker struct {
-	id  string
-	ts  *httptest.Server
-	q   *jobs.Queue
-	reg *telemetry.Registry
+	id    string
+	ts    *httptest.Server
+	q     *jobs.Queue
+	reg   *telemetry.Registry
+	peers *peering.Store
 }
 
 func (w *worker) close(t *testing.T) {
@@ -95,11 +97,12 @@ func newWorker(t *testing.T, id, chunksDir string) *worker {
 		Registry: reg, ReplicateWorkers: 1, Chunks: chunks,
 	})
 	q := jobs.New(runner, jobs.Options{Workers: 2})
+	peers := peering.NewStore(peering.StoreOptions{})
 	api := server.NewConfig(server.Config{
 		Queue: q, Chunks: chunks, Registry: reg,
-		Tracer: obs.New(obs.Options{}), ClusterID: id,
+		Tracer: obs.New(obs.Options{}), ClusterID: id, Peers: peers,
 	})
-	w := &worker{id: id, ts: httptest.NewServer(api), q: q, reg: reg}
+	w := &worker{id: id, ts: httptest.NewServer(api), q: q, reg: reg, peers: peers}
 	t.Cleanup(func() { w.close(t) })
 	return w
 }
@@ -116,19 +119,30 @@ type cluster struct {
 }
 
 func newCluster(t *testing.T, ttl time.Duration) *cluster {
+	return newClusterWith(t, ttl, nil)
+}
+
+// newClusterWith builds the gateway with an optional Config mutation so
+// resilience tests can pin hedge delays, cooldowns, and shed factors.
+func newClusterWith(t *testing.T, ttl time.Duration, mut func(*Config)) *cluster {
 	t.Helper()
 	c := &cluster{clk: newFakeClock(), tel: telemetry.NewRegistry()}
 	c.reg = registry.New(registry.Options{LeaseTTL: ttl, Clock: c.clk.Now})
-	c.gw = New(Config{
+	cfg := Config{
 		Registry:  c.reg,
 		Telemetry: c.tel,
 		Tracer:    obs.New(obs.Options{}),
+		Clock:     c.clk.Now,
 		Sleep: func(d time.Duration) {
 			c.mu.Lock()
 			c.sleeps = append(c.sleeps, d)
 			c.mu.Unlock()
 		},
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c.gw = New(cfg)
 	c.ts = httptest.NewServer(c.gw)
 	t.Cleanup(c.ts.Close)
 	return c

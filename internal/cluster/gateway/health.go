@@ -1,0 +1,323 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-worker health scoring: every worker request the gateway makes
+// feeds a rolling window of (latency, failed) samples. A worker whose
+// window crosses the error-rate threshold is ejected — dispatch and
+// hedging route around it — and re-admitted through a half-open probe
+// after a cooldown, exactly like the result cache's circuit breaker but
+// keyed per worker. Backpressure (Retry-After on 429/503) is tracked
+// separately: a shedding worker is alive and healthy, it just asked for
+// breathing room, so it must not count toward ejection.
+//
+// This is what makes the gateway partition-tolerant in the asymmetric
+// case: a worker the gateway cannot reach may still heartbeat happily
+// (worker→gateway traffic takes a different path), so its lease never
+// expires and the reconcile loop alone would wait forever. Ejection
+// fires on the gateway's own observations instead.
+
+type healthState int
+
+const (
+	healthOK healthState = iota
+	healthEjected
+	healthProbing
+)
+
+// healthSample is one observed worker request.
+type healthSample struct {
+	latency time.Duration
+	failed  bool
+}
+
+// workerHealth is one worker's rolling window plus breaker state.
+type workerHealth struct {
+	window      []healthSample // ring buffer
+	next, count int
+	consecOK    int
+	state       healthState
+	ejectedAt   time.Time
+	probeAt     time.Time
+	// downSince is when the worker first left healthOK; unlike ejectedAt
+	// it survives failed half-open probes (which refresh the cooldown), so
+	// the reconcile loop's eject-handoff grace window actually elapses.
+	downSince time.Time
+	ejections uint64
+	// backoffUntil is when the worker's latest Retry-After window ends;
+	// dispatch skips (and may shed) while it is in the future.
+	backoffUntil time.Time
+}
+
+func (wh *workerHealth) push(s healthSample, window int) {
+	if len(wh.window) < window {
+		wh.window = append(wh.window, s)
+		wh.count++
+		return
+	}
+	wh.window[wh.next] = s
+	wh.next = (wh.next + 1) % window
+}
+
+func (wh *workerHealth) errorRate() float64 {
+	if len(wh.window) == 0 {
+		return 0
+	}
+	failed := 0
+	for _, s := range wh.window {
+		if s.failed {
+			failed++
+		}
+	}
+	return float64(failed) / float64(len(wh.window))
+}
+
+func (wh *workerHealth) reset() {
+	wh.window = wh.window[:0]
+	wh.next, wh.count = 0, 0
+}
+
+// healthTracker scores every worker the gateway talks to.
+type healthTracker struct {
+	mu         sync.Mutex
+	clock      func() time.Time
+	window     int
+	threshold  float64
+	minSamples int
+	cooldown   time.Duration
+	workers    map[string]*workerHealth
+
+	onEject   func(id string)
+	onRestore func(id string)
+}
+
+func newHealthTracker(window int, threshold float64, minSamples int, cooldown time.Duration, clock func() time.Time) *healthTracker {
+	if window <= 0 {
+		window = 32
+	}
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.5
+	}
+	if minSamples <= 0 {
+		minSamples = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &healthTracker{
+		clock:      clock,
+		window:     window,
+		threshold:  threshold,
+		minSamples: minSamples,
+		cooldown:   cooldown,
+		workers:    make(map[string]*workerHealth),
+	}
+}
+
+func (h *healthTracker) get(id string) *workerHealth {
+	wh, ok := h.workers[id]
+	if !ok {
+		wh = &workerHealth{}
+		h.workers[id] = wh
+	}
+	return wh
+}
+
+// observe records one request outcome and drives the breaker. A success
+// against an ejected or probing worker restores it (the half-open probe
+// succeeded); a failure while probing re-ejects with a fresh cooldown.
+func (h *healthTracker) observe(id string, latency time.Duration, failed bool) {
+	h.mu.Lock()
+	wh := h.get(id)
+	wh.push(healthSample{latency: latency, failed: failed}, h.window)
+	var ejected, restored bool
+	switch wh.state {
+	case healthOK:
+		if failed {
+			wh.consecOK = 0
+			if wh.count >= h.minSamples && wh.errorRate() >= h.threshold {
+				wh.state = healthEjected
+				wh.ejectedAt = h.clock()
+				wh.downSince = wh.ejectedAt
+				wh.ejections++
+				ejected = true
+			}
+		} else {
+			wh.consecOK++
+		}
+	case healthEjected, healthProbing:
+		if failed {
+			wh.state = healthEjected
+			wh.ejectedAt = h.clock()
+		} else {
+			wh.state = healthOK
+			wh.reset()
+			wh.consecOK = 1
+			wh.downSince = time.Time{}
+			restored = true
+		}
+	}
+	h.mu.Unlock()
+	// Hooks fire outside the lock (they log and bump metrics).
+	if ejected && h.onEject != nil {
+		h.onEject(id)
+	}
+	if restored && h.onRestore != nil {
+		h.onRestore(id)
+	}
+}
+
+// observeBackpressure records a worker's Retry-After signal: the worker
+// is healthy but saturated until the window passes.
+func (h *healthTracker) observeBackpressure(id string, d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	until := h.clock().Add(d)
+	wh := h.get(id)
+	if until.After(wh.backoffUntil) {
+		wh.backoffUntil = until
+	}
+}
+
+// allow reports whether requests may target the worker. An ejected
+// worker whose cooldown elapsed transitions to probing and admits
+// exactly one request — the half-open probe; further requests stay
+// blocked until the probe's outcome is observed (or the probe itself
+// times out after another cooldown, admitting a retry).
+func (h *healthTracker) allow(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh, ok := h.workers[id]
+	if !ok {
+		return true
+	}
+	now := h.clock()
+	switch wh.state {
+	case healthOK:
+		return true
+	case healthEjected:
+		if now.Sub(wh.ejectedAt) >= h.cooldown {
+			wh.state = healthProbing
+			wh.probeAt = now
+			return true
+		}
+		return false
+	case healthProbing:
+		if now.Sub(wh.probeAt) >= h.cooldown {
+			wh.probeAt = now // the probe went missing; admit another
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// backpressured reports whether the worker's latest Retry-After window
+// is still active, and how much of it remains.
+func (h *healthTracker) backpressured(id string) (time.Duration, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh, ok := h.workers[id]
+	if !ok {
+		return 0, false
+	}
+	remain := wh.backoffUntil.Sub(h.clock())
+	if remain <= 0 {
+		return 0, false
+	}
+	return remain, true
+}
+
+// ejectedSince reports whether the worker is currently ejected (or mid
+// probe) and since when — the reconcile loop hands off routes stuck on
+// a worker ejected past its grace window, covering asymmetric partitions
+// where the lease never expires.
+func (h *healthTracker) ejectedSince(id string) (time.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wh, ok := h.workers[id]
+	if !ok || wh.state == healthOK {
+		return time.Time{}, false
+	}
+	return wh.downSince, true
+}
+
+// ejectedCount reports how many workers are currently not healthy.
+func (h *healthTracker) ejectedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, wh := range h.workers {
+		if wh.state != healthOK {
+			n++
+		}
+	}
+	return n
+}
+
+// p99 returns the 99th-percentile latency across every worker's current
+// window of successful requests (0 when no samples exist). The hedged
+// /result read uses this as its baseline delay: a read noticeably slower
+// than the cluster's own p99 is worth racing against a peer replica.
+func (h *healthTracker) p99() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var lat []time.Duration
+	for _, wh := range h.workers {
+		for _, s := range wh.window {
+			if !s.failed {
+				lat = append(lat, s.latency)
+			}
+		}
+	}
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := len(lat) * 99 / 100
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}
+
+// healthView is one worker's row in the GET /v1/cluster document.
+type healthView struct {
+	State        string  `json:"state"`
+	ErrorRate    float64 `json:"error_rate"`
+	Samples      int     `json:"samples"`
+	Ejections    uint64  `json:"ejections"`
+	Backpressure bool    `json:"backpressured,omitempty"`
+}
+
+// view snapshots every tracked worker's health for observability.
+func (h *healthTracker) view() map[string]healthView {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.clock()
+	out := make(map[string]healthView, len(h.workers))
+	for id, wh := range h.workers {
+		state := "healthy"
+		switch wh.state {
+		case healthEjected:
+			state = "ejected"
+		case healthProbing:
+			state = "probing"
+		}
+		out[id] = healthView{
+			State:        state,
+			ErrorRate:    wh.errorRate(),
+			Samples:      len(wh.window),
+			Ejections:    wh.ejections,
+			Backpressure: wh.backoffUntil.After(now),
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -124,10 +126,38 @@ func (g *Gateway) proxyJSON(w http.ResponseWriter, r *http.Request, rt *route, m
 	writeJSON(w, resp.StatusCode, rewriteSnapshot(snap, rt))
 }
 
+// peerSnapshot renders a peer-served route's synthesized done snapshot
+// under the gateway's public framing.
+func (g *Gateway) peerSnapshot(rt *route) map[string]any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]any, len(rt.peerSnap)+3)
+	for k, v := range rt.peerSnap {
+		out[k] = v
+	}
+	out["id"] = rt.ID
+	out["worker"] = rt.WorkerID
+	if rt.Handoffs > 0 {
+		out["handoffs"] = rt.Handoffs
+	}
+	return out
+}
+
+// isPeerServed snapshots the flag under the gateway lock.
+func (g *Gateway) isPeerServed(rt *route) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return rt.peerServed
+}
+
 func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 	rt, ok := g.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if g.isPeerServed(rt) {
+		writeJSON(w, http.StatusOK, g.peerSnapshot(rt))
 		return
 	}
 	g.proxyJSON(w, r, rt, http.MethodGet, "/v1/jobs/"+rt.WorkerJobID)
@@ -139,6 +169,11 @@ func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
+	if g.isPeerServed(rt) {
+		// Already done; canceling a finished job is a no-op everywhere.
+		writeJSON(w, http.StatusOK, g.peerSnapshot(rt))
+		return
+	}
 	g.proxyJSON(w, r, rt, http.MethodDelete, "/v1/jobs/"+rt.WorkerJobID)
 }
 
@@ -146,34 +181,347 @@ func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
 // ?partial=1 JSONL replicate stream — byte-for-byte. Result documents are
 // content-addressed by fingerprint and carry no job ID, so no rewriting
 // is needed; status, Content-Type and Retry-After pass through.
+//
+// Peer-served routes proxy the replica holder's /v1/peer/results/{fp}
+// document instead — the identical bytes, no job required. Full-document
+// reads on ordinary routes are hedged: if the owner has not answered
+// within the hedge delay (2× the cluster's observed p99 by default), the
+// gateway races a peer-replica read against it and serves whichever
+// succeeds first.
 func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
 	rt, ok := g.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
+	if g.isPeerServed(rt) {
+		g.mu.Lock()
+		path := "/v1/peer/results/" + rt.Fingerprint
+		g.mu.Unlock()
+		g.proxyStream(w, r, rt, path, nil)
+		return
+	}
 	path := "/v1/jobs/" + rt.WorkerJobID + "/result"
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
+	if r.URL.Query().Get("partial") == "" && g.hedgeDelay >= 0 {
+		g.hedgedResult(w, r, rt, path)
+		return
+	}
 	g.proxyStream(w, r, rt, path, nil)
+}
+
+// bufferedFetch is one buffered HTTP response in a hedged race.
+type bufferedFetch struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+	hedge  bool
+}
+
+// fetchBuffered performs one GET and buffers the whole body (bounded).
+func (g *Gateway) fetchBuffered(ctx context.Context, url, traceID string, hedge bool) bufferedFetch {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return bufferedFetch{err: err, hedge: hedge}
+	}
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return bufferedFetch{err: err, hedge: hedge}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return bufferedFetch{err: err, hedge: hedge}
+	}
+	return bufferedFetch{status: resp.StatusCode, header: resp.Header, body: body, hedge: hedge}
+}
+
+// hedgeTarget picks the peer endpoint to race against a slow owner: the
+// first live, allowed ring candidate other than the owner itself.
+func (g *Gateway) hedgeTarget(rt *route) (string, bool) {
+	g.mu.Lock()
+	fp, owner := rt.Fingerprint, rt.WorkerID
+	g.mu.Unlock()
+	rg, alive, _ := g.currentRing()
+	for _, id := range rg.Successors(fp, 0) {
+		if id == owner {
+			continue
+		}
+		worker, ok := workerByID(alive, id)
+		if !ok || !g.health.allow(id) {
+			continue
+		}
+		return worker.URL + "/v1/peer/results/" + fp, true
+	}
+	return "", false
+}
+
+// resolveHedgeDelay turns the configured delay into a concrete wait:
+// fixed when set, else 2× the cluster-wide p99 clamped to [25ms, 2s].
+func (g *Gateway) resolveHedgeDelay() time.Duration {
+	if g.hedgeDelay > 0 {
+		return g.hedgeDelay
+	}
+	d := 2 * g.health.p99()
+	if d < 25*time.Millisecond {
+		d = 25 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// hedgedResult races the owner's full result document against a peer
+// replica: the owner gets a head start of the hedge delay, then the first
+// 200 wins. The documents are content-addressed and byte-identical, so
+// the race can never serve divergent answers. Failures fall back to
+// whatever the owner said — the hedge only ever improves latency.
+func (g *Gateway) hedgedResult(w http.ResponseWriter, r *http.Request, rt *route, path string) {
+	g.mu.Lock()
+	ownerURL, traceID, ownerID := rt.WorkerURL, rt.TraceID, rt.WorkerID
+	g.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	results := make(chan bufferedFetch, 2)
+	inFlight := 1
+	go func() { results <- g.fetchBuffered(ctx, ownerURL+path, traceID, false) }()
+
+	timer := time.NewTimer(g.resolveHedgeDelay())
+	defer timer.Stop()
+	hedgeLaunched := false
+	launchHedge := func() bool {
+		if hedgeLaunched {
+			return false
+		}
+		hedgeLaunched = true
+		url, ok := g.hedgeTarget(rt)
+		if !ok {
+			return false
+		}
+		if g.mHedged != nil {
+			g.mHedged.Inc()
+		}
+		go func() { results <- g.fetchBuffered(ctx, url, traceID, true) }()
+		return true
+	}
+	var ownerRes *bufferedFetch
+	for {
+		select {
+		case <-timer.C:
+			if launchHedge() {
+				inFlight++
+			}
+		case res := <-results:
+			inFlight--
+			if res.err == nil && res.status == http.StatusOK {
+				if res.hedge {
+					if g.mHedgeWins != nil {
+						g.mHedgeWins.Inc()
+					}
+					if g.log != nil {
+						g.log.Info("hedged read won", "job", rt.ID, "owner", ownerID)
+					}
+				}
+				g.serveBuffered(w, rt, res)
+				return
+			}
+			if !res.hedge {
+				if res.err == nil && res.status >= 400 && res.status < 500 {
+					// The owner answered authoritatively (result not ready,
+					// job failed, ...): forward it, don't second-guess.
+					g.serveBuffered(w, rt, res)
+					return
+				}
+				// Owner unreachable or 5xx: make sure a hedge is racing.
+				ownerRes = &res
+				if launchHedge() {
+					inFlight++
+				}
+			}
+			if inFlight == 0 {
+				// Every leg failed; the owner's answer is the honest one.
+				if ownerRes != nil {
+					res = *ownerRes
+				}
+				g.serveBuffered(w, rt, res)
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// serveBuffered writes one buffered leg of a hedged race to the client.
+func (g *Gateway) serveBuffered(w http.ResponseWriter, rt *route, res bufferedFetch) {
+	if res.err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("worker %s unreachable: %w", rt.WorkerID, res.err))
+		return
+	}
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
 }
 
 // handleEvents streams the worker's JSONL event feed, prefixed with any
 // synthetic handoff notes (seq -1) this job accumulated — so a watcher
 // that attached through the gateway sees the crash and the re-dispatch
 // inline, then the successor's own history from its beginning.
+//
+// The stream survives worker failover: when the feed breaks while the
+// job is still non-terminal, the gateway holds the client connection
+// open, emitting {"keepalive":true} lines on the EventKeepalive cadence
+// (the same shape the worker's own idle stream uses), until the
+// reconcile loop rehomes the route — then reconnects to the successor
+// and resumes with its history. The wait is bounded by FailoverWait.
 func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 	rt, ok := g.lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
-	g.mu.Lock()
-	notes := make([]jobs.Event, len(rt.notes))
-	copy(notes, rt.notes)
-	g.mu.Unlock()
-	g.proxyStream(w, r, rt, "/v1/jobs/"+rt.WorkerJobID+"/events", notes)
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitted := 0 // synthetic notes already written
+	emitNotes := func() bool {
+		g.mu.Lock()
+		notes := make([]jobs.Event, len(rt.notes[emitted:]))
+		copy(notes, rt.notes[emitted:])
+		g.mu.Unlock()
+		for _, ev := range notes {
+			if err := enc.Encode(ev); err != nil {
+				return false
+			}
+			emitted++
+		}
+		if len(notes) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	var deadline time.Time // failover budget; persists across reconnects
+	for {
+		if !emitNotes() {
+			return
+		}
+		g.mu.Lock()
+		workerURL, workerJobID := rt.WorkerURL, rt.WorkerJobID
+		gen := rt.Handoffs
+		peer := rt.peerServed
+		traceID := rt.TraceID
+		g.mu.Unlock()
+		if peer {
+			// The peer-served note (just emitted) is the end of the story:
+			// the result exists, no job runs anywhere.
+			return
+		}
+
+		last, err := g.streamWorkerEvents(r.Context(), w, flusher, workerURL, workerJobID, traceID)
+		if err == nil && last.Terminal() {
+			emitNotes()
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+
+		// The feed broke (worker died or partitioned) before delivering a
+		// terminal event. Keep the client warm while the reconcile loop
+		// finds the route a new home; the budget spans reconnect attempts
+		// so a stream that keeps breaking cannot hold the client forever.
+		if deadline.IsZero() {
+			deadline = time.Now().Add(g.failoverWait)
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(g.eventKeepalive):
+			}
+			if _, werr := io.WriteString(w, "{\"keepalive\":true}\n"); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if time.Now().After(deadline) {
+				return
+			}
+			g.mu.Lock()
+			moved := rt.Handoffs != gen || rt.peerServed
+			terminal := rt.state.Terminal()
+			g.mu.Unlock()
+			if moved {
+				// Fresh home, fresh budget for any future failure.
+				deadline = time.Time{}
+				break
+			}
+			if terminal {
+				// The route says the job finished but the stream never
+				// showed it: reconnect and replay to the real end.
+				break
+			}
+		}
+	}
+}
+
+// streamWorkerEvents connects to one worker's event feed and forwards
+// its lines as they arrive, tracking the last job state seen so the
+// caller can tell a cleanly finished stream from a broken one. Returns
+// the last state observed and the reason the stream ended (nil when the
+// worker closed it normally).
+func (g *Gateway) streamWorkerEvents(ctx context.Context, w io.Writer, flusher http.Flusher, baseURL, jobID, traceID string) (jobs.State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		return "", fmt.Errorf("worker events: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var last jobs.State
+	for sc.Scan() {
+		line := sc.Bytes()
+		if _, werr := w.Write(append(line, '\n')); werr != nil {
+			return last, werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		var ev struct {
+			State jobs.State `json:"state"`
+		}
+		if json.Unmarshal(line, &ev) == nil && ev.State != "" {
+			last = ev.State
+		}
+	}
+	return last, sc.Err()
 }
 
 // proxyStream forwards a streaming worker response. Headers and status
@@ -246,7 +594,12 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 
 	routes := g.snapshotRoutes()
 	byWorker := make(map[string][]*route)
+	peerRoutes := make([]*route, 0)
 	for _, rt := range routes {
+		if g.isPeerServed(rt) {
+			peerRoutes = append(peerRoutes, rt)
+			continue
+		}
 		byWorker[rt.WorkerID] = append(byWorker[rt.WorkerID], rt)
 	}
 
@@ -270,6 +623,23 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 				g.noteState(rt, snap)
 				merged[rt.ID] = rewriteSnapshot(snap, rt)
 			}
+		}
+	}
+
+	// Peer-served routes have no worker-side job to list; they are done
+	// by construction and appear whenever the filter admits done jobs.
+	admitsDone := stateQ == ""
+	if !admitsDone {
+		for _, part := range strings.Split(stateQ, ",") {
+			if jobs.State(strings.TrimSpace(part)) == jobs.StateDone {
+				admitsDone = true
+				break
+			}
+		}
+	}
+	if admitsDone {
+		for _, rt := range peerRoutes {
+			merged[rt.ID] = g.peerSnapshot(rt)
 		}
 	}
 
@@ -313,10 +683,17 @@ func (g *Gateway) fetchWorkerList(ctx context.Context, baseURL, stateQ string) (
 }
 
 // writeWorkerError renders a dispatch error, preserving the worker's own
-// status code when one came back.
+// status code when one came back and any shed Retry-After hint.
 func writeWorkerError(w http.ResponseWriter, err error) {
 	var we *workerError
 	if errors.As(err, &we) {
+		if we.RetryAfter > 0 {
+			secs := int(we.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeError(w, we.Status, errors.New(we.Msg))
 		return
 	}
@@ -333,7 +710,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+	if (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) && w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})

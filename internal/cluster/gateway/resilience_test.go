@@ -1,0 +1,423 @@
+package gateway
+
+// Round-2 resilience e2e: serve-from-peer handoff, health-based worker
+// ejection with gateway-side load shedding, hedged result reads, and the
+// /events stream surviving a failover behind keepalives.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tempriv/internal/cluster/peering"
+	"tempriv/internal/cluster/ring"
+)
+
+// seedOwnedBy finds a spec document the two-member ring places on owner.
+func seedOwnedBy(t *testing.T, owner string, members []string) (string, string) {
+	t.Helper()
+	rg := ring.New(members, 0)
+	for seed := 1; seed <= 200; seed++ {
+		doc := specDoc(seed)
+		fp := fingerprintOf(t, doc)
+		if got, _ := rg.Owner(fp); got == owner {
+			return doc, fp
+		}
+	}
+	t.Fatalf("no seed in 1..200 maps to %s", owner)
+	return "", ""
+}
+
+// replicateResult copies a finished result from its owner into a peer's
+// replica store the way the worker-side write-behind replicator does.
+func replicateResult(t *testing.T, ownerResult []byte, peer *worker) {
+	t.Helper()
+	var res struct {
+		Fingerprint string          `json:"fingerprint"`
+		TableText   string          `json:"table_text"`
+		TableCSV    string          `json:"table_csv"`
+		Manifest    json.RawMessage `json:"manifest"`
+	}
+	if err := json.Unmarshal(ownerResult, &res); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.Marshal(peering.Document{
+		Fingerprint: res.Fingerprint,
+		TableText:   res.TableText,
+		TableCSV:    res.TableCSV,
+		Manifest:    res.Manifest,
+		Complete:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(peer.ts.URL+"/v1/peer/results", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("replicating to %s: HTTP %d", peer.id, resp.StatusCode)
+	}
+}
+
+func gatewayMetrics(t *testing.T, c *cluster) string {
+	t.Helper()
+	_, body := getBody(t, c.ts.URL+"/metrics")
+	return string(body)
+}
+
+// TestPeerServedHandoff: the owner finishes a job, replicates the result
+// to its ring successor, and dies. The reconcile loop serves the route
+// straight from the peer replica — byte-identical result, no job
+// re-dispatched, zero recompute on the survivor.
+func TestPeerServedHandoff(t *testing.T) {
+	ttl := time.Minute
+	c := newCluster(t, ttl)
+	wa := newWorker(t, "wa", "")
+	wb := newWorker(t, "wb", "")
+	c.register(t, "wa", wa.ts.URL)
+	c.register(t, "wb", wb.ts.URL)
+
+	doc, _ := seedOwnedBy(t, "wa", []string{"wa", "wb"})
+	snap, _ := gwSubmit(t, c, doc, nil)
+	id := stringField(snap, "id")
+	if got := stringField(snap, "worker"); got != "wa" {
+		t.Fatalf("job placed on %s, want wa", got)
+	}
+	gwWait(t, c, id)
+	_, origResult := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+
+	replicateResult(t, origResult, wb)
+
+	// The owner dies; its lease expires (wb keeps heartbeating);
+	// reconcile finds the replica.
+	wa.ts.Close()
+	c.clk.Advance(2 * ttl)
+	c.register(t, "wb", wb.ts.URL) // heartbeat
+	if handed := c.gw.ReconcileOnce(context.Background()); handed != 1 {
+		t.Fatalf("ReconcileOnce handed off %d routes, want 1", handed)
+	}
+
+	status := gwWait(t, c, id)
+	if status["peer_served"] != true {
+		t.Fatalf("status after handoff = %v, want peer_served", status)
+	}
+	if got := stringField(status, "worker"); got != "wb" {
+		t.Fatalf("peer-served route names worker %s, want wb", got)
+	}
+
+	code, body := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result after peer handoff: HTTP %d: %s", code, body)
+	}
+	if !bytes.Equal(body, origResult) {
+		t.Fatal("peer-served result differs from the original bytes")
+	}
+
+	// Zero recompute: the survivor never ran a job.
+	_, listBody := getBody(t, wb.ts.URL+"/v1/jobs")
+	var listing struct {
+		Jobs []map[string]any `json:"jobs"`
+	}
+	if err := json.Unmarshal(listBody, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 0 {
+		t.Fatalf("survivor ran %d jobs, want 0 (peer replica should serve)", len(listing.Jobs))
+	}
+
+	metrics := gatewayMetrics(t, c)
+	if !strings.Contains(metrics, "tempriv_cluster_peer_served_total 1") {
+		t.Fatalf("metrics missing peer_served count:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tempriv_cluster_peer_fallbacks_total 0") {
+		t.Fatalf("metrics show a peer fallback:\n%s", metrics)
+	}
+
+	// The merged listing still includes the peer-served job.
+	_, gwList := getBody(t, c.ts.URL+"/v1/jobs?state=done")
+	if !strings.Contains(string(gwList), `"`+id+`"`) {
+		t.Fatalf("gateway listing dropped peer-served job:\n%s", gwList)
+	}
+}
+
+// TestEjectionAndShed: a worker the gateway cannot reach accumulates
+// failures, gets ejected, and subsequent submissions are shed at the
+// gateway with 503 + Retry-After before any worker round-trip.
+func TestEjectionAndShed(t *testing.T) {
+	c := newCluster(t, time.Minute)
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead.Close() // registered but unreachable: every request refuses
+	c.register(t, "w1", dead.URL)
+
+	// Three failed dispatches cross the default ejection bar (error rate
+	// 1.0 over minSamples 3).
+	for i := 1; i <= 3; i++ {
+		resp, err := http.Post(c.ts.URL+"/v1/jobs", "application/json", strings.NewReader(specDoc(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("submit %d: HTTP %d, want 502 while w1 is still trusted", i, resp.StatusCode)
+		}
+	}
+
+	// Now the gateway knows better than to try: shed with Retry-After.
+	resp, err := http.Post(c.ts.URL+"/v1/jobs", "application/json", strings.NewReader(specDoc(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-ejection submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	metrics := gatewayMetrics(t, c)
+	if !strings.Contains(metrics, "tempriv_cluster_ejections_total 1") {
+		t.Fatalf("metrics missing ejection:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tempriv_sheds_total 1") {
+		t.Fatalf("metrics missing gateway shed:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tempriv_cluster_ejected_workers 1") {
+		t.Fatalf("metrics missing ejected gauge:\n%s", metrics)
+	}
+
+	// The cluster document exposes the health view.
+	_, body := getBody(t, c.ts.URL+"/v1/cluster")
+	var view struct {
+		Health map[string]struct {
+			State string `json:"state"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Health["w1"].State != "ejected" {
+		t.Fatalf("cluster health = %v, want w1 ejected", view.Health)
+	}
+}
+
+// TestEjectedWorkerRoutesHandOff: under an asymmetric partition the
+// worker's lease never expires (its heartbeats still arrive), but once
+// it has stayed ejected past the grace window the reconcile loop rehomes
+// its routes anyway.
+func TestEjectedWorkerRoutesHandOff(t *testing.T) {
+	c := newClusterWith(t, time.Hour, func(cfg *Config) {
+		cfg.EjectCooldown = 10 * time.Second
+		cfg.EjectHandoffAfter = 30 * time.Second
+	})
+	wa := newWorker(t, "wa", "")
+	wb := newWorker(t, "wb", "")
+	c.register(t, "wa", wa.ts.URL)
+	c.register(t, "wb", wb.ts.URL)
+
+	doc, _ := seedOwnedBy(t, "wa", []string{"wa", "wb"})
+	snap, _ := gwSubmit(t, c, doc, nil)
+	id := stringField(snap, "id")
+	gwWait(t, c, id)
+	_, origResult := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+	replicateResult(t, origResult, wb)
+
+	// Partition: the gateway's requests to wa start failing, while wa's
+	// lease (fake registry clock, 1h TTL) stays alive the whole time.
+	wa.ts.Close()
+	for i := 0; i < 3; i++ {
+		c.gw.health.observe("wa", time.Millisecond, true)
+	}
+	if _, down := c.gw.health.ejectedSince("wa"); !down {
+		t.Fatal("wa not ejected")
+	}
+
+	// Inside the grace window nothing moves.
+	if handed := c.gw.ReconcileOnce(context.Background()); handed != 0 {
+		t.Fatalf("route moved after %d handoffs inside grace window", handed)
+	}
+
+	c.clk.Advance(31 * time.Second)
+	if handed := c.gw.ReconcileOnce(context.Background()); handed != 1 {
+		t.Fatalf("ReconcileOnce handed off %d routes, want 1", handed)
+	}
+	status := gwWait(t, c, id)
+	if status["peer_served"] != true {
+		t.Fatalf("status = %v, want peer_served from wb", status)
+	}
+	code, body := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK || !bytes.Equal(body, origResult) {
+		t.Fatalf("result after ejection handoff: HTTP %d, identical=%v", code, bytes.Equal(body, origResult))
+	}
+}
+
+// TestHedgedResultWinsOnDeadOwner: the owner stops answering result
+// reads (lease still live), so the hedged read races a peer replica and
+// serves the identical bytes.
+func TestHedgedResultWinsOnDeadOwner(t *testing.T) {
+	c := newClusterWith(t, time.Hour, func(cfg *Config) {
+		cfg.HedgeDelay = 25 * time.Millisecond
+	})
+	wa := newWorker(t, "wa", "")
+	wb := newWorker(t, "wb", "")
+	c.register(t, "wa", wa.ts.URL)
+	c.register(t, "wb", wb.ts.URL)
+
+	doc, _ := seedOwnedBy(t, "wa", []string{"wa", "wb"})
+	snap, _ := gwSubmit(t, c, doc, nil)
+	id := stringField(snap, "id")
+	gwWait(t, c, id)
+	_, origResult := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+	replicateResult(t, origResult, wb)
+
+	wa.ts.Close()
+	code, body := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("hedged result: HTTP %d: %s", code, body)
+	}
+	if !bytes.Equal(body, origResult) {
+		t.Fatal("hedge-served result differs from the original bytes")
+	}
+	metrics := gatewayMetrics(t, c)
+	if !strings.Contains(metrics, "tempriv_cluster_hedge_wins_total 1") {
+		t.Fatalf("metrics missing hedge win:\n%s", metrics)
+	}
+}
+
+// TestSaturationShed: a worker already carrying Capacity×ShedFactor
+// outstanding routes stops receiving dispatches; with no other candidate
+// the gateway sheds instead of queueing blind.
+func TestSaturationShed(t *testing.T) {
+	c := newClusterWith(t, time.Minute, func(cfg *Config) {
+		cfg.ShedFactor = 1 // limit = advertised capacity (2 in register)
+	})
+	var n atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, `{"id":"wj-%d","state":"queued"}`, n.Add(1))
+			return
+		}
+		fmt.Fprint(w, `{"jobs":[]}`)
+	}))
+	defer fake.Close()
+	c.register(t, "w1", fake.URL) // Capacity 2
+
+	for seed := 1; seed <= 2; seed++ {
+		gwSubmit(t, c, specDoc(seed), nil)
+	}
+	resp, err := http.Post(c.ts.URL+"/v1/jobs", "application/json", strings.NewReader(specDoc(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("saturation shed missing Retry-After")
+	}
+	if !strings.Contains(gatewayMetrics(t, c), "tempriv_sheds_total 1") {
+		t.Fatal("saturation shed not counted")
+	}
+}
+
+// TestEventsKeepaliveAcrossFailover: a watcher attached to /events rides
+// out a worker death — keepalive lines while the reconcile loop works,
+// then the handoff note, then the stream's end.
+func TestEventsKeepaliveAcrossFailover(t *testing.T) {
+	ttl := time.Minute
+	c := newClusterWith(t, ttl, func(cfg *Config) {
+		cfg.EventKeepalive = 20 * time.Millisecond
+		cfg.FailoverWait = 10 * time.Second
+	})
+	wa := newWorker(t, "wa", "")
+	wb := newWorker(t, "wb", "")
+	c.register(t, "wa", wa.ts.URL)
+	c.register(t, "wb", wb.ts.URL)
+
+	doc, _ := seedOwnedBy(t, "wa", []string{"wa", "wb"})
+	snap, _ := gwSubmit(t, c, doc, nil)
+	id := stringField(snap, "id")
+	gwWait(t, c, id)
+	_, origResult := getBody(t, c.ts.URL+"/v1/jobs/"+id+"/result")
+	replicateResult(t, origResult, wb)
+	wa.ts.Close()
+
+	// Attach the watcher while the route still points at the dead owner.
+	resp, err := http.Get(c.ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+
+	type lineSet struct {
+		keepalives int
+		notes      []string
+		err        error
+	}
+	done := make(chan lineSet, 1)
+	go func() {
+		var out lineSet
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, `"keepalive":true`) {
+				out.keepalives++
+				continue
+			}
+			var ev struct {
+				Seq     int    `json:"seq"`
+				Message string `json:"message"`
+			}
+			if json.Unmarshal([]byte(line), &ev) == nil && ev.Seq == -1 {
+				out.notes = append(out.notes, ev.Message)
+			}
+		}
+		out.err = sc.Err()
+		done <- out
+	}()
+
+	// Let a few keepalives land, then repair the cluster.
+	time.Sleep(150 * time.Millisecond)
+	c.clk.Advance(2 * ttl)
+	c.register(t, "wb", wb.ts.URL) // heartbeat
+	if handed := c.gw.ReconcileOnce(context.Background()); handed != 1 {
+		t.Fatalf("ReconcileOnce handed off %d routes, want 1", handed)
+	}
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("reading events: %v", out.err)
+		}
+		if out.keepalives == 0 {
+			t.Fatal("no keepalive lines during the failover window")
+		}
+		found := false
+		for _, msg := range out.notes {
+			if strings.Contains(msg, "peer replica") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no peer-handoff note in stream; notes = %q", out.notes)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("events stream never ended after failover")
+	}
+}

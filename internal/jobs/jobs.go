@@ -264,6 +264,13 @@ type Options struct {
 	// started, retrying, finished) with trace/job IDs attached via the
 	// record context (see internal/obs.ContextHandler).
 	Log *slog.Logger
+	// OnDone, when non-nil, fires after a job reaches StateDone — from the
+	// worker goroutine, outside the queue lock — with the job's final
+	// snapshot and result. The cluster hooks this to replicate finished
+	// result bytes to a ring peer (internal/cluster/peering); it should
+	// hand the bytes off quickly rather than do I/O inline, since the
+	// worker is held until it returns.
+	OnDone func(snap Snapshot, res *Result)
 }
 
 func (o Options) withDefaults() Options {
@@ -761,6 +768,10 @@ func (q *Queue) runOne(j *Job) {
 	state := j.state
 	attempts := j.attempts
 	elapsed := j.finished.Sub(j.started)
+	var doneSnap Snapshot
+	if state == StateDone && q.opts.OnDone != nil {
+		doneSnap = q.snapshotLocked(j)
+	}
 	q.finishLocked(j)
 	q.mu.Unlock()
 
@@ -770,6 +781,9 @@ func (q *Queue) runOne(j *Job) {
 		q.logJob(j, slog.LevelInfo, "job done",
 			slog.Bool("cache_hit", res.CacheHit), slog.Int("attempts", attempts),
 			slog.Duration("elapsed", elapsed))
+		if q.opts.OnDone != nil {
+			q.opts.OnDone(doneSnap, res)
+		}
 	case StateFailed:
 		q.logJob(j, slog.LevelError, "job failed",
 			slog.Int("attempts", attempts), slog.String("error", err.Error()),

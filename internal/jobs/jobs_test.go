@@ -820,3 +820,58 @@ func TestJournalSinkSeesQueuedCancel(t *testing.T) {
 		t.Fatalf("queued cancel not journaled: %v", trns)
 	}
 }
+
+func TestOnDoneFiresWithSnapshotAndResult(t *testing.T) {
+	type completion struct {
+		snap Snapshot
+		res  *Result
+	}
+	got := make(chan completion, 4)
+	q := New(okRunner(&Result{TableText: []byte("table")}), Options{
+		Workers: 1,
+		OnDone:  func(snap Snapshot, res *Result) { got <- completion{snap, res} },
+	})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q, s.ID)
+	select {
+	case c := <-got:
+		if c.snap.ID != s.ID || c.snap.State != StateDone {
+			t.Fatalf("OnDone snapshot = %+v", c.snap)
+		}
+		if c.res == nil || string(c.res.TableText) != "table" || c.res.Fingerprint != s.Fingerprint {
+			t.Fatalf("OnDone result = %+v", c.res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDone never fired for a done job")
+	}
+}
+
+func TestOnDoneDoesNotFireOnFailure(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	runner := func(ctx context.Context, job *Job, progress func(string, string)) (*Result, error) {
+		return nil, errors.New("permanent failure")
+	}
+	q := New(runner, Options{
+		Workers: 1,
+		OnDone:  func(Snapshot, *Result) { fired <- struct{}{} },
+	})
+	defer q.Drain(context.Background())
+
+	s, err := q.Submit(testSpec(t, 92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, q, s.ID); final.State != StateFailed {
+		t.Fatalf("state = %q, want failed", final.State)
+	}
+	select {
+	case <-fired:
+		t.Fatal("OnDone fired for a failed job")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -1,0 +1,201 @@
+package server
+
+// The worker-side peering surface: POST /v1/peer/results accepts a ring
+// predecessor's finished result, GET /v1/peer/results/{fp} serves it
+// back byte-identical to the job's own /result document — the contract
+// the gateway's serve-from-peer handoff and hedged reads depend on.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tempriv/internal/cluster/peering"
+	"tempriv/internal/jobs"
+	"tempriv/internal/resultcache"
+	"tempriv/internal/telemetry"
+)
+
+func newPeerServer(t *testing.T) (*httptest.Server, *jobs.Queue, *peering.Store, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	q := jobs.New(NewRunner(nil, reg, 1, nil), jobs.Options{Workers: 1})
+	store := peering.NewStore(peering.StoreOptions{})
+	ts := httptest.NewServer(NewConfig(Config{Queue: q, Registry: reg, Peers: store}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		q.Drain(ctx)
+	})
+	return ts, q, store, reg
+}
+
+func getBodyStatus(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestPeerRoundTripByteIdentical replicates a real finished result into a
+// second worker's store and asserts the peer serves the same bytes the
+// owner's /result endpoint does.
+func TestPeerRoundTripByteIdentical(t *testing.T) {
+	owner, qOwner, _, _ := newPeerServer(t)
+	peer, _, peerStore, peerReg := newPeerServer(t)
+
+	snap := submit(t, owner, smallScenario)
+	waitState(t, qOwner, snap.ID, jobs.StateDone)
+	_, ownerResult := getBodyStatus(t, owner.URL+"/v1/jobs/"+snap.ID+"/result")
+
+	// Replicate the finished result the way the write-behind replicator
+	// does: decode the owner's result document, POST it to the peer.
+	var res struct {
+		Fingerprint string          `json:"fingerprint"`
+		TableText   string          `json:"table_text"`
+		TableCSV    string          `json:"table_csv"`
+		Manifest    json.RawMessage `json:"manifest"`
+	}
+	if err := json.Unmarshal(ownerResult, &res); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.Marshal(peering.Document{
+		Fingerprint: res.Fingerprint,
+		TableText:   res.TableText,
+		TableCSV:    res.TableCSV,
+		Manifest:    res.Manifest,
+		Complete:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(peer.URL+"/v1/peer/results", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("peer put: HTTP %d", resp.StatusCode)
+	}
+	if peerStore.Len() != 1 {
+		t.Fatalf("peer store holds %d replicas, want 1", peerStore.Len())
+	}
+
+	status, peerBody := getBodyStatus(t, peer.URL+"/v1/peer/results/"+res.Fingerprint)
+	if status != http.StatusOK {
+		t.Fatalf("peer get: HTTP %d: %s", status, peerBody)
+	}
+	if !bytes.Equal(peerBody, ownerResult) {
+		t.Fatalf("peer-served result differs from owner's:\nowner: %s\npeer:  %s", ownerResult, peerBody)
+	}
+
+	metrics := getMetrics(t, peerReg)
+	if !strings.Contains(metrics, "tempriv_cluster_peer_received_total 1") {
+		t.Fatalf("metrics missing peer received count:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tempriv_cluster_peer_replicas_held 1") {
+		t.Fatalf("metrics missing replicas-held gauge:\n%s", metrics)
+	}
+}
+
+func getMetrics(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rec.Body.String()
+}
+
+// TestPeerGetFallsBackToOwnWork: a worker that computed a result itself
+// answers a peer GET for it even without a replica — hedged reads can
+// target any node that finished the job.
+func TestPeerGetFallsBackToOwnWork(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cache, err := resultcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(NewRunner(cache, reg, 1, nil), jobs.Options{Workers: 1})
+	store := peering.NewStore(peering.StoreOptions{})
+	ts := httptest.NewServer(NewConfig(Config{Queue: q, Cache: cache, Registry: reg, Peers: store}))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		q.Drain(ctx)
+	})
+
+	snap := submit(t, ts, smallScenario)
+	waitState(t, q, snap.ID, jobs.StateDone)
+	_, ownResult := getBodyStatus(t, ts.URL+"/v1/jobs/"+snap.ID+"/result")
+
+	status, body := getBodyStatus(t, ts.URL+"/v1/peer/results/"+snap.Fingerprint)
+	if status != http.StatusOK {
+		t.Fatalf("peer get via cache fallback: HTTP %d: %s", status, body)
+	}
+	if !bytes.Equal(body, ownResult) {
+		t.Fatal("cache-fallback peer result differs from /result")
+	}
+}
+
+func TestPeerPutRejectsBadDocuments(t *testing.T) {
+	ts, _, store, _ := newPeerServer(t)
+	fp := strings.Repeat("ab", 32)
+	for name, doc := range map[string]string{
+		"not json":        "{",
+		"incomplete":      `{"fingerprint":"` + fp + `","table_text":"t","complete":false}`,
+		"bad fingerprint": `{"fingerprint":"zz","table_text":"t","complete":true}`,
+		"empty replica":   `{"fingerprint":"` + fp + `","complete":true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/peer/results", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store accepted %d bad replicas", store.Len())
+	}
+}
+
+func TestPeerGetUnknownFingerprintIs404(t *testing.T) {
+	ts, _, _, _ := newPeerServer(t)
+	status, _ := getBodyStatus(t, ts.URL+"/v1/peer/results/"+strings.Repeat("00", 32))
+	if status != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404", status)
+	}
+}
+
+// TestPeerEndpointsAbsentWithoutStore: a standalone worker (no Peers
+// configured) does not expose the replication surface.
+func TestPeerEndpointsAbsentWithoutStore(t *testing.T) {
+	ts, _, _ := newTestServer(t, false)
+	status, _ := getBodyStatus(t, ts.URL+"/v1/peer/results/"+strings.Repeat("00", 32))
+	if status != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404", status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/peer/results", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST: HTTP %d, want 404", resp.StatusCode)
+	}
+}

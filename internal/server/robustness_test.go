@@ -211,8 +211,12 @@ func TestErrorContract(t *testing.T) {
 	}
 	metrics, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	// The unified name and its deprecated pre-rename alias move together.
+	if !strings.Contains(string(metrics), "tempriv_sheds_total 1") {
+		t.Fatalf("metrics missing unified shed count:\n%s", metrics)
+	}
 	if !strings.Contains(string(metrics), "temprivd_sheds_total 1") {
-		t.Fatalf("metrics missing shed count:\n%s", metrics)
+		t.Fatalf("metrics missing deprecated shed alias:\n%s", metrics)
 	}
 }
 

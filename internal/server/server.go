@@ -53,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"tempriv/internal/cluster/peering"
 	"tempriv/internal/jobs"
 	"tempriv/internal/obs"
 	"tempriv/internal/resultcache"
@@ -108,6 +109,14 @@ type Config struct {
 	// that front temprivd to untrusted networks turn them off
 	// (temprivd -debug-endpoints=false).
 	DisableDebugEndpoints bool
+	// Peers, when non-nil, mounts the node-to-node result replication
+	// surface (POST /v1/peer/results to accept a ring predecessor's
+	// finished result, GET /v1/peer/results/{fingerprint} to serve a
+	// replica back — byte-identical to the job's own /result document).
+	// The GET side also falls back to this worker's result cache, so a
+	// peer (or the gateway's hedged read) can fetch any finished result
+	// this node knows about, replicated or computed.
+	Peers *peering.Store
 	// ClusterID and ClusterOwns give a cluster-member worker its
 	// ownership check: when both are set, every submission's fingerprint
 	// is looked up on the worker's locally derived consistent-hash ring
@@ -134,7 +143,15 @@ type Server struct {
 	reqSLO  *obs.SLO
 	log     *slog.Logger
 	mux     *http.ServeMux
-	sheds   *telemetry.Counter
+	// sheds counts load-shedding rejections under the unified tempriv_
+	// prefix; shedsDeprecated keeps the pre-rename temprivd_sheds_total
+	// series alive for one release so dashboards migrate without a gap.
+	sheds           *telemetry.Counter
+	shedsDeprecated *telemetry.Counter
+
+	peers        *peering.Store
+	peerReceived *telemetry.Counter
+	peerHeld     *telemetry.Gauge
 
 	clusterID   string
 	clusterOwns func(fingerprint string) (owner string, known bool)
@@ -177,10 +194,16 @@ func NewConfig(cfg Config) *Server {
 	}
 	s.clusterID = cfg.ClusterID
 	s.clusterOwns = cfg.ClusterOwns
+	s.peers = cfg.Peers
 	if s.reg != nil {
-		s.sheds = s.reg.Counter("temprivd_sheds_total")
+		s.sheds = s.reg.Counter("tempriv_sheds_total")
+		s.shedsDeprecated = s.reg.Counter("temprivd_sheds_total")
 		if s.clusterOwns != nil {
 			s.misdirected = s.reg.Counter("tempriv_cluster_misdirected_total")
+		}
+		if s.peers != nil {
+			s.peerReceived = s.reg.Counter("tempriv_cluster_peer_received_total")
+			s.peerHeld = s.reg.Gauge("tempriv_cluster_peer_replicas_held")
 		}
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -191,6 +214,10 @@ func NewConfig(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/traces/{jobID}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
+	if s.peers != nil {
+		s.mux.HandleFunc("POST /v1/peer/results", s.handlePeerPut)
+		s.mux.HandleFunc("GET /v1/peer/results/{fingerprint}", s.handlePeerGet)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -554,9 +581,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // shed rejects a submission with backpressure semantics: counted in
 // telemetry, answered with Retry-After (writeError adds it for 429/503).
+// Both the unified tempriv_sheds_total and the deprecated
+// temprivd_sheds_total alias move together until the alias retires.
 func (s *Server) shed(w http.ResponseWriter, status int, err error) {
 	if s.sheds != nil {
 		s.sheds.Inc()
+	}
+	if s.shedsDeprecated != nil {
+		s.shedsDeprecated.Inc()
 	}
 	writeError(w, status, err)
 }
@@ -793,6 +825,81 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// maxPeerDocBytes bounds an accepted peer replica document — generous,
+// since result tables scale with sweep size, but still a hard cap so a
+// confused peer cannot balloon this process.
+const maxPeerDocBytes = 32 << 20
+
+// handlePeerPut accepts a ring predecessor's finished result replica
+// (POST /v1/peer/results). Only complete results are admitted; the store
+// bounds memory by LRU-evicting cold replicas.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeerDocBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxPeerDocBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("replica document exceeds %d bytes", maxPeerDocBytes))
+		return
+	}
+	var doc peering.Document
+	if err := json.Unmarshal(body, &doc); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding replica: %w", err))
+		return
+	}
+	if !doc.Complete {
+		writeError(w, http.StatusBadRequest, errors.New("replica is not marked complete; partial results replicate via the chunk store, not peering"))
+		return
+	}
+	if err := s.peers.Put(peering.Replica{
+		Fingerprint: doc.Fingerprint,
+		TableText:   []byte(doc.TableText),
+		TableCSV:    []byte(doc.TableCSV),
+		Manifest:    []byte(doc.Manifest),
+	}); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.peerReceived != nil {
+		s.peerReceived.Inc()
+	}
+	if s.peerHeld != nil {
+		s.peerHeld.Set(float64(s.peers.Len()))
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePeerGet serves a replicated result by fingerprint, falling back
+// to this worker's own result cache — a hedged read or a handoff probe
+// is satisfied by any node that holds the finished bytes, replicated or
+// computed. The body is the same resultBody document /result serves, so
+// a peer-served result is byte-identical to the owner's.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if rep, ok := s.peers.Get(fp); ok {
+		writeJSON(w, http.StatusOK, resultBody{
+			Fingerprint: rep.Fingerprint,
+			TableText:   string(rep.TableText),
+			TableCSV:    string(rep.TableCSV),
+			Manifest:    json.RawMessage(rep.Manifest),
+		})
+		return
+	}
+	if s.cache != nil && len(fp) == 64 {
+		if entry, hit, err := s.cache.Get(fp); err == nil && hit {
+			writeJSON(w, http.StatusOK, resultBody{
+				Fingerprint: entry.Fingerprint,
+				TableText:   string(entry.TableText),
+				TableCSV:    string(entry.TableCSV),
+				Manifest:    json.RawMessage(entry.Manifest),
+			})
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, errors.New("no replica for this fingerprint"))
 }
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
